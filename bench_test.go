@@ -1,0 +1,378 @@
+// Package querygraph_test hosts the benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (see DESIGN.md's
+// per-experiment index), two ablation benchmarks, and micro-benchmarks of
+// the hot paths (indexing, search, linking, cycle mining, online
+// expansion). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Headline numbers are attached to each benchmark via b.ReportMetric, so
+// the -bench output doubles as a compact experiment report.
+package querygraph_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/cycles"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/groundtruth"
+	"github.com/querygraph/querygraph/internal/search"
+	"github.com/querygraph/querygraph/internal/synth"
+	"github.com/querygraph/querygraph/internal/text"
+)
+
+// bench holds the shared benchmark environment, built once per process: the
+// default synthetic world (the same one cmd/qbench uses, reduced to 30
+// queries to keep -bench wall time moderate), the assembled system, the
+// ground truths and the full analysis.
+type benchEnv struct {
+	world    *synth.World
+	system   *core.System
+	queries  []core.Query
+	gts      []*core.GroundTruth
+	analysis *core.Analysis
+}
+
+var (
+	envOnce sync.Once
+	env     *benchEnv
+)
+
+func benchSetup(b *testing.B) *benchEnv {
+	b.Helper()
+	envOnce.Do(func() {
+		cfg := synth.Default()
+		cfg.Queries = 30
+		w, err := synth.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		s, err := core.FromWorld(w)
+		if err != nil {
+			panic(err)
+		}
+		qs := core.QueriesFromWorld(w)
+		gts, err := s.BuildAllGroundTruths(qs, core.GroundTruthConfig{
+			Search: groundtruth.Config{Seed: 1},
+		})
+		if err != nil {
+			panic(err)
+		}
+		a, err := s.Analyze(gts, core.AnalysisConfig{})
+		if err != nil {
+			panic(err)
+		}
+		env = &benchEnv{world: w, system: s, queries: qs, gts: gts, analysis: a}
+	})
+	return env
+}
+
+// BenchmarkTable2GroundTruthPrecision measures the Section 2 pipeline that
+// produces Table 2: entity linking, the ADD/REMOVE/SWAP local search and
+// the query-graph assembly for one query.
+func BenchmarkTable2GroundTruthPrecision(b *testing.B) {
+	e := benchSetup(b)
+	// ResetTimer deletes user metrics, so reporting is deferred to the end.
+	defer func() {
+		b.ReportMetric(e.analysis.Table2[1].Median, "medianP@1")
+		b.ReportMetric(e.analysis.Table2[15].Median, "medianP@15")
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := e.queries[i%len(e.queries)]
+		if _, err := e.system.BuildGroundTruth(q, core.GroundTruthConfig{
+			Search: groundtruth.Config{Seed: 1},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3QueryGraphStats measures the largest-component statistics
+// of Table 3 over all assembled query graphs.
+func BenchmarkTable3QueryGraphStats(b *testing.B) {
+	e := benchSetup(b)
+	defer func() {
+		b.ReportMetric(e.analysis.Table3.CategoryFrac.Median, "medianCatFrac")
+		b.ReportMetric(e.analysis.Table3.RelSize.Median, "medianRelSize")
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, gt := range e.gts {
+			_ = gt.Graph.LargestComponentStats()
+		}
+	}
+}
+
+// BenchmarkTable4CycleLengthConfigs regenerates Table 4: per-query cycle
+// mining plus one retrieval evaluation per cycle-length configuration.
+func BenchmarkTable4CycleLengthConfigs(b *testing.B) {
+	e := benchSetup(b)
+	defer func() {
+		for _, row := range e.analysis.Table4 {
+			if row.Config.Label == "2 & 3 & 4 & 5" {
+				b.ReportMetric(row.PrecisionAt[1], "allLengthsP@1")
+				b.ReportMetric(row.PrecisionAt[15], "allLengthsP@15")
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.system.Analyze(e.gts, core.AnalysisConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// reportLengthMetric attaches a per-length metric map to the benchmark.
+func reportLengthMetric(b *testing.B, m map[int]float64, suffix string) {
+	b.Helper()
+	for _, l := range []int{2, 3, 4, 5} {
+		if v, ok := m[l]; ok {
+			b.ReportMetric(v, "len"+string(rune('0'+l))+suffix)
+		}
+	}
+}
+
+// analyzeBody is the shared benchmark body for the figure benchmarks: each
+// figure is one aggregation over the same per-query cycle evaluation, so
+// the measured work is the Analyze pass.
+func analyzeBody(b *testing.B, e *benchEnv) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.system.Analyze(e.gts, core.AnalysisConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5ContributionByLength regenerates Figure 5 (average cycle
+// contribution per length).
+func BenchmarkFig5ContributionByLength(b *testing.B) {
+	e := benchSetup(b)
+	defer reportLengthMetric(b, e.analysis.Fig5, "contrib%")
+	b.ResetTimer()
+	analyzeBody(b, e)
+}
+
+// BenchmarkFig6CycleCounts regenerates Figure 6 (average number of cycles
+// per length).
+func BenchmarkFig6CycleCounts(b *testing.B) {
+	e := benchSetup(b)
+	defer reportLengthMetric(b, e.analysis.Fig6, "cycles")
+	b.ResetTimer()
+	analyzeBody(b, e)
+}
+
+// BenchmarkFig7aCategoryRatio regenerates Figure 7a (average category ratio
+// per cycle length).
+func BenchmarkFig7aCategoryRatio(b *testing.B) {
+	e := benchSetup(b)
+	defer func() {
+		reportLengthMetric(b, e.analysis.Fig7a, "catRatio")
+		b.ReportMetric(e.analysis.Fig7aTrend.Slope, "trendSlope")
+	}()
+	b.ResetTimer()
+	analyzeBody(b, e)
+}
+
+// BenchmarkFig7bExtraEdgeDensity regenerates Figure 7b (average density of
+// extra edges per cycle length).
+func BenchmarkFig7bExtraEdgeDensity(b *testing.B) {
+	e := benchSetup(b)
+	defer reportLengthMetric(b, e.analysis.Fig7b, "density")
+	b.ResetTimer()
+	analyzeBody(b, e)
+}
+
+// BenchmarkFig9DensityVsContribution regenerates Figure 9 (density of
+// extra edges vs. contribution trend).
+func BenchmarkFig9DensityVsContribution(b *testing.B) {
+	e := benchSetup(b)
+	defer func() {
+		b.ReportMetric(e.analysis.Fig9Trend.Slope, "trendSlope")
+		b.ReportMetric(e.analysis.Fig9Trend.R, "trendR")
+	}()
+	b.ResetTimer()
+	analyzeBody(b, e)
+}
+
+// BenchmarkText3StructuralFacts regenerates the Section 3 text numbers
+// (TPR of the largest components and the reciprocal-link ratio).
+func BenchmarkText3StructuralFacts(b *testing.B) {
+	e := benchSetup(b)
+	defer func() {
+		b.ReportMetric(e.analysis.Text.MeanTPR, "meanTPR")
+		b.ReportMetric(e.analysis.Text.ReciprocalLinkRatio, "reciprocal")
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.world.Snapshot.ReciprocalLinkRatio()
+		for _, gt := range e.gts {
+			_ = gt.Graph.LargestComponentStats().TPR
+		}
+	}
+}
+
+// BenchmarkAblationExpanderVsNaive compares the paper-tuned cycle expander
+// against the naive 1-hop link baseline (ablation A1 of DESIGN.md).
+func BenchmarkAblationExpanderVsNaive(b *testing.B) {
+	e := benchSetup(b)
+	rows, err := e.system.CompareExpanders(e.queries, core.AblationConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, row := range rows {
+			switch row.Label {
+			case "dense cycles (paper)":
+				b.ReportMetric(row.MeanO, "cyclesMeanO")
+			case "naive 1-hop links":
+				b.ReportMetric(row.MeanO, "naiveMeanO")
+			case "baseline (no expansion)":
+				b.ReportMetric(row.MeanO, "baselineMeanO")
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := e.queries[i%len(e.queries)]
+		if _, err := e.system.Expand(q.Keywords, core.DefaultExpanderOptions()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.system.ExpandNaive(q.Keywords, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCategoryRatioFilter isolates the ~30% category-ratio
+// filter (ablation A2): the expander with and without structural filters.
+func BenchmarkAblationCategoryRatioFilter(b *testing.B) {
+	e := benchSetup(b)
+	rows, err := e.system.CompareExpanders(e.queries, core.AblationConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, row := range rows {
+			switch row.Label {
+			case "dense cycles (paper)":
+				b.ReportMetric(row.MeanO, "filteredMeanO")
+			case "cycles, filters off":
+				b.ReportMetric(row.MeanO, "unfilteredMeanO")
+			}
+		}
+	}()
+	noFilter := core.DefaultExpanderOptions()
+	noFilter.MinCategoryRatio = 0
+	noFilter.MaxCategoryRatio = 1
+	noFilter.MinDensity = -1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := e.queries[i%len(e.queries)]
+		if _, err := e.system.Expand(q.Keywords, noFilter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks of the substrates --------------------------------
+
+// BenchmarkIndexCollection measures analyzing + indexing the whole corpus.
+func BenchmarkIndexCollection(b *testing.B) {
+	e := benchSetup(b)
+	an := text.NewAnalyzer(true, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = search.IndexCollection(e.world.Collection, an)
+	}
+}
+
+// BenchmarkSearchTitleQuery measures one expanded retrieval (the paper's
+// real-time requirement for query expansion systems).
+func BenchmarkSearchTitleQuery(b *testing.B) {
+	e := benchSetup(b)
+	q := e.queries[0]
+	gt := e.gts[0]
+	arts := append(append([]graph.NodeID{}, gt.QueryArticles...), gt.Expansion...)
+	titles := make([]string, len(arts))
+	for i, a := range arts {
+		titles[i] = e.world.Snapshot.Name(a)
+	}
+	node, ok := search.BuildTitleQuery(q.Keywords, titles, e.system.Engine.Analyzer())
+	if !ok {
+		b.Fatal("query not buildable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.system.Engine.Search(node, 15); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEntityLinking measures linking a document's relevant text.
+func BenchmarkEntityLinking(b *testing.B) {
+	e := benchSetup(b)
+	doc := e.world.Collection.Docs()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.system.Linker.LinkMain(doc.Text)
+	}
+}
+
+// BenchmarkCycleEnumeration measures mining cycles of length <= 5 on the
+// largest assembled query graph, the operation the paper reports as the
+// key performance challenge (§4).
+func BenchmarkCycleEnumeration(b *testing.B) {
+	e := benchSetup(b)
+	var biggest *core.GroundTruth
+	for _, gt := range e.gts {
+		if biggest == nil || gt.Graph.Size() > biggest.Graph.Size() {
+			biggest = gt
+		}
+	}
+	sub := biggest.Graph.Sub
+	var seeds []graph.NodeID
+	for _, qa := range biggest.QueryArticles {
+		if sid, ok := sub.ToSub[qa]; ok {
+			seeds = append(seeds, sid)
+		}
+	}
+	defer b.ReportMetric(float64(sub.NumNodes()), "graphNodes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cycles.Enumerate(sub.Graph, seeds, 5, graph.ExcludeRedirects); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExpandOnline measures the end-to-end online expansion latency —
+// the "respond in real time" requirement of the paper's conclusions.
+func BenchmarkExpandOnline(b *testing.B) {
+	e := benchSetup(b)
+	opts := core.DefaultExpanderOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := e.queries[i%len(e.queries)]
+		if _, err := e.system.Expand(q.Keywords, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorldGeneration measures deterministic world generation.
+func BenchmarkWorldGeneration(b *testing.B) {
+	cfg := synth.Default()
+	cfg.Topics = 10
+	cfg.Queries = 10
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command qbench regenerates every table and figure of the paper's
+// evaluation on the synthetic benchmark and prints them side by side with
+// the paper's reported values.
+//
+// Usage:
+//
+//	qbench [-exp all|table2|table3|table4|fig5|fig6|fig7a|fig7b|fig9|text3|ablation]
+//	       [-seed N] [-queries N] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/groundtruth"
+	"github.com/querygraph/querygraph/internal/report"
+	"github.com/querygraph/querygraph/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qbench: ")
+	var (
+		exp     = flag.String("exp", "all", "experiment to run (all, table2, table3, table4, fig5, fig6, fig7a, fig7b, fig9, text3, ablation)")
+		seed    = flag.Int64("seed", 0, "world seed (0 = the default benchmark seed)")
+		queries = flag.Int("queries", 0, "number of benchmark queries (0 = default 50)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cfg := synth.Default()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+
+	start := time.Now()
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := core.FromWorld(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := core.QueriesFromWorld(w)
+	st := w.Snapshot.Stats()
+	fmt.Printf("world: seed %d, %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (built in %v)\n\n",
+		cfg.Seed, st.Articles, st.Redirects, st.Categories, st.Links, w.Collection.Len(), len(qs), time.Since(start).Round(time.Millisecond))
+
+	needAnalysis := *exp != "ablation"
+	var analysis *core.Analysis
+	if needAnalysis {
+		gts, err := s.BuildAllGroundTruths(qs, core.GroundTruthConfig{
+			Search:  groundtruth.Config{Seed: 1},
+			Workers: *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		analysis, err = s.Analyze(gts, core.AnalysisConfig{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var ablation []core.AblationRow
+	if *exp == "ablation" || *exp == "all" {
+		ablation, err = s.CompareExpanders(qs, core.AblationConfig{Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	switch *exp {
+	case "all":
+		fmt.Println(report.All(analysis, ablation))
+	case "table2":
+		fmt.Println(report.Table2(analysis))
+	case "table3":
+		fmt.Println(report.Table3(analysis))
+	case "table4":
+		fmt.Println(report.Table4(analysis))
+	case "fig5":
+		fmt.Println(report.Fig5(analysis))
+	case "fig6":
+		fmt.Println(report.Fig6(analysis))
+	case "fig7a":
+		fmt.Println(report.Fig7a(analysis))
+	case "fig7b":
+		fmt.Println(report.Fig7b(analysis))
+	case "fig9":
+		fmt.Println(report.Fig9(analysis))
+	case "text3":
+		fmt.Println(report.Text3(analysis))
+	case "ablation":
+		fmt.Println(report.Ablation(ablation))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,128 @@
+// Command qgen generates a synthetic benchmark world — Wikipedia snapshot,
+// ImageCLEF-shaped corpus and query set — and writes it to a directory:
+//
+//	corpus.xml   every image record (parsable by internal/corpus)
+//	queries.tsv  query id, topic, keywords, relevant doc ids
+//	wiki.tsv     knowledge-base dump (nodes and typed edges)
+//
+// Usage: qgen [-seed N] [-out DIR] [-topics N] [-docs N]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/querygraph/querygraph/internal/corpus"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qgen: ")
+	var (
+		seed   = flag.Int64("seed", 0, "world seed (0 = default)")
+		out    = flag.String("out", "world", "output directory")
+		topics = flag.Int("topics", 0, "topic count (0 = default)")
+		docs   = flag.Int("docs", 0, "documents per topic (0 = default)")
+	)
+	flag.Parse()
+
+	cfg := synth.Default()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *topics > 0 {
+		cfg.Topics = *topics
+	}
+	if *docs > 0 {
+		cfg.DocsPerTopic = *docs
+	}
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeCorpus(filepath.Join(*out, "corpus.xml"), w); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeQueries(filepath.Join(*out, "queries.tsv"), w); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeWiki(filepath.Join(*out, "wiki.tsv"), w); err != nil {
+		log.Fatal(err)
+	}
+	st := w.Snapshot.Stats()
+	fmt.Printf("wrote %s: %d articles, %d redirects, %d categories, %d docs, %d queries\n",
+		*out, st.Articles, st.Redirects, st.Categories, w.Collection.Len(), len(w.Queries))
+}
+
+func writeCorpus(path string, w *synth.World) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	if _, err := bw.WriteString("<collection>\n"); err != nil {
+		return err
+	}
+	for _, doc := range w.Collection.Docs() {
+		if err := corpus.EncodeImage(bw, doc.Image); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("</collection>\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeQueries(path string, w *synth.World) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	for _, q := range w.Queries {
+		ids := make([]string, len(q.Relevant))
+		for i, d := range q.Relevant {
+			ids[i] = fmt.Sprint(d)
+		}
+		fmt.Fprintf(bw, "%d\t%d\t%s\t%s\n", q.ID, q.Topic, q.Keywords, strings.Join(ids, ","))
+	}
+	return bw.Flush()
+}
+
+func writeWiki(path string, w *synth.World) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	snap := w.Snapshot
+	g := snap.Graph()
+	for i := 0; i < g.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		kind := "article"
+		if g.Kind(id) == graph.Category {
+			kind = "category"
+		} else if snap.IsRedirect(id) {
+			kind = "redirect"
+		}
+		fmt.Fprintf(bw, "node\t%d\t%s\t%s\n", i, kind, snap.Name(id))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "edge\t%d\t%d\t%s\n", e.From, e.To, e.Kind)
+	}
+	return bw.Flush()
+}

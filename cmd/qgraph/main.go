@@ -1,0 +1,129 @@
+// Command qgraph builds the ground truth and query graph for one benchmark
+// query and prints a structural report — the per-query view behind the
+// paper's Figures 3 and 4. With -dot it also writes the query graph in
+// Graphviz format.
+//
+// Usage: qgraph [-seed N] [-query N] [-dot FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/cycles"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/groundtruth"
+	"github.com/querygraph/querygraph/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qgraph: ")
+	var (
+		seed    = flag.Int64("seed", 0, "world seed (0 = default)")
+		queryID = flag.Int("query", 0, "benchmark query to inspect")
+		dotFile = flag.String("dot", "", "write the query graph as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	cfg := synth.Default()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := core.FromWorld(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := core.QueriesFromWorld(w)
+	if *queryID < 0 || *queryID >= len(qs) {
+		log.Fatalf("query %d out of range [0, %d)", *queryID, len(qs))
+	}
+	q := qs[*queryID]
+
+	gt, err := s.BuildGroundTruth(q, core.GroundTruthConfig{Search: groundtruth.Config{Seed: 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query #%d: %q  (%d relevant documents)\n\n", q.ID, q.Keywords, len(q.Relevant))
+	fmt.Printf("L(q.k) — query articles:\n")
+	for _, a := range gt.QueryArticles {
+		fmt.Printf("  - %s\n", s.Snapshot.Name(a))
+	}
+	fmt.Printf("\nA' — expansion features (X(q) = L(q.k) ∪ A'):\n")
+	for _, a := range gt.Expansion {
+		fmt.Printf("  - %s\n", s.Snapshot.Name(a))
+	}
+	fmt.Printf("\nobjective: baseline O = %.3f  →  X(q) O = %.3f\n", gt.Baseline, gt.Score)
+	fmt.Printf("precision: P@1 %.2f  P@5 %.2f  P@10 %.2f  P@15 %.2f\n",
+		gt.PrecisionAt[1], gt.PrecisionAt[5], gt.PrecisionAt[10], gt.PrecisionAt[15])
+	fmt.Printf("local search: %d iterations, %d evaluations\n\n",
+		gt.SearchStats.Iterations, gt.SearchStats.Evaluations)
+
+	qg := gt.Graph
+	st := qg.LargestComponentStats()
+	fmt.Printf("query graph G(q): %d nodes, %d components\n", qg.Size(), qg.NumComponents())
+	fmt.Printf("largest component: %d nodes (%.0f%% of G(q)), %.0f%% categories, TPR %.2f, expansion ratio %.2f\n\n",
+		st.Size, 100*st.RelSize, 100*st.CategoryFrac, st.TPR, st.ExpansionRatio)
+
+	sub := qg.Sub
+	var seeds []graph.NodeID
+	for _, qa := range gt.QueryArticles {
+		if sid, ok := sub.ToSub[qa]; ok {
+			seeds = append(seeds, sid)
+		}
+	}
+	cs, err := cycles.Enumerate(sub.Graph, seeds, 5, graph.ExcludeRedirects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byLen := map[int][]cycles.Cycle{}
+	for _, c := range cs {
+		byLen[c.Len()] = append(byLen[c.Len()], c)
+	}
+	lengths := make([]int, 0, len(byLen))
+	for l := range byLen {
+		lengths = append(lengths, l)
+	}
+	sort.Ints(lengths)
+	fmt.Printf("cycles containing a query article (length ≤ 5): %d\n", len(cs))
+	for _, l := range lengths {
+		fmt.Printf("  length %d: %d cycles\n", l, len(byLen[l]))
+		for i, c := range byLen[l] {
+			if i >= 3 {
+				fmt.Printf("    ...\n")
+				break
+			}
+			m, err := cycles.Measure(sub.Graph, c, graph.ExcludeRedirects)
+			if err != nil {
+				log.Fatal(err)
+			}
+			names := make([]string, len(c.Nodes))
+			for j, n := range c.Nodes {
+				names[j] = s.Snapshot.Name(sub.ToParent[n])
+			}
+			fmt.Printf("    %v  (cat ratio %.2f, density %.2f)\n", names, m.CategoryRatio, m.ExtraEdgeDensity)
+		}
+	}
+
+	if *dotFile != "" {
+		f, err := os.Create(*dotFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		label := func(n graph.NodeID) string { return s.Snapshot.Name(sub.ToParent[n]) }
+		if err := sub.Graph.WriteDOT(f, fmt.Sprintf("query_%d", q.ID), label); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *dotFile)
+	}
+}

@@ -1,0 +1,32 @@
+// Package querygraph reproduces "Understanding Graph Structure of Wikipedia
+// for Query Expansion" (Guisado-Gámez & Prat-Pérez, 2015) as a complete,
+// self-contained Go system.
+//
+// The repository contains every substrate the paper depends on, implemented
+// from scratch on the standard library:
+//
+//   - internal/graph: a typed property graph with the operations the analysis
+//     needs (components, triangles, induced subgraphs, cycle support).
+//   - internal/wiki: the Wikipedia schema of the paper's Figure 1 (articles,
+//     categories, links, belongs, inside, redirects_to) with validation.
+//   - internal/synth: a deterministic generator for a synthetic Wikipedia,
+//     an ImageCLEF-shaped document collection and a query benchmark.
+//   - internal/corpus: the ImageCLEF XML document model, parser and the
+//     relevant-text extraction of the paper's Figure 2.
+//   - internal/index, internal/search: a positional inverted index and an
+//     INDRI-like engine (#combine / #1 exact phrases, Dirichlet-smoothed
+//     query likelihood).
+//   - internal/linking: the largest-substring entity linker with redirect
+//     synonyms.
+//   - internal/eval, internal/groundtruth: top-r precision, the O(A,D)
+//     objective and the ADD/REMOVE/SWAP local search that builds X(q).
+//   - internal/querygraph, internal/cycles: query-graph assembly and the
+//     cycle analysis of Section 3 (category ratio, density of extra edges,
+//     contribution).
+//   - internal/core: the public facade tying everything together, including
+//     an online Expander that applies the paper's findings (dense cycles
+//     with a ~30% category ratio) as a practical query-expansion technique.
+//
+// See DESIGN.md for the system inventory and the per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results of every table and figure.
+package querygraph

@@ -1,0 +1,106 @@
+// Cycleanalysis: the structural study of Section 3 on one query — assemble
+// the query graph, enumerate its cycles, and print the per-cycle
+// characteristics (length, category ratio, density of extra edges,
+// contribution), in the spirit of the paper's Figures 3, 4 and 8.
+//
+// Run: go run ./examples/cycleanalysis [query-id]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/cycles"
+	"github.com/querygraph/querygraph/internal/eval"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/groundtruth"
+	"github.com/querygraph/querygraph/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	queryID := 3
+	if len(os.Args) > 1 {
+		id, err := strconv.Atoi(os.Args[1])
+		if err != nil {
+			log.Fatalf("bad query id %q", os.Args[1])
+		}
+		queryID = id
+	}
+
+	world, err := synth.Generate(synth.Default())
+	if err != nil {
+		log.Fatal(err)
+	}
+	system, err := core.FromWorld(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := core.QueriesFromWorld(world)
+	if queryID < 0 || queryID >= len(queries) {
+		log.Fatalf("query id out of range [0, %d)", len(queries))
+	}
+	q := queries[queryID]
+
+	gt, err := system.BuildGroundTruth(q, core.GroundTruthConfig{
+		Search: groundtruth.Config{Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query #%d %q\n", q.ID, q.Keywords)
+	fmt.Printf("G(q): %d nodes in %d components; baseline O = %.3f\n\n",
+		gt.Graph.Size(), gt.Graph.NumComponents(), gt.Baseline)
+
+	sub := gt.Graph.Sub
+	var seeds []graph.NodeID
+	for _, qa := range gt.QueryArticles {
+		if sid, ok := sub.ToSub[qa]; ok {
+			seeds = append(seeds, sid)
+		}
+	}
+	cs, err := cycles.Enumerate(sub.Graph, seeds, 5, graph.ExcludeRedirects)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relevant := eval.NewRelevance(q.Relevant)
+	fmt.Printf("%-5s  %-55s  %5s  %7s  %8s\n", "len", "cycle", "cats", "density", "contrib")
+	for _, c := range cs {
+		m, err := cycles.Measure(sub.Graph, c, graph.ExcludeRedirects)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Contribution: add the cycle's articles (ignoring categories, as
+		// the paper does) to L(q.k) and re-evaluate.
+		arts := append([]graph.NodeID{}, gt.QueryArticles...)
+		for _, n := range cycles.ArticlesOf(sub.Graph, c) {
+			arts = append(arts, sub.ToParent[n])
+		}
+		after, _, err := system.EvaluateArticles(q.Keywords, arts, relevant)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, len(c.Nodes))
+		for i, n := range c.Nodes {
+			name := world.Snapshot.Name(sub.ToParent[n])
+			if sub.Kind(n) == graph.Category {
+				name = "[" + name + "]"
+			}
+			names[i] = name
+		}
+		desc := strings.Join(names, " — ")
+		if len(desc) > 55 {
+			desc = desc[:52] + "..."
+		}
+		fmt.Printf("%-5d  %-55s  %5d  %7.2f  %+7.1f%%\n",
+			m.Length, desc, m.Categories, m.ExtraEdgeDensity,
+			eval.Contribution(gt.Baseline, after))
+	}
+	if len(cs) == 0 {
+		fmt.Println("(no cycles around the query articles — try another query)")
+	}
+}

@@ -1,0 +1,66 @@
+// Groundtruthlab: the Section 2 pipeline end to end — build X(q) for every
+// benchmark query via the ADD/REMOVE/SWAP local search and print the
+// Table 2-style precision statistics of the resulting ground truth.
+//
+// Run: go run ./examples/groundtruthlab
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/eval"
+	"github.com/querygraph/querygraph/internal/groundtruth"
+	"github.com/querygraph/querygraph/internal/stats"
+	"github.com/querygraph/querygraph/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := synth.Default()
+	cfg.Queries = 20 // a fast subset; cmd/qbench runs the full set
+	world, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	system, err := core.FromWorld(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries := core.QueriesFromWorld(world)
+
+	gts, err := system.BuildAllGroundTruths(queries, core.GroundTruthConfig{
+		Search: groundtruth.Config{Seed: 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-4s  %-30s  |L(q.k)|  |L(q.D)|  |A'|  baseline  X(q)\n", "q", "keywords")
+	for _, gt := range gts {
+		kw := gt.Query.Keywords
+		if len(kw) > 30 {
+			kw = kw[:27] + "..."
+		}
+		fmt.Printf("%-4d  %-30s  %8d  %8d  %4d  %8.3f  %.3f\n",
+			gt.Query.ID, kw,
+			len(gt.QueryArticles), len(gt.Candidates), len(gt.Expansion),
+			gt.Baseline, gt.Score)
+	}
+
+	fmt.Println("\nground-truth precision (Table 2 of the paper):")
+	fmt.Printf("%-7s  %6s  %6s  %6s  %6s  %6s\n", "top-r", "min", "25%", "50%", "75%", "max")
+	for _, r := range eval.DefaultRanks {
+		vals := make([]float64, len(gts))
+		for i, gt := range gts {
+			vals[i] = gt.PrecisionAt[r]
+		}
+		s, err := stats.Summarize(vals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("top-%-3d  %6.3f  %6.3f  %6.3f  %6.3f  %6.3f\n",
+			r, s.Min, s.Q1, s.Median, s.Q3, s.Max)
+	}
+}

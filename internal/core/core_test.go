@@ -1,0 +1,436 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/eval"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/groundtruth"
+	"github.com/querygraph/querygraph/internal/synth"
+)
+
+// testWorld builds one small world per test binary (generation plus
+// indexing is the expensive part; the world is read-only afterwards).
+var (
+	worldOnce sync.Once
+	world     *synth.World
+	system    *System
+)
+
+func testSystem(t *testing.T) (*System, *synth.World) {
+	t.Helper()
+	worldOnce.Do(func() {
+		cfg := synth.Default()
+		cfg.Topics = 8
+		cfg.ArticlesPerTopic = 12
+		cfg.DocsPerTopic = 20
+		cfg.Queries = 10
+		cfg.NoiseVocab = 80
+		w, err := synth.Generate(cfg)
+		if err != nil {
+			panic(err)
+		}
+		s, err := FromWorld(w)
+		if err != nil {
+			panic(err)
+		}
+		world = w
+		system = s
+	})
+	return system, world
+}
+
+func gtConfig() GroundTruthConfig {
+	return GroundTruthConfig{
+		Search: groundtruth.Config{Seed: 42, MaxIterations: 12, MaxEvaluations: 1500},
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	_, w := testSystem(t)
+	if _, err := NewSystem(nil, w.Collection); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+	if _, err := NewSystem(w.Snapshot, nil); err == nil {
+		t.Error("nil collection should fail")
+	}
+	if _, err := NewSystem(w.Snapshot, w.Collection, WithMu(-5)); err == nil {
+		t.Error("bad mu should fail")
+	}
+}
+
+func TestLinkKeywordsFindsEntities(t *testing.T) {
+	s, w := testSystem(t)
+	for _, q := range w.Queries[:4] {
+		got := s.LinkKeywords(q.Keywords)
+		set := make(map[graph.NodeID]bool)
+		for _, id := range got {
+			set[id] = true
+		}
+		for _, want := range q.Entities {
+			if !set[want] {
+				t.Errorf("query %d: entity %q missing from L(q.k)", q.ID, w.Snapshot.Name(want))
+			}
+		}
+	}
+}
+
+func TestLinkDocuments(t *testing.T) {
+	s, w := testSystem(t)
+	q := w.Queries[0]
+	arts, err := s.LinkDocuments(q.Relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) == 0 {
+		t.Fatal("L(q.D) is empty")
+	}
+	for i := 1; i < len(arts); i++ {
+		if arts[i-1] >= arts[i] {
+			t.Fatal("L(q.D) not sorted/unique")
+		}
+	}
+	if _, err := s.LinkDocuments([]int32{99999}); err == nil {
+		t.Error("unknown doc should fail")
+	}
+}
+
+func TestEvaluateArticlesBaseline(t *testing.T) {
+	s, w := testSystem(t)
+	q := w.Queries[0]
+	relevant := eval.NewRelevance(q.Relevant)
+	arts := s.LinkKeywords(q.Keywords)
+	score, ranked, err := s.EvaluateArticles(q.Keywords, arts, relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0 || score > 1 {
+		t.Errorf("O = %g out of range", score)
+	}
+	if len(ranked) == 0 {
+		t.Error("no documents retrieved for a topical query")
+	}
+	if len(ranked) > MaxRank {
+		t.Errorf("retrieved %d > MaxRank", len(ranked))
+	}
+	// No articles and no keywords: zero by definition.
+	zero, _, err := s.EvaluateArticles("", nil, relevant)
+	if err != nil || zero != 0 {
+		t.Errorf("empty evaluation = %g, %v", zero, err)
+	}
+}
+
+func TestBuildGroundTruth(t *testing.T) {
+	s, w := testSystem(t)
+	q := QueriesFromWorld(w)[0]
+	gt, err := s.BuildGroundTruth(q, gtConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Score < gt.Baseline {
+		t.Errorf("X(q) score %g below baseline %g", gt.Score, gt.Baseline)
+	}
+	// Expansion must be a subset of the candidates minus query articles.
+	candSet := make(map[graph.NodeID]bool)
+	for _, c := range gt.Candidates {
+		candSet[c] = true
+	}
+	for _, e := range gt.Expansion {
+		if !candSet[e] {
+			t.Errorf("expansion article %d not in L(q.D)", e)
+		}
+		for _, qa := range gt.QueryArticles {
+			if e == qa {
+				t.Errorf("query article %d selected as expansion", e)
+			}
+		}
+	}
+	for _, r := range eval.DefaultRanks {
+		p, ok := gt.PrecisionAt[r]
+		if !ok || p < 0 || p > 1 {
+			t.Errorf("P@%d = %g, ok=%v", r, p, ok)
+		}
+	}
+	if gt.Graph == nil || gt.Graph.Size() == 0 {
+		t.Error("query graph missing")
+	}
+}
+
+func TestBuildAllGroundTruthsDeterministicAndOrdered(t *testing.T) {
+	s, w := testSystem(t)
+	queries := QueriesFromWorld(w)[:4]
+	a, err := s.BuildAllGroundTruths(queries, gtConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.BuildAllGroundTruths(queries, gtConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(queries) {
+		t.Fatalf("got %d ground truths", len(a))
+	}
+	for i := range a {
+		if a[i].Query.ID != queries[i].ID {
+			t.Errorf("order broken at %d", i)
+		}
+		if !reflect.DeepEqual(a[i].Expansion, b[i].Expansion) {
+			t.Errorf("query %d: nondeterministic expansion %v vs %v",
+				queries[i].ID, a[i].Expansion, b[i].Expansion)
+		}
+		if a[i].Score != b[i].Score {
+			t.Errorf("query %d: nondeterministic score", queries[i].ID)
+		}
+	}
+}
+
+func TestAnalyzeProducesAllExperiments(t *testing.T) {
+	s, w := testSystem(t)
+	queries := QueriesFromWorld(w)[:6]
+	gts, err := s.BuildAllGroundTruths(queries, gtConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Analyze(gts, AnalysisConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 2 has the four rank summaries within [0,1].
+	for _, r := range eval.DefaultRanks {
+		sum, ok := a.Table2[r]
+		if !ok {
+			t.Fatalf("Table2 missing rank %d", r)
+		}
+		if sum.Min < 0 || sum.Max > 1 {
+			t.Errorf("Table2[%d] out of range: %+v", r, sum)
+		}
+	}
+	// Table 3 fractions within [0,1]; categories dominate articles on
+	// average (the paper's core observation).
+	if a.Table3.ArticleFrac.Mean+a.Table3.CategoryFrac.Mean < 0.99 {
+		t.Errorf("article+category fractions should sum to ~1: %+v", a.Table3)
+	}
+	if a.Table3.CategoryFrac.Median <= a.Table3.ArticleFrac.Median {
+		t.Errorf("categories should dominate the largest component: %+v vs %+v",
+			a.Table3.CategoryFrac, a.Table3.ArticleFrac)
+	}
+	// Table 4 has all configs with precisions within [0,1].
+	if len(a.Table4) != len(Table4Configs) {
+		t.Fatalf("Table4 rows = %d", len(a.Table4))
+	}
+	for _, row := range a.Table4 {
+		for r, p := range row.PrecisionAt {
+			if p < 0 || p > 1 {
+				t.Errorf("Table4[%s] P@%d = %g", row.Config.Label, r, p)
+			}
+		}
+	}
+	// Figures populated.
+	if len(a.Fig6) == 0 {
+		t.Error("no cycles found in any query graph")
+	}
+	for l, c := range a.Fig6 {
+		if c < 0 || l < 2 || l > 5 {
+			t.Errorf("Fig6[%d] = %g", l, c)
+		}
+	}
+	for l, ratio := range a.Fig7a {
+		if l < 3 || ratio < 0 || ratio > 1 {
+			t.Errorf("Fig7a[%d] = %g", l, ratio)
+		}
+	}
+	for l, d := range a.Fig7b {
+		if l < 3 || d < 0 || d > 1 {
+			t.Errorf("Fig7b[%d] = %g", l, d)
+		}
+	}
+	if a.Text.MeanQueryGraphSize <= 0 || a.Text.ReciprocalLinkRatio <= 0 {
+		t.Errorf("text facts = %+v", a.Text)
+	}
+	if a.TotalCycles == 0 {
+		t.Error("TotalCycles = 0")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	s, _ := testSystem(t)
+	if _, err := s.Analyze(nil, AnalysisConfig{}); err == nil {
+		t.Error("empty analysis should fail")
+	}
+}
+
+func TestExpand(t *testing.T) {
+	s, w := testSystem(t)
+	q := w.Queries[0]
+	exp, err := s.Expand(q.Keywords, DefaultExpanderOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.QueryArticles) == 0 {
+		t.Fatal("no query articles linked")
+	}
+	if exp.CyclesConsidered == 0 {
+		t.Error("no cycles considered")
+	}
+	inQuery := make(map[graph.NodeID]bool)
+	for _, qa := range exp.QueryArticles {
+		inQuery[qa] = true
+	}
+	seen := make(map[graph.NodeID]bool)
+	for _, f := range exp.Features {
+		if inQuery[f.Node] {
+			t.Errorf("feature %q is a query article", f.Title)
+		}
+		if seen[f.Node] {
+			t.Errorf("duplicate feature %q", f.Title)
+		}
+		seen[f.Node] = true
+		if f.Title == "" {
+			t.Error("feature without title")
+		}
+	}
+	// Determinism.
+	exp2, err := s.Expand(q.Keywords, DefaultExpanderOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exp.FeatureTitles(), exp2.FeatureTitles()) {
+		t.Errorf("nondeterministic expansion: %v vs %v",
+			exp.FeatureTitles(), exp2.FeatureTitles())
+	}
+}
+
+func TestExpandRespectsMaxFeatures(t *testing.T) {
+	s, w := testSystem(t)
+	opts := DefaultExpanderOptions()
+	opts.MaxFeatures = 2
+	exp, err := s.Expand(w.Queries[1].Keywords, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Features) > 2 {
+		t.Errorf("features = %d, cap ignored", len(exp.Features))
+	}
+}
+
+func TestExpandUnknownKeywords(t *testing.T) {
+	s, _ := testSystem(t)
+	exp, err := s.Expand("completely unknown gibberish terms", DefaultExpanderOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.QueryArticles) != 0 || len(exp.Features) != 0 {
+		t.Errorf("expansion of unlinkable query = %+v", exp)
+	}
+}
+
+func TestExpandInvalidOptions(t *testing.T) {
+	s, w := testSystem(t)
+	opts := DefaultExpanderOptions()
+	opts.MinCategoryRatio = 0.9
+	opts.MaxCategoryRatio = 0.1
+	if _, err := s.Expand(w.Queries[0].Keywords, opts); err == nil {
+		t.Error("inverted ratio band should fail")
+	}
+}
+
+func TestExpandImprovesRetrieval(t *testing.T) {
+	// The headline behavior: averaged over queries, cycle-based expansion
+	// must not hurt and should improve the objective.
+	s, w := testSystem(t)
+	var base, expd float64
+	n := 0
+	for _, q := range w.Queries {
+		relevant := eval.NewRelevance(q.Relevant)
+		qArts := s.LinkKeywords(q.Keywords)
+		b, _, err := s.EvaluateArticles(q.Keywords, qArts, relevant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := s.Expand(q.Keywords, DefaultExpanderOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts := append([]graph.NodeID{}, qArts...)
+		for _, f := range exp.Features {
+			arts = append(arts, f.Node)
+		}
+		e, _, err := s.EvaluateArticles(q.Keywords, arts, relevant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base += b
+		expd += e
+		n++
+	}
+	base /= float64(n)
+	expd /= float64(n)
+	if expd < base {
+		t.Errorf("expansion hurt retrieval: baseline %g, expanded %g", base, expd)
+	}
+	t.Logf("mean O: baseline %.4f, expanded %.4f", base, expd)
+}
+
+func TestExpandNaive(t *testing.T) {
+	s, w := testSystem(t)
+	exp, err := s.ExpandNaive(w.Queries[0].Keywords, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Features) == 0 {
+		t.Error("naive expansion found nothing")
+	}
+	if len(exp.Features) > 5 {
+		t.Error("cap ignored")
+	}
+	// Default cap applies for non-positive maxFeatures.
+	exp, err = s.ExpandNaive(w.Queries[0].Keywords, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Features) > 10 {
+		t.Error("default cap ignored")
+	}
+}
+
+func TestExpansionQueryBuild(t *testing.T) {
+	s, w := testSystem(t)
+	exp, err := s.Expand(w.Queries[0].Keywords, DefaultExpanderOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, ok := exp.Query(s)
+	if !ok {
+		t.Fatal("expanded query not buildable")
+	}
+	rs, err := s.Engine.Search(node, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Error("expanded query retrieved nothing")
+	}
+}
+
+func TestForEachQueryErrorPropagation(t *testing.T) {
+	err := forEachQuery(10, 3, func(i int) error {
+		if i == 7 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Errorf("err = %v, want errTest", err)
+	}
+	if err := forEachQuery(0, 3, func(int) error { return errTest }); err != nil {
+		t.Error("zero tasks should not run fn")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }

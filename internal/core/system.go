@@ -1,0 +1,234 @@
+// Package core ties the substrates into the paper's pipeline and exposes
+// the public API of the reproduction:
+//
+//   - System: a knowledge base + document collection + search engine +
+//     entity linker, built once and safe for concurrent reads;
+//   - ground-truth construction (Section 2): L(q.k), L(q.D), the
+//     ADD/REMOVE/SWAP search for X(q) and the query-graph assembly;
+//   - Analyze: every measurement behind the paper's Tables 2–4 and
+//     Figures 5, 6, 7a, 7b and 9;
+//   - Expander: the paper's proposed future work — an online query
+//     expansion engine that mines dense cycles with a ~30% category ratio
+//     from the Wikipedia neighborhood of the query entities.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/querygraph/querygraph/internal/corpus"
+	"github.com/querygraph/querygraph/internal/eval"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/linking"
+	"github.com/querygraph/querygraph/internal/search"
+	"github.com/querygraph/querygraph/internal/synth"
+	"github.com/querygraph/querygraph/internal/text"
+	"github.com/querygraph/querygraph/internal/wiki"
+)
+
+// System is the assembled environment: everything the pipeline needs to
+// link, search and evaluate queries against one knowledge base and corpus.
+type System struct {
+	Snapshot   *wiki.Snapshot
+	Collection *corpus.Collection
+	Engine     *search.Engine
+	Linker     *linking.Linker
+
+	analyzer *text.Analyzer
+	// includeKeywordTerms adds the raw query keywords as bare terms to
+	// every title query. The paper writes queries from article titles only;
+	// the option exists for the ablation benchmark.
+	includeKeywordTerms bool
+}
+
+// SystemOption configures NewSystem.
+type SystemOption func(*systemConfig)
+
+type systemConfig struct {
+	analyzer            *text.Analyzer
+	mu                  float64
+	includeKeywordTerms bool
+}
+
+// WithAnalyzer overrides the text analysis chain (default: stopword removal
+// plus Porter stemming, applied consistently to documents and queries).
+func WithAnalyzer(an *text.Analyzer) SystemOption {
+	return func(c *systemConfig) { c.analyzer = an }
+}
+
+// WithMu overrides the engine's Dirichlet smoothing parameter.
+func WithMu(mu float64) SystemOption {
+	return func(c *systemConfig) { c.mu = mu }
+}
+
+// WithKeywordTerms includes the raw keywords as bare terms in title
+// queries (ablation; the paper uses titles only).
+func WithKeywordTerms(on bool) SystemOption {
+	return func(c *systemConfig) { c.includeKeywordTerms = on }
+}
+
+// NewSystem indexes the collection and builds the engine and linker.
+func NewSystem(snap *wiki.Snapshot, coll *corpus.Collection, opts ...SystemOption) (*System, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: nil snapshot")
+	}
+	if coll == nil {
+		return nil, fmt.Errorf("core: nil collection")
+	}
+	cfg := systemConfig{
+		analyzer: text.NewAnalyzer(true, true),
+		mu:       search.DefaultMu,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	ix := search.IndexCollection(coll, cfg.analyzer)
+	engine, err := search.NewEngine(ix, cfg.analyzer, search.WithMu(cfg.mu))
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &System{
+		Snapshot:            snap,
+		Collection:          coll,
+		Engine:              engine,
+		Linker:              linking.New(snap),
+		analyzer:            cfg.analyzer,
+		includeKeywordTerms: cfg.includeKeywordTerms,
+	}, nil
+}
+
+// FromWorld assembles a System directly from a generated world.
+func FromWorld(w *synth.World, opts ...SystemOption) (*System, error) {
+	return NewSystem(w.Snapshot, w.Collection, opts...)
+}
+
+// Query is one benchmark query in pipeline form.
+type Query struct {
+	ID       int
+	Keywords string
+	Relevant []int32
+}
+
+// QueriesFromWorld converts the generator's benchmark queries.
+func QueriesFromWorld(w *synth.World) []Query {
+	out := make([]Query, len(w.Queries))
+	for i, q := range w.Queries {
+		out[i] = Query{ID: q.ID, Keywords: q.Keywords, Relevant: q.Relevant}
+	}
+	return out
+}
+
+// MaxRank is the deepest rank cutoff the paper evaluates (top-15).
+const MaxRank = 15
+
+// LinkKeywords computes L(q.k): the main articles mentioned in the query
+// keywords.
+func (s *System) LinkKeywords(keywords string) []graph.NodeID {
+	return s.Linker.LinkMain(keywords)
+}
+
+// LinkDocuments computes L(D): the union of main articles mentioned in the
+// given documents' relevant text.
+func (s *System) LinkDocuments(docs []int32) ([]graph.NodeID, error) {
+	seen := make(map[graph.NodeID]struct{})
+	for _, d := range docs {
+		doc, err := s.Collection.Doc(corpus.DocID(d))
+		if err != nil {
+			return nil, fmt.Errorf("core: L(q.D): %w", err)
+		}
+		for _, id := range s.Linker.LinkMain(doc.Text) {
+			seen[id] = struct{}{}
+		}
+	}
+	out := make([]graph.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// titleQuery builds the INDRI-style query for a set of articles: one exact
+// phrase per title, per the paper's Section 2.2. When no article has a
+// usable title the raw keywords back the query off so that the baseline of
+// an entity-less query is still defined.
+func (s *System) titleQuery(keywords string, articles []graph.NodeID) (search.Node, bool) {
+	titles := make([]string, 0, len(articles))
+	for _, a := range articles {
+		titles = append(titles, s.Snapshot.Name(a))
+	}
+	kw := ""
+	if s.includeKeywordTerms || len(titles) == 0 {
+		kw = keywords
+	}
+	return search.BuildTitleQuery(kw, titles, s.analyzer)
+}
+
+// EvaluateArticles computes O(A, D): it writes the title query for the
+// articles, retrieves the top-15 and averages precision over the paper's
+// rank cutoffs. It also returns the ranked documents for reuse.
+func (s *System) EvaluateArticles(keywords string, articles []graph.NodeID, relevant eval.Relevance) (float64, []int32, error) {
+	node, ok := s.titleQuery(keywords, articles)
+	if !ok {
+		return 0, nil, nil // nothing to search for: zero precision by definition
+	}
+	results, err := s.Engine.Search(node, MaxRank)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: evaluate: %w", err)
+	}
+	ranked := search.Docs(results)
+	return eval.O(ranked, relevant), ranked, nil
+}
+
+// parallelism returns the worker count for per-query fan-out.
+func parallelism(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// forEachQuery runs fn over the indices [0, n) on a bounded worker pool,
+// returning the first error.
+func forEachQuery(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers = parallelism(workers)
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}

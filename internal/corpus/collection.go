@@ -1,0 +1,135 @@
+package corpus
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DocID is a dense document identifier within a Collection, starting at 0.
+type DocID int
+
+// Document is an image record registered in a collection, with its dense ID
+// and the pre-extracted relevant text.
+type Document struct {
+	ID    DocID
+	Image Image
+	// Text is the linkable text per the paper's Figure 2 extraction,
+	// computed once at registration.
+	Text string
+}
+
+// Collection is an in-memory document collection with dense IDs. The zero
+// value is empty and ready for use. Collections are not safe for concurrent
+// mutation; once populated they are safe for concurrent reads.
+type Collection struct {
+	docs  []Document
+	byExt map[string]DocID
+}
+
+// Add registers an image and returns its dense ID. External IDs must be
+// unique when present.
+func (c *Collection) Add(im Image) (DocID, error) {
+	if c.byExt == nil {
+		c.byExt = make(map[string]DocID)
+	}
+	if im.ID != "" {
+		if prev, ok := c.byExt[im.ID]; ok {
+			return 0, fmt.Errorf("corpus: duplicate external id %q (doc %d)", im.ID, prev)
+		}
+	}
+	id := DocID(len(c.docs))
+	c.docs = append(c.docs, Document{ID: id, Image: im, Text: im.RelevantText()})
+	if im.ID != "" {
+		c.byExt[im.ID] = id
+	}
+	return id, nil
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int { return len(c.docs) }
+
+// Doc returns the document with dense ID id.
+func (c *Collection) Doc(id DocID) (Document, error) {
+	if id < 0 || int(id) >= len(c.docs) {
+		return Document{}, fmt.Errorf("corpus: unknown document %d", id)
+	}
+	return c.docs[id], nil
+}
+
+// ByExternalID resolves an ImageCLEF id attribute to the dense ID.
+func (c *Collection) ByExternalID(ext string) (DocID, bool) {
+	id, ok := c.byExt[ext]
+	return id, ok
+}
+
+// Docs returns the underlying document slice. It is owned by the collection
+// and must not be modified.
+func (c *Collection) Docs() []Document { return c.docs }
+
+// EncodeImage renders one image record as indented XML, matching the
+// ImageCLEF file layout.
+func EncodeImage(w io.Writer, im Image) error {
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	start := xml.StartElement{Name: xml.Name{Local: "image"}}
+	if err := enc.EncodeElement(wrapImage(im), start); err != nil {
+		return fmt.Errorf("corpus: encode image %q: %w", im.ID, err)
+	}
+	if err := enc.Flush(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// wrapImage exists because Image has no XMLName field (it is reused for
+// decode where the element name varies in tests); EncodeElement supplies it.
+func wrapImage(im Image) any { return im }
+
+// DecodeImages reads a stream of <image> elements (one or many, optionally
+// wrapped in arbitrary container elements) and returns them in document
+// order. It tolerates surrounding whitespace, processing instructions and
+// comments, mirroring how ImageCLEF ships one XML file per image but
+// evaluation scripts concatenate them.
+func DecodeImages(r io.Reader) ([]Image, error) {
+	dec := xml.NewDecoder(r)
+	var out []Image
+	for {
+		tok, err := dec.Token()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, fmt.Errorf("corpus: decode: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		if start.Name.Local != "image" {
+			continue // descend into containers
+		}
+		var im Image
+		if err := dec.DecodeElement(&im, &start); err != nil {
+			return out, fmt.Errorf("corpus: decode image: %w", err)
+		}
+		out = append(out, im)
+	}
+}
+
+// ReadCollection decodes every image from r into a fresh collection.
+func ReadCollection(r io.Reader) (*Collection, error) {
+	imgs, err := DecodeImages(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{}
+	for _, im := range imgs {
+		if _, err := c.Add(im); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

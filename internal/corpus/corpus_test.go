@@ -1,0 +1,278 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure2XML mirrors the paper's Figure 2 example document.
+const figure2XML = `<?xml version="1.0" encoding="UTF-8" ?>
+<image id="82531" file="images/9/82531.jpg">
+  <name>Field Hamois Belgium Luc Viatour.jpg</name>
+  <text xml:lang="en">
+    <description>Summer field in Belgium (Hamois). The blue flower is Centaurea cyanus.</description>
+    <comment />
+    <caption article="text/en/1/302887">Summer field in Belgium (Hamois).</caption>
+    <caption article="text/en/1/303807">A field in summer.</caption>
+  </text>
+  <text xml:lang="de">
+    <description>Ein Feld in Belgien.</description>
+    <comment />
+    <caption article="text/de/1/404730">Ein Feld im Sommer</caption>
+  </text>
+  <comment>({{Information |Description= Flowers in Belgium |Source= Flickr |Date= 1/1/85 |Author= JA |Permission= GFDL |other_versions= }})</comment>
+  <license>GFDL</license>
+</image>`
+
+func decodeFigure2(t *testing.T) Image {
+	t.Helper()
+	imgs, err := DecodeImages(strings.NewReader(figure2XML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 1 {
+		t.Fatalf("decoded %d images, want 1", len(imgs))
+	}
+	return imgs[0]
+}
+
+func TestDecodeFigure2(t *testing.T) {
+	im := decodeFigure2(t)
+	if im.ID != "82531" || im.File != "images/9/82531.jpg" {
+		t.Errorf("attrs = %q %q", im.ID, im.File)
+	}
+	if im.Name != "Field Hamois Belgium Luc Viatour.jpg" {
+		t.Errorf("name = %q", im.Name)
+	}
+	if len(im.Texts) != 2 {
+		t.Fatalf("texts = %d, want 2", len(im.Texts))
+	}
+	en, ok := im.EnglishText()
+	if !ok {
+		t.Fatal("no English section found")
+	}
+	if !strings.Contains(en.Description, "Centaurea cyanus") {
+		t.Errorf("description = %q", en.Description)
+	}
+	if len(en.Captions) != 2 || en.Captions[0].Article != "text/en/1/302887" {
+		t.Errorf("captions = %+v", en.Captions)
+	}
+	if im.License != "GFDL" {
+		t.Errorf("license = %q", im.License)
+	}
+}
+
+func TestEnglishTextMissing(t *testing.T) {
+	im := Image{Texts: []Text{{Lang: "de"}}}
+	if _, ok := im.EnglishText(); ok {
+		t.Error("EnglishText should fail when absent")
+	}
+	im2 := Image{Texts: []Text{{Lang: "EN", Description: "x"}}}
+	if _, ok := im2.EnglishText(); !ok {
+		t.Error("EnglishText should match case-insensitively")
+	}
+}
+
+func TestRelevantTextFigure2(t *testing.T) {
+	im := decodeFigure2(t)
+	txt := im.RelevantText()
+	// 1: file name without extension.
+	if !strings.Contains(txt, "Field Hamois Belgium Luc Viatour") {
+		t.Errorf("missing name part: %q", txt)
+	}
+	if strings.Contains(txt, ".jpg") {
+		t.Errorf("extension not stripped: %q", txt)
+	}
+	// 2: English section only.
+	if !strings.Contains(txt, "Centaurea cyanus") || !strings.Contains(txt, "A field in summer") {
+		t.Errorf("missing English content: %q", txt)
+	}
+	if strings.Contains(txt, "Ein Feld") {
+		t.Errorf("German content leaked: %q", txt)
+	}
+	// 3: Description field of the general comment.
+	if !strings.Contains(txt, "Flowers in Belgium") {
+		t.Errorf("missing template description: %q", txt)
+	}
+	if strings.Contains(txt, "Flickr") || strings.Contains(txt, "GFDL") {
+		t.Errorf("non-description template fields leaked: %q", txt)
+	}
+}
+
+func TestRelevantTextEmptyImage(t *testing.T) {
+	var im Image
+	if got := im.RelevantText(); got != "" {
+		t.Errorf("empty image relevant text = %q", got)
+	}
+}
+
+func TestTemplateField(t *testing.T) {
+	cases := []struct{ comment, field, want string }{
+		{"({{Information |Description= Flowers |Source= F }})", "Description", "Flowers"},
+		{"{{Information|Description=No spaces|Source=X}}", "Description", "No spaces"},
+		{"{{Information|description = lower key |Source=X}}", "Description", "lower key"},
+		{"{{Information|Source=X}}", "Description", ""},
+		{"", "Description", ""},
+		{"{{Information|Description=At end}}", "Description", "At end"},
+		{"|DescriptionX= wrong |Description= right |", "Description", "right"},
+	}
+	for _, c := range cases {
+		if got := TemplateField(c.comment, c.field); got != c.want {
+			t.Errorf("TemplateField(%q) = %q, want %q", c.comment, got, c.want)
+		}
+	}
+}
+
+func TestCollectionAddAndLookup(t *testing.T) {
+	var c Collection
+	id0, err := c.Add(Image{ID: "a", Name: "x.jpg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := c.Add(Image{ID: "b", Name: "y.jpg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 != 0 || id1 != 1 || c.Len() != 2 {
+		t.Errorf("ids = %d,%d len=%d", id0, id1, c.Len())
+	}
+	if _, err := c.Add(Image{ID: "a"}); err == nil {
+		t.Error("duplicate external id should fail")
+	}
+	doc, err := c.Doc(id1)
+	if err != nil || doc.Image.ID != "b" {
+		t.Errorf("Doc(1) = %+v, %v", doc, err)
+	}
+	if _, err := c.Doc(99); err == nil {
+		t.Error("unknown doc should fail")
+	}
+	if _, err := c.Doc(-1); err == nil {
+		t.Error("negative doc should fail")
+	}
+	got, ok := c.ByExternalID("b")
+	if !ok || got != id1 {
+		t.Errorf("ByExternalID = %d,%v", got, ok)
+	}
+	if _, ok := c.ByExternalID("zzz"); ok {
+		t.Error("unknown external id should miss")
+	}
+	if len(c.Docs()) != 2 {
+		t.Error("Docs() length wrong")
+	}
+}
+
+func TestCollectionPrecomputesText(t *testing.T) {
+	var c Collection
+	id, err := c.Add(Image{Name: "Gondola in Venice.jpg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := c.Doc(id)
+	if doc.Text != "Gondola in Venice" {
+		t.Errorf("precomputed text = %q", doc.Text)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	im := decodeFigure2(t)
+	var buf bytes.Buffer
+	if err := EncodeImage(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeImages(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("round trip count = %d", len(back))
+	}
+	if back[0].ID != im.ID || back[0].Name != im.Name || len(back[0].Texts) != len(im.Texts) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", im, back[0])
+	}
+	if back[0].Comment != im.Comment {
+		t.Errorf("comment mismatch: %q vs %q", im.Comment, back[0].Comment)
+	}
+}
+
+func TestDecodeMultipleAndWrapped(t *testing.T) {
+	src := `<collection>` + figure2XML[strings.Index(figure2XML, "<image"):] +
+		`<image id="2" file="f"><name>n.png</name></image></collection>`
+	imgs, err := DecodeImages(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 2 || imgs[1].ID != "2" {
+		t.Fatalf("decoded %d images: %+v", len(imgs), imgs)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	_, err := DecodeImages(strings.NewReader(`<image id="1"><name>broken`))
+	if err == nil {
+		t.Error("malformed XML should fail")
+	}
+}
+
+func TestReadCollection(t *testing.T) {
+	c, err := ReadCollection(strings.NewReader(figure2XML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("collection len = %d", c.Len())
+	}
+	doc := c.Docs()[0]
+	if !strings.Contains(doc.Text, "Centaurea cyanus") {
+		t.Errorf("collection text = %q", doc.Text)
+	}
+	// Duplicate ids across files must surface as errors.
+	two := figure2XML + figure2XML
+	if _, err := ReadCollection(strings.NewReader(two)); err == nil {
+		t.Error("duplicate ids should fail collection read")
+	}
+}
+
+// Property: encode→decode is lossless for the fields the pipeline uses.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id, file, name, desc, caption, comment string) bool {
+		// XML cannot carry arbitrary control bytes; restrict to printable input.
+		clean := func(s string) string {
+			var b strings.Builder
+			for _, r := range s {
+				if r >= 0x20 && r != '<' && r != '&' && r != '>' && r != 0xFFFD {
+					b.WriteRune(r)
+				}
+			}
+			return strings.TrimSpace(b.String())
+		}
+		im := Image{
+			ID:   clean(id),
+			File: clean(file),
+			Name: clean(name),
+			Texts: []Text{{
+				Lang:        "en",
+				Description: clean(desc),
+				Captions:    []Caption{{Article: "a/1", Value: clean(caption)}},
+			}},
+			Comment: clean(comment),
+		}
+		var buf bytes.Buffer
+		if err := EncodeImage(&buf, im); err != nil {
+			return false
+		}
+		back, err := DecodeImages(&buf)
+		if err != nil || len(back) != 1 {
+			return false
+		}
+		got := back[0]
+		return got.ID == im.ID && got.Name == im.Name &&
+			got.Texts[0].Description == im.Texts[0].Description &&
+			got.Texts[0].Captions[0].Value == im.Texts[0].Captions[0].Value &&
+			got.Comment == im.Comment
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+// Package eval implements the retrieval-quality measures of the paper's
+// Section 2.2: top-r precision P(A, r, D), the averaged objective O(A, D)
+// over R = {1, 5, 10, 15}, and the percentual contribution used by the
+// cycle analysis.
+package eval
+
+import "fmt"
+
+// DefaultRanks is the paper's R = {1, 5, 10, 15}.
+var DefaultRanks = []int{1, 5, 10, 15}
+
+// Relevance is the set of correct documents for a query (the paper's q.D).
+type Relevance map[int32]bool
+
+// NewRelevance builds a relevance set from document IDs.
+func NewRelevance(docs []int32) Relevance {
+	r := make(Relevance, len(docs))
+	for _, d := range docs {
+		r[d] = true
+	}
+	return r
+}
+
+// PrecisionAtR computes P(A, r, D) = |T(A, r) ∩ D| / r: the fraction of the
+// top r ranked documents that are relevant. When fewer than r documents
+// were retrieved the missing ranks count as misses, matching how a search
+// engine that returns a short result list is scored.
+func PrecisionAtR(ranked []int32, relevant Relevance, r int) (float64, error) {
+	if r <= 0 {
+		return 0, fmt.Errorf("eval: rank cutoff must be positive, got %d", r)
+	}
+	hits := 0
+	for i := 0; i < r && i < len(ranked); i++ {
+		if relevant[ranked[i]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(r), nil
+}
+
+// O computes the paper's objective O(A, D): the mean of the top-r
+// precisions over DefaultRanks.
+func O(ranked []int32, relevant Relevance) float64 {
+	v, err := OAt(ranked, relevant, DefaultRanks)
+	if err != nil {
+		// DefaultRanks are all positive; this cannot happen.
+		panic(err)
+	}
+	return v
+}
+
+// OAt computes the mean top-r precision over arbitrary cutoffs.
+func OAt(ranked []int32, relevant Relevance, ranks []int) (float64, error) {
+	if len(ranks) == 0 {
+		return 0, fmt.Errorf("eval: no rank cutoffs supplied")
+	}
+	sum := 0.0
+	for _, r := range ranks {
+		p, err := PrecisionAtR(ranked, relevant, r)
+		if err != nil {
+			return 0, err
+		}
+		sum += p
+	}
+	return sum / float64(len(ranks)), nil
+}
+
+// Contribution is the percentual difference between the objective before
+// and after adding expansion features (the paper's Section 3 definition).
+// A positive value means the expansion improved retrieval. When the
+// baseline is zero the percentual difference is undefined; we define it as
+// the absolute gain scaled to percent, which preserves the ordering the
+// analysis depends on (documented substitution, see DESIGN.md §5).
+func Contribution(before, after float64) float64 {
+	if before == 0 {
+		return after * 100
+	}
+	return (after - before) / before * 100
+}

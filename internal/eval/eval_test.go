@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrecisionAtR(t *testing.T) {
+	rel := NewRelevance([]int32{1, 3, 5})
+	ranked := []int32{1, 2, 3, 4, 5}
+	cases := []struct {
+		r    int
+		want float64
+	}{
+		{1, 1},           // [1]
+		{2, 0.5},         // [1,2]
+		{3, 2.0 / 3.0},   // [1,2,3]
+		{5, 3.0 / 5.0},   // all
+		{10, 3.0 / 10.0}, // short list: missing ranks are misses
+	}
+	for _, c := range cases {
+		got, err := PrecisionAtR(ranked, rel, c.r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P@%d = %g, want %g", c.r, got, c.want)
+		}
+	}
+}
+
+func TestPrecisionAtRErrors(t *testing.T) {
+	if _, err := PrecisionAtR(nil, nil, 0); err == nil {
+		t.Error("r=0 should fail")
+	}
+	if _, err := PrecisionAtR(nil, nil, -3); err == nil {
+		t.Error("negative r should fail")
+	}
+}
+
+func TestPrecisionEmptyInputs(t *testing.T) {
+	got, err := PrecisionAtR(nil, NewRelevance(nil), 5)
+	if err != nil || got != 0 {
+		t.Errorf("empty ranking precision = %g, %v", got, err)
+	}
+	got, err = PrecisionAtR([]int32{1, 2}, nil, 2)
+	if err != nil || got != 0 {
+		t.Errorf("nil relevance precision = %g, %v", got, err)
+	}
+}
+
+func TestO(t *testing.T) {
+	rel := NewRelevance([]int32{0, 1, 2, 3, 4})
+	ranked := []int32{0, 1, 2, 3, 4}
+	// P@1=1, P@5=1, P@10=0.5, P@15=1/3; mean = (1+1+0.5+1/3)/4.
+	want := (1 + 1 + 0.5 + 1.0/3.0) / 4
+	if got := O(ranked, rel); math.Abs(got-want) > 1e-12 {
+		t.Errorf("O = %g, want %g", got, want)
+	}
+}
+
+func TestOAtErrors(t *testing.T) {
+	if _, err := OAt(nil, nil, nil); err == nil {
+		t.Error("no cutoffs should fail")
+	}
+	if _, err := OAt(nil, nil, []int{1, 0}); err == nil {
+		t.Error("bad cutoff should fail")
+	}
+}
+
+func TestOPerfectTop15(t *testing.T) {
+	var docs []int32
+	for i := int32(0); i < 15; i++ {
+		docs = append(docs, i)
+	}
+	rel := NewRelevance(docs)
+	if got := O(docs, rel); got != 1 {
+		t.Errorf("perfect O = %g, want 1", got)
+	}
+}
+
+func TestContribution(t *testing.T) {
+	cases := []struct{ before, after, want float64 }{
+		{0.5, 0.75, 50},
+		{0.5, 0.25, -50},
+		{0.5, 0.5, 0},
+		{0, 0.4, 40}, // zero-baseline convention: absolute gain in percent
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Contribution(c.before, c.after); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Contribution(%g, %g) = %g, want %g", c.before, c.after, got, c.want)
+		}
+	}
+}
+
+// Property: precision is always within [0, 1] and monotone in the number of
+// relevant documents among the top r.
+func TestPrecisionBoundsProperty(t *testing.T) {
+	f := func(rankedRaw []int32, relRaw []int32, rRaw uint8) bool {
+		r := int(rRaw%20) + 1
+		rel := NewRelevance(relRaw)
+		p, err := PrecisionAtR(rankedRaw, rel, r)
+		if err != nil {
+			return false
+		}
+		if p < 0 || p > 1 {
+			return false
+		}
+		// Adding every ranked doc to the relevance set cannot lower precision.
+		all := NewRelevance(append(append([]int32{}, relRaw...), rankedRaw...))
+		p2, err := PrecisionAtR(rankedRaw, all, r)
+		if err != nil {
+			return false
+		}
+		return p2 >= p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: O is the mean of its four precisions, hence within [0, 1].
+func TestOBoundsProperty(t *testing.T) {
+	f := func(ranked []int32, rel []int32) bool {
+		v := O(ranked, NewRelevance(rel))
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+package graph
+
+import "sort"
+
+// Components computes the connected components of the undirected view of g,
+// considering only edges whose kind passes the filter (nil keeps all). The
+// result is sorted by size descending, ties broken by smallest member ID, and
+// each component's node list is ascending.
+func (g *Graph) Components(exclude func(EdgeKind) bool) [][]NodeID {
+	n := g.NumNodes()
+	visited := make([]bool, n)
+	var comps [][]NodeID
+	queue := make([]NodeID, 0, 64)
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		visited[start] = true
+		queue = append(queue[:0], NodeID(start))
+		comp := []NodeID{NodeID(start)}
+		for len(queue) > 0 {
+			cur := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, nb := range g.Neighbors(cur, exclude) {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+					comp = append(comp, nb)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// LargestComponent returns the largest connected component under the filter,
+// or nil for an empty graph.
+func (g *Graph) LargestComponent(exclude func(EdgeKind) bool) []NodeID {
+	comps := g.Components(exclude)
+	if len(comps) == 0 {
+		return nil
+	}
+	return comps[0]
+}
+
+// TriangleParticipation returns the fraction of the given nodes that belong
+// to at least one triangle in the undirected view restricted to those nodes.
+// The paper reports a TPR of roughly 0.3 for the largest connected component
+// of the query graphs. An empty node set yields 0.
+func (g *Graph) TriangleParticipation(nodes []NodeID, exclude func(EdgeKind) bool) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	inSet := make(map[NodeID]struct{}, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = struct{}{}
+	}
+	// Restricted adjacency sets.
+	adj := make(map[NodeID]map[NodeID]struct{}, len(nodes))
+	for _, n := range nodes {
+		set := make(map[NodeID]struct{})
+		for _, nb := range g.Neighbors(n, exclude) {
+			if _, ok := inSet[nb]; ok {
+				set[nb] = struct{}{}
+			}
+		}
+		adj[n] = set
+	}
+	inTriangle := make(map[NodeID]struct{})
+	for _, u := range nodes {
+		for v := range adj[u] {
+			if v <= u {
+				continue
+			}
+			for w := range adj[v] {
+				if w <= v {
+					continue
+				}
+				if _, ok := adj[u][w]; ok {
+					inTriangle[u] = struct{}{}
+					inTriangle[v] = struct{}{}
+					inTriangle[w] = struct{}{}
+				}
+			}
+		}
+	}
+	return float64(len(inTriangle)) / float64(len(nodes))
+}
+
+// BFSDistances returns the undirected hop distance from each of the sources
+// to every reachable node under the filter. Unreachable nodes are absent
+// from the map. Multiple sources give the multi-source distance (minimum
+// over sources), which the analysis uses to measure how far expansion
+// features sit from the query articles.
+func (g *Graph) BFSDistances(sources []NodeID, exclude func(EdgeKind) bool) map[NodeID]int {
+	dist := make(map[NodeID]int, len(sources)*4)
+	queue := make([]NodeID, 0, len(sources))
+	for _, s := range sources {
+		if !g.Valid(s) {
+			continue
+		}
+		if _, ok := dist[s]; !ok {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(cur, exclude) {
+			if _, ok := dist[nb]; !ok {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// Subgraph is an induced subgraph together with the node mappings between
+// the parent graph and the subgraph.
+type Subgraph struct {
+	*Graph
+	// ToSub maps parent IDs to subgraph IDs.
+	ToSub map[NodeID]NodeID
+	// ToParent maps subgraph IDs back to parent IDs (indexed by subgraph ID).
+	ToParent []NodeID
+}
+
+// Induce builds the subgraph induced by the given parent nodes: all of the
+// nodes, and every edge of the parent whose endpoints are both in the set.
+// Duplicate input nodes are ignored. Edge kinds and node kinds carry over.
+func (g *Graph) Induce(nodes []NodeID) *Subgraph {
+	sub := &Subgraph{
+		Graph: New(len(nodes)),
+		ToSub: make(map[NodeID]NodeID, len(nodes)),
+	}
+	ordered := append([]NodeID(nil), nodes...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, n := range ordered {
+		if !g.Valid(n) {
+			continue
+		}
+		if _, dup := sub.ToSub[n]; dup {
+			continue
+		}
+		id := sub.Graph.AddNode(g.Kind(n))
+		sub.ToSub[n] = id
+		sub.ToParent = append(sub.ToParent, n)
+	}
+	for parent, sid := range sub.ToSub {
+		for _, a := range g.Out(parent) {
+			if tid, ok := sub.ToSub[a.To]; ok {
+				// Parent edges are unique by (from,to,kind), so this cannot fail.
+				if err := sub.Graph.AddEdge(sid, tid, a.Kind); err != nil {
+					panic("graph: induce broke edge uniqueness: " + err.Error())
+				}
+			}
+		}
+	}
+	return sub
+}

@@ -1,0 +1,228 @@
+// Package groundtruth implements the paper's Section 2.2: finding X(q), the
+// subset of candidate articles whose titles are the best expansion features
+// for a query, by local search.
+//
+// The exact argmax over all subsets of L(q.D) is infeasible (the paper
+// counts the combinations), so the paper runs an iterative improvement
+// procedure starting from one random article and applying ADD, REMOVE and
+// SWAP operations while they improve the objective O (Equation 1). Two
+// details come straight from the paper:
+//
+//   - a REMOVE that keeps the score unchanged is still applied, because the
+//     ground truth wants the minimum set with maximum quality;
+//   - the process stops when no operation improves the objective.
+//
+// The search evaluates ADD and REMOVE moves exhaustively each round and
+// falls back to SWAP moves only when neither helps, which approximates the
+// paper's "single operation per step" loop while keeping the evaluation
+// count bounded; MaxEvaluations provides a hard safety cap.
+package groundtruth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/querygraph/querygraph/internal/graph"
+)
+
+// Objective scores a candidate expansion set A' (the caller closes over the
+// query keywords and the search engine, computing O(L(q.k) ∪ A', q.D)).
+type Objective func(selected []graph.NodeID) (float64, error)
+
+// Config controls the local search.
+type Config struct {
+	// Seed drives the random starting article.
+	Seed int64
+	// MaxIterations caps improvement rounds; <= 0 means the default (64).
+	MaxIterations int
+	// MaxEvaluations caps objective calls; <= 0 means the default (20000).
+	MaxEvaluations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 64
+	}
+	if c.MaxEvaluations <= 0 {
+		c.MaxEvaluations = 20000
+	}
+	return c
+}
+
+// Result is the outcome of the local search.
+type Result struct {
+	// Selected is A': the chosen subset of the candidates, ascending.
+	Selected []graph.NodeID
+	// Score is the objective value of Selected.
+	Score float64
+	// Iterations is the number of applied operations.
+	Iterations int
+	// Evaluations is the number of objective calls spent.
+	Evaluations int
+}
+
+// Search runs the ADD/REMOVE/SWAP local search over the candidate articles.
+// An empty candidate set is legal and returns the baseline objective of the
+// empty selection.
+func Search(candidates []graph.NodeID, obj Objective, cfg Config) (Result, error) {
+	if obj == nil {
+		return Result{}, fmt.Errorf("groundtruth: nil objective")
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pool := append([]graph.NodeID(nil), candidates...)
+	sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+	pool = uniq(pool)
+
+	var res Result
+	evaluate := func(set map[graph.NodeID]struct{}) (float64, error) {
+		res.Evaluations++
+		if res.Evaluations > cfg.MaxEvaluations {
+			return 0, errBudget
+		}
+		return obj(setToSlice(set))
+	}
+
+	selected := make(map[graph.NodeID]struct{})
+	if len(pool) > 0 {
+		selected[pool[rng.Intn(len(pool))]] = struct{}{}
+	}
+	score, err := evaluate(selected)
+	if err != nil {
+		return Result{}, fmt.Errorf("groundtruth: initial evaluation: %w", err)
+	}
+
+	for res.Iterations < cfg.MaxIterations {
+		improved, newScore, err := step(pool, selected, score, evaluate)
+		if err == errBudget {
+			break
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		if !improved {
+			break
+		}
+		score = newScore
+		res.Iterations++
+	}
+	res.Selected = setToSlice(selected)
+	res.Score = score
+	return res, nil
+}
+
+var errBudget = fmt.Errorf("groundtruth: evaluation budget exhausted")
+
+type evalFunc func(map[graph.NodeID]struct{}) (float64, error)
+
+// move is one candidate operation: ADD (hasAdd), REMOVE (hasRemove) or
+// SWAP (both).
+type move struct {
+	add, remove graph.NodeID
+	hasAdd      bool
+	hasRemove   bool
+	score       float64
+}
+
+// step applies the single best improving operation, mutating selected.
+// REMOVE ties (equal score) are treated as improvements per the paper's
+// minimality rule. SWAPs are only explored when no ADD or REMOVE helps.
+func step(pool []graph.NodeID, selected map[graph.NodeID]struct{}, score float64, evaluate evalFunc) (bool, float64, error) {
+	var best *move
+	consider := func(m move) {
+		if best == nil || m.score > best.score {
+			m2 := m
+			best = &m2
+		}
+	}
+
+	// REMOVE: strictly better or tie (minimality). Members are visited in
+	// sorted order so tie-breaking is deterministic.
+	for _, member := range setToSlice(selected) {
+		delete(selected, member)
+		s, err := evaluate(selected)
+		selected[member] = struct{}{}
+		if err != nil {
+			return false, 0, err
+		}
+		if s >= score {
+			consider(move{remove: member, hasRemove: true, score: s})
+		}
+	}
+	// ADD: strictly better only.
+	for _, cand := range pool {
+		if _, in := selected[cand]; in {
+			continue
+		}
+		selected[cand] = struct{}{}
+		s, err := evaluate(selected)
+		delete(selected, cand)
+		if err != nil {
+			return false, 0, err
+		}
+		if s > score {
+			consider(move{add: cand, hasAdd: true, score: s})
+		}
+	}
+	// A tie-REMOVE counts as progress even though the score is unchanged.
+	if best != nil && (best.score > score || best.hasRemove) {
+		apply(selected, *best)
+		return true, best.score, nil
+	}
+
+	// SWAP: member out, candidate in; strictly better only.
+	members := setToSlice(selected)
+	for _, member := range members {
+		for _, cand := range pool {
+			if _, in := selected[cand]; in {
+				continue
+			}
+			delete(selected, member)
+			selected[cand] = struct{}{}
+			s, err := evaluate(selected)
+			delete(selected, cand)
+			selected[member] = struct{}{}
+			if err != nil {
+				return false, 0, err
+			}
+			if s > score {
+				consider(move{add: cand, remove: member, hasAdd: true, hasRemove: true, score: s})
+			}
+		}
+	}
+	if best != nil && best.score > score {
+		apply(selected, *best)
+		return true, best.score, nil
+	}
+	return false, score, nil
+}
+
+func apply(selected map[graph.NodeID]struct{}, m move) {
+	if m.hasRemove {
+		delete(selected, m.remove)
+	}
+	if m.hasAdd {
+		selected[m.add] = struct{}{}
+	}
+}
+
+func setToSlice(set map[graph.NodeID]struct{}) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func uniq(sorted []graph.NodeID) []graph.NodeID {
+	out := sorted[:0]
+	for i, id := range sorted {
+		if i == 0 || id != sorted[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

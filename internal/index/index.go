@@ -1,0 +1,190 @@
+// Package index implements the positional inverted index underneath the
+// search engine: term dictionary, per-term postings with in-document
+// positions, document lengths and collection statistics, plus the
+// positional intersection used to evaluate exact-phrase (#1) operators.
+//
+// The index stores analyzed terms; the caller (the search layer) owns the
+// analysis chain so that indexing and querying agree on tokenization.
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Posting is the occurrences of one term in one document.
+type Posting struct {
+	Doc       int32
+	Positions []uint32 // ascending token offsets within the document
+}
+
+// Index is a positional inverted index over dense document IDs. Documents
+// are added once each via AddDocument; afterwards the index is safe for
+// concurrent reads.
+type Index struct {
+	dict     map[string]int32
+	terms    []string    // termID -> term
+	postings [][]Posting // termID -> postings sorted by doc
+	colFreq  []int64     // termID -> total occurrences
+	docLens  []int64
+	total    int64 // total token count across the collection
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{dict: make(map[string]int32)}
+}
+
+// AddDocument appends a document with the next dense ID and returns that ID.
+// Token positions are their offsets in the supplied slice. Empty documents
+// are allowed (an image with no usable text still occupies a rank).
+func (ix *Index) AddDocument(tokens []string) int32 {
+	doc := int32(len(ix.docLens))
+	ix.docLens = append(ix.docLens, int64(len(tokens)))
+	ix.total += int64(len(tokens))
+	for pos, tok := range tokens {
+		tid, ok := ix.dict[tok]
+		if !ok {
+			tid = int32(len(ix.terms))
+			ix.dict[tok] = tid
+			ix.terms = append(ix.terms, tok)
+			ix.postings = append(ix.postings, nil)
+			ix.colFreq = append(ix.colFreq, 0)
+		}
+		plist := ix.postings[tid]
+		if n := len(plist); n > 0 && plist[n-1].Doc == doc {
+			plist[n-1].Positions = append(plist[n-1].Positions, uint32(pos))
+		} else {
+			plist = append(plist, Posting{Doc: doc, Positions: []uint32{uint32(pos)}})
+		}
+		ix.postings[tid] = plist
+		ix.colFreq[tid]++
+	}
+	return doc
+}
+
+// NumDocs returns the number of indexed documents.
+func (ix *Index) NumDocs() int { return len(ix.docLens) }
+
+// DocLen returns the token count of document doc.
+func (ix *Index) DocLen(doc int32) (int64, error) {
+	if doc < 0 || int(doc) >= len(ix.docLens) {
+		return 0, fmt.Errorf("index: unknown document %d", doc)
+	}
+	return ix.docLens[doc], nil
+}
+
+// TotalTokens returns the collection length (sum of document lengths).
+func (ix *Index) TotalTokens() int64 { return ix.total }
+
+// NumTerms returns the vocabulary size.
+func (ix *Index) NumTerms() int { return len(ix.terms) }
+
+// Postings returns the postings list for term, or nil when absent. The
+// returned slice is owned by the index and must not be modified.
+func (ix *Index) Postings(term string) []Posting {
+	tid, ok := ix.dict[term]
+	if !ok {
+		return nil
+	}
+	return ix.postings[tid]
+}
+
+// CollectionFreq returns the total number of occurrences of term.
+func (ix *Index) CollectionFreq(term string) int64 {
+	tid, ok := ix.dict[term]
+	if !ok {
+		return 0
+	}
+	return ix.colFreq[tid]
+}
+
+// DocFreq returns the number of documents containing term.
+func (ix *Index) DocFreq(term string) int {
+	return len(ix.Postings(term))
+}
+
+// PhrasePostings computes the postings of the exact phrase (terms adjacent
+// and in order), i.e. INDRI's #1 operator, by positional intersection. The
+// result lists each document containing the phrase with the start positions
+// of every occurrence. A single-term phrase returns that term's postings;
+// an empty phrase returns nil.
+func (ix *Index) PhrasePostings(terms []string) []Posting {
+	switch len(terms) {
+	case 0:
+		return nil
+	case 1:
+		return ix.Postings(terms[0])
+	}
+	lists := make([][]Posting, len(terms))
+	for i, term := range terms {
+		lists[i] = ix.Postings(term)
+		if lists[i] == nil {
+			return nil
+		}
+	}
+	// Galloping doc-level intersection seeded by the rarest list would be
+	// the classic optimization; collection sizes here make the simple merge
+	// clearer and fast enough (see BenchmarkPhrasePostings).
+	var out []Posting
+	cursors := make([]int, len(terms))
+docLoop:
+	for _, p0 := range lists[0] {
+		positions := p0.Positions
+		for i := 1; i < len(terms); i++ {
+			list := lists[i]
+			cur := cursors[i]
+			for cur < len(list) && list[cur].Doc < p0.Doc {
+				cur++
+			}
+			cursors[i] = cur
+			if cur >= len(list) || list[cur].Doc != p0.Doc {
+				continue docLoop
+			}
+			positions = shiftIntersect(positions, list[cur].Positions, uint32(i))
+			if len(positions) == 0 {
+				continue docLoop
+			}
+		}
+		out = append(out, Posting{Doc: p0.Doc, Positions: positions})
+	}
+	return out
+}
+
+// shiftIntersect keeps the start positions p such that p+offset occurs in
+// next. Both inputs are ascending; the output is ascending.
+func shiftIntersect(starts, next []uint32, offset uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(starts) && j < len(next) {
+		want := starts[i] + offset
+		switch {
+		case next[j] == want:
+			out = append(out, starts[i])
+			i++
+			j++
+		case next[j] < want:
+			j++
+		default:
+			i++
+		}
+	}
+	return out
+}
+
+// PhraseCollectionFreq returns the total occurrences of the exact phrase in
+// the collection.
+func (ix *Index) PhraseCollectionFreq(terms []string) int64 {
+	var n int64
+	for _, p := range ix.PhrasePostings(terms) {
+		n += int64(len(p.Positions))
+	}
+	return n
+}
+
+// Terms returns the vocabulary in sorted order (for diagnostics and tests).
+func (ix *Index) Terms() []string {
+	out := append([]string(nil), ix.terms...)
+	sort.Strings(out)
+	return out
+}

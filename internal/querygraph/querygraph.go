@@ -1,0 +1,222 @@
+// Package querygraph assembles and characterizes the paper's query graphs
+// (Section 2.3 and Table 3).
+//
+// Given a query q, its query graph G(q) is the subgraph of Wikipedia
+// induced by: the articles of X(q) = L(q.k) ∪ A', the main articles of any
+// redirects among them, and the categories of those articles. G(q)
+// represents the query's entities, the best expansion features, and the
+// semantics the categories provide.
+package querygraph
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/wiki"
+)
+
+// QueryGraph is one assembled G(q). Node sets are stored as parent
+// (snapshot) IDs; Sub holds the induced subgraph with ID mappings.
+type QueryGraph struct {
+	Snap *wiki.Snapshot
+	Sub  *graph.Subgraph
+	// QueryArticles is L(q.k): the articles mentioned in the query keywords
+	// (parent IDs, ascending).
+	QueryArticles []graph.NodeID
+	// Expansion is A': the expansion-feature articles (parent IDs,
+	// ascending); disjoint from QueryArticles.
+	Expansion []graph.NodeID
+}
+
+// Assemble builds G(q) from the query articles L(q.k) and the expansion set
+// A'. Redirect articles bring in their main article; every main article
+// brings in its categories. Unknown node IDs are rejected.
+func Assemble(snap *wiki.Snapshot, queryArticles, expansion []graph.NodeID) (*QueryGraph, error) {
+	g := snap.Graph()
+	include := make(map[graph.NodeID]struct{})
+	addArticle := func(id graph.NodeID) error {
+		if !g.Valid(id) {
+			return fmt.Errorf("querygraph: unknown node %d", id)
+		}
+		if g.Kind(id) != graph.Article {
+			return fmt.Errorf("querygraph: node %d (%q) is a %s, want article",
+				id, snap.Name(id), g.Kind(id))
+		}
+		include[id] = struct{}{}
+		main := snap.MainOf(id)
+		include[main] = struct{}{}
+		for _, c := range snap.CategoriesOf(main) {
+			include[c] = struct{}{}
+		}
+		return nil
+	}
+	for _, id := range queryArticles {
+		if err := addArticle(id); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range expansion {
+		if err := addArticle(id); err != nil {
+			return nil, err
+		}
+	}
+	nodes := make([]graph.NodeID, 0, len(include))
+	for id := range include {
+		nodes = append(nodes, id)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	qa := dedupeSorted(queryArticles)
+	exp := dedupeSorted(expansion)
+	exp = subtract(exp, qa)
+
+	return &QueryGraph{
+		Snap:          snap,
+		Sub:           g.Induce(nodes),
+		QueryArticles: qa,
+		Expansion:     exp,
+	}, nil
+}
+
+// Size returns the number of nodes in G(q).
+func (qg *QueryGraph) Size() int { return qg.Sub.NumNodes() }
+
+// ComponentStats are the per-query measurements behind the paper's Table 3,
+// all computed on the largest connected component of G(q).
+type ComponentStats struct {
+	// Size is the node count of the largest connected component.
+	Size int
+	// RelSize is Size divided by the total query-graph size (%size).
+	RelSize float64
+	// QueryNodeFrac is the fraction of L(q.k) articles inside the component
+	// (%query nodes).
+	QueryNodeFrac float64
+	// ArticleFrac and CategoryFrac partition the component's nodes
+	// (%articles, %categories).
+	ArticleFrac, CategoryFrac float64
+	// ExpansionRatio is the number of expansion features in the component
+	// per query article in the component; 0 when the component holds no
+	// query article (the paper's convention).
+	ExpansionRatio float64
+	// TPR is the triangle participation ratio of the component (the paper
+	// reports ~0.3 on average).
+	TPR float64
+	// MaxExpansionDistance is the largest hop distance from a query article
+	// to an expansion feature within the component (the paper observes
+	// features up to distance three), or 0 when not measurable.
+	MaxExpansionDistance int
+}
+
+// LargestComponentStats measures the largest connected component. An empty
+// query graph yields zero stats.
+func (qg *QueryGraph) LargestComponentStats() ComponentStats {
+	var st ComponentStats
+	sub := qg.Sub
+	if sub.NumNodes() == 0 {
+		return st
+	}
+	comp := sub.Graph.LargestComponent(nil)
+	st.Size = len(comp)
+	st.RelSize = float64(len(comp)) / float64(sub.NumNodes())
+
+	inComp := make(map[graph.NodeID]struct{}, len(comp)) // sub IDs
+	for _, n := range comp {
+		inComp[n] = struct{}{}
+	}
+	contains := func(parent graph.NodeID) bool {
+		sid, ok := sub.ToSub[parent]
+		if !ok {
+			return false
+		}
+		_, in := inComp[sid]
+		return in
+	}
+
+	queryIn := 0
+	for _, qa := range qg.QueryArticles {
+		if contains(qa) {
+			queryIn++
+		}
+	}
+	if len(qg.QueryArticles) > 0 {
+		st.QueryNodeFrac = float64(queryIn) / float64(len(qg.QueryArticles))
+	}
+
+	articles := 0
+	for _, n := range comp {
+		if sub.Kind(n) == graph.Article {
+			articles++
+		}
+	}
+	st.ArticleFrac = float64(articles) / float64(len(comp))
+	st.CategoryFrac = float64(len(comp)-articles) / float64(len(comp))
+
+	expIn := 0
+	for _, e := range qg.Expansion {
+		if contains(e) {
+			expIn++
+		}
+	}
+	if queryIn > 0 {
+		st.ExpansionRatio = float64(expIn) / float64(queryIn)
+	}
+
+	st.TPR = sub.Graph.TriangleParticipation(comp, nil)
+
+	// Distance from query articles to expansion features inside the
+	// component, measured on the subgraph.
+	var sources []graph.NodeID
+	for _, qa := range qg.QueryArticles {
+		if sid, ok := sub.ToSub[qa]; ok {
+			if _, in := inComp[sid]; in {
+				sources = append(sources, sid)
+			}
+		}
+	}
+	if len(sources) > 0 {
+		dist := sub.Graph.BFSDistances(sources, nil)
+		for _, e := range qg.Expansion {
+			if sid, ok := sub.ToSub[e]; ok {
+				if d, reach := dist[sid]; reach && d > st.MaxExpansionDistance {
+					st.MaxExpansionDistance = d
+				}
+			}
+		}
+	}
+	return st
+}
+
+// NumComponents returns the number of connected components of G(q). The
+// paper observes that query graphs are generally disconnected, with one
+// moderately large component and several trivial ones.
+func (qg *QueryGraph) NumComponents() int {
+	return len(qg.Sub.Graph.Components(nil))
+}
+
+func dedupeSorted(ids []graph.NodeID) []graph.NodeID {
+	out := append([]graph.NodeID(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dst := out[:0]
+	for i, id := range out {
+		if i == 0 || id != out[i-1] {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// subtract removes members of b from sorted slice a.
+func subtract(a, b []graph.NodeID) []graph.NodeID {
+	drop := make(map[graph.NodeID]struct{}, len(b))
+	for _, id := range b {
+		drop[id] = struct{}{}
+	}
+	out := a[:0]
+	for _, id := range a {
+		if _, skip := drop[id]; !skip {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package querygraph
+
+import (
+	"math"
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/wiki"
+)
+
+// buildKB creates a snapshot shaped like the paper's example: a venice-like
+// cluster plus a disconnected article.
+//
+//	venice, gondola, canal: linked, share category "venetia"
+//	bridge: belongs to "venetia" (connected through the category only)
+//	regata: redirect -> gondola
+//	faraway: isolated article with its own category
+func buildKB(t *testing.T) (*wiki.Snapshot, map[string]graph.NodeID) {
+	t.Helper()
+	b := wiki.NewBuilder(16)
+	ids := map[string]graph.NodeID{}
+	art := func(title string) graph.NodeID {
+		t.Helper()
+		id, err := b.AddArticle(title)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[title] = id
+		return id
+	}
+	cat := func(name string) graph.NodeID {
+		t.Helper()
+		id, err := b.AddCategory(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+		return id
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	venice, gondola, canal, bridge, faraway := art("venice"), art("gondola"), art("canal"), art("bridge"), art("faraway")
+	venetia, remote := cat("venetia"), cat("remote")
+	must(b.AddBelongs(venice, venetia))
+	must(b.AddBelongs(gondola, venetia))
+	must(b.AddBelongs(canal, venetia))
+	must(b.AddBelongs(bridge, venetia))
+	must(b.AddBelongs(faraway, remote))
+	must(b.AddLink(venice, gondola))
+	must(b.AddLink(gondola, venice))
+	must(b.AddLink(venice, canal))
+	r, err := b.AddRedirect("regata", gondola)
+	must(err)
+	ids["regata"] = r
+	snap, err := b.Build()
+	must(err)
+	return snap, ids
+}
+
+func TestAssembleBasic(t *testing.T) {
+	snap, ids := buildKB(t)
+	qg, err := Assemble(snap, []graph.NodeID{ids["venice"]}, []graph.NodeID{ids["gondola"], ids["canal"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes: venice, gondola, canal + category venetia.
+	if qg.Size() != 4 {
+		t.Errorf("Size = %d, want 4", qg.Size())
+	}
+	if len(qg.QueryArticles) != 1 || len(qg.Expansion) != 2 {
+		t.Errorf("partition: %v / %v", qg.QueryArticles, qg.Expansion)
+	}
+}
+
+func TestAssembleRedirectBringsMain(t *testing.T) {
+	snap, ids := buildKB(t)
+	qg, err := Assemble(snap, []graph.NodeID{ids["regata"]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// regata (redirect) + gondola (main) + venetia (category of main).
+	if qg.Size() != 3 {
+		t.Errorf("Size = %d, want 3", qg.Size())
+	}
+	if _, ok := qg.Sub.ToSub[ids["gondola"]]; !ok {
+		t.Error("main article not included")
+	}
+	if _, ok := qg.Sub.ToSub[ids["venetia"]]; !ok {
+		t.Error("category of main not included")
+	}
+}
+
+func TestAssembleValidation(t *testing.T) {
+	snap, ids := buildKB(t)
+	if _, err := Assemble(snap, []graph.NodeID{9999}, nil); err == nil {
+		t.Error("unknown node should fail")
+	}
+	if _, err := Assemble(snap, []graph.NodeID{ids["venetia"]}, nil); err == nil {
+		t.Error("category as query article should fail")
+	}
+	if _, err := Assemble(snap, nil, []graph.NodeID{9999}); err == nil {
+		t.Error("unknown expansion node should fail")
+	}
+}
+
+func TestAssembleDedupesOverlap(t *testing.T) {
+	snap, ids := buildKB(t)
+	v := ids["venice"]
+	qg, err := Assemble(snap, []graph.NodeID{v, v}, []graph.NodeID{v, ids["canal"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qg.QueryArticles) != 1 {
+		t.Errorf("QueryArticles = %v", qg.QueryArticles)
+	}
+	// venice must not appear in the expansion set.
+	for _, e := range qg.Expansion {
+		if e == v {
+			t.Error("query article leaked into expansion set")
+		}
+	}
+}
+
+func TestLargestComponentStats(t *testing.T) {
+	snap, ids := buildKB(t)
+	// Query: venice. Expansion: gondola, canal, bridge, faraway.
+	// Component 1: venice,gondola,canal,bridge,venetia (5 nodes).
+	// Component 2: faraway,remote (2 nodes).
+	qg, err := Assemble(snap,
+		[]graph.NodeID{ids["venice"]},
+		[]graph.NodeID{ids["gondola"], ids["canal"], ids["bridge"], ids["faraway"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qg.Size() != 7 {
+		t.Fatalf("Size = %d, want 7", qg.Size())
+	}
+	if qg.NumComponents() != 2 {
+		t.Errorf("components = %d, want 2", qg.NumComponents())
+	}
+	st := qg.LargestComponentStats()
+	if st.Size != 5 {
+		t.Fatalf("LCC size = %d, want 5", st.Size)
+	}
+	if math.Abs(st.RelSize-5.0/7.0) > 1e-12 {
+		t.Errorf("RelSize = %g", st.RelSize)
+	}
+	if st.QueryNodeFrac != 1 {
+		t.Errorf("QueryNodeFrac = %g, want 1", st.QueryNodeFrac)
+	}
+	if math.Abs(st.ArticleFrac-4.0/5.0) > 1e-12 || math.Abs(st.CategoryFrac-1.0/5.0) > 1e-12 {
+		t.Errorf("fracs = %g/%g", st.ArticleFrac, st.CategoryFrac)
+	}
+	// 3 of 4 expansion features in LCC, 1 query article in LCC.
+	if st.ExpansionRatio != 3 {
+		t.Errorf("ExpansionRatio = %g, want 3", st.ExpansionRatio)
+	}
+	// venice-gondola-venetia form a triangle; canal-venice-venetia too.
+	if st.TPR == 0 {
+		t.Error("TPR should be positive")
+	}
+	// bridge is at distance 2 from venice (via venetia).
+	if st.MaxExpansionDistance != 2 {
+		t.Errorf("MaxExpansionDistance = %d, want 2", st.MaxExpansionDistance)
+	}
+}
+
+func TestStatsNoQueryArticleInComponent(t *testing.T) {
+	snap, ids := buildKB(t)
+	// Query article faraway sits in a 2-node component; expansion articles
+	// form the larger venice component.
+	qg, err := Assemble(snap,
+		[]graph.NodeID{ids["faraway"]},
+		[]graph.NodeID{ids["venice"], ids["gondola"], ids["canal"], ids["bridge"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := qg.LargestComponentStats()
+	if st.Size != 5 {
+		t.Fatalf("LCC size = %d, want 5", st.Size)
+	}
+	if st.QueryNodeFrac != 0 {
+		t.Errorf("QueryNodeFrac = %g, want 0", st.QueryNodeFrac)
+	}
+	// The paper's convention: no query article in the component -> ratio 0.
+	if st.ExpansionRatio != 0 {
+		t.Errorf("ExpansionRatio = %g, want 0", st.ExpansionRatio)
+	}
+}
+
+func TestEmptyQueryGraph(t *testing.T) {
+	snap, _ := buildKB(t)
+	qg, err := Assemble(snap, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qg.Size() != 0 {
+		t.Errorf("Size = %d, want 0", qg.Size())
+	}
+	st := qg.LargestComponentStats()
+	if st.Size != 0 || st.RelSize != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	if qg.NumComponents() != 0 {
+		t.Errorf("components = %d", qg.NumComponents())
+	}
+}

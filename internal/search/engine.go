@@ -1,0 +1,224 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/querygraph/querygraph/internal/corpus"
+	"github.com/querygraph/querygraph/internal/index"
+	"github.com/querygraph/querygraph/internal/text"
+)
+
+// DefaultMu is the Dirichlet smoothing parameter, INDRI's default.
+const DefaultMu = 2500
+
+// unseenFloor stands in for the collection frequency of a term or phrase
+// never seen in the collection, so that its background probability is small
+// but non-zero (INDRI applies the same kind of floor for out-of-vocabulary
+// terms).
+const unseenFloor = 0.5
+
+// Result is one ranked document.
+type Result struct {
+	Doc   int32
+	Score float64
+}
+
+// Engine scores queries against an index with Dirichlet-smoothed query
+// likelihood. It is safe for concurrent use once constructed.
+type Engine struct {
+	ix *index.Index
+	an *text.Analyzer
+	mu float64
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMu overrides the Dirichlet smoothing parameter.
+func WithMu(mu float64) Option {
+	return func(e *Engine) { e.mu = mu }
+}
+
+// NewEngine wraps an index and the analyzer that produced its terms.
+func NewEngine(ix *index.Index, an *text.Analyzer, opts ...Option) (*Engine, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("search: nil index")
+	}
+	e := &Engine{ix: ix, an: an, mu: DefaultMu}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.mu <= 0 {
+		return nil, fmt.Errorf("search: mu must be positive, got %g", e.mu)
+	}
+	return e, nil
+}
+
+// Analyzer returns the engine's analysis chain (shared with the linker and
+// the indexer).
+func (e *Engine) Analyzer() *text.Analyzer { return e.an }
+
+// Index returns the underlying index.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// IndexCollection analyzes and indexes every document of the collection in
+// dense-ID order, so corpus.DocID and index doc IDs coincide. It returns the
+// populated index.
+func IndexCollection(c *corpus.Collection, an *text.Analyzer) *index.Index {
+	ix := index.New()
+	for _, doc := range c.Docs() {
+		ix.AddDocument(an.Analyze(doc.Text))
+	}
+	return ix
+}
+
+// Parse parses a query string with the engine's analyzer.
+func (e *Engine) Parse(query string) (Node, error) { return ParseQuery(query, e.an) }
+
+// leaf is a scoring leaf: a term or phrase with its effective weight.
+type leaf struct {
+	terms  []string // len 1 = term, len > 1 = phrase
+	weight float64
+}
+
+// flatten converts the AST into weighted leaves. #combine is an unweighted
+// sum of child log scores, so it passes weight w through to every child;
+// #weight normalizes its weights to sum 1 and distributes w * (wi / Σw).
+func flatten(n Node, w float64, out []leaf) ([]leaf, error) {
+	switch t := n.(type) {
+	case Term:
+		return append(out, leaf{terms: []string{t.Text}, weight: w}), nil
+	case Phrase:
+		if len(t.Terms) == 0 {
+			return nil, fmt.Errorf("search: empty phrase node")
+		}
+		return append(out, leaf{terms: t.Terms, weight: w}), nil
+	case Combine:
+		if len(t.Children) == 0 {
+			return nil, fmt.Errorf("search: empty combine node")
+		}
+		var err error
+		for _, ch := range t.Children {
+			out, err = flatten(ch, w, out)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case Weight:
+		if len(t.Children) == 0 {
+			return nil, fmt.Errorf("search: empty weight node")
+		}
+		if len(t.Children) != len(t.Weights) {
+			return nil, fmt.Errorf("search: weight node has %d children but %d weights",
+				len(t.Children), len(t.Weights))
+		}
+		var sum float64
+		for _, wi := range t.Weights {
+			if wi < 0 {
+				return nil, fmt.Errorf("search: negative weight %g", wi)
+			}
+			sum += wi
+		}
+		if sum == 0 {
+			return nil, fmt.Errorf("search: weight node with zero total weight")
+		}
+		var err error
+		for i, ch := range t.Children {
+			out, err = flatten(ch, w*t.Weights[i]/sum, out)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	case nil:
+		return nil, fmt.Errorf("search: nil query node")
+	default:
+		return nil, fmt.Errorf("search: unknown node type %T", n)
+	}
+}
+
+// Search evaluates the query and returns the top k documents by descending
+// score, ties broken by ascending document ID for determinism. Only
+// documents matching at least one leaf are candidates; k <= 0 returns all
+// candidates ranked.
+func (e *Engine) Search(q Node, k int) ([]Result, error) {
+	leaves, err := flatten(q, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	if e.ix.NumDocs() == 0 || e.ix.TotalTokens() == 0 {
+		return nil, nil
+	}
+	total := float64(e.ix.TotalTokens())
+
+	type leafStats struct {
+		weight float64
+		pc     float64 // background probability
+		tf     map[int32]float64
+	}
+	stats := make([]leafStats, 0, len(leaves))
+	candidates := make(map[int32]struct{})
+	for _, lf := range leaves {
+		var postings []index.Posting
+		var cf int64
+		if len(lf.terms) == 1 {
+			postings = e.ix.Postings(lf.terms[0])
+			cf = e.ix.CollectionFreq(lf.terms[0])
+		} else {
+			postings = e.ix.PhrasePostings(lf.terms)
+			cf = 0
+			for _, p := range postings {
+				cf += int64(len(p.Positions))
+			}
+		}
+		ls := leafStats{
+			weight: lf.weight,
+			pc:     math.Max(float64(cf), unseenFloor) / total,
+			tf:     make(map[int32]float64, len(postings)),
+		}
+		for _, p := range postings {
+			ls.tf[p.Doc] = float64(len(p.Positions))
+			candidates[p.Doc] = struct{}{}
+		}
+		stats = append(stats, ls)
+	}
+	if len(candidates) == 0 {
+		return nil, nil
+	}
+
+	results := make([]Result, 0, len(candidates))
+	for doc := range candidates {
+		dl, err := e.ix.DocLen(doc)
+		if err != nil {
+			return nil, err
+		}
+		score := 0.0
+		for _, ls := range stats {
+			tf := ls.tf[doc]
+			score += ls.weight * math.Log((tf+e.mu*ls.pc)/(float64(dl)+e.mu))
+		}
+		results = append(results, Result{Doc: doc, Score: score})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		return results[i].Doc < results[j].Doc
+	})
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results, nil
+}
+
+// Docs extracts the document IDs of results in rank order.
+func Docs(rs []Result) []int32 {
+	out := make([]int32, len(rs))
+	for i, r := range rs {
+		out[i] = r.Doc
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package search
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"github.com/querygraph/querygraph/internal/text"
+)
+
+// ParseQuery parses a query string in the supported INDRI subset:
+//
+//	query   := node+                      (multiple nodes imply #combine)
+//	node    := "#combine" "(" node+ ")"
+//	         | "#weight"  "(" (number node)+ ")"
+//	         | "#1"       "(" word+ ")"
+//	         | word
+//
+// Words are analyzed with the engine's analyzer; words that analyze to
+// nothing (stopwords under a stopping analyzer) are dropped. An error is
+// returned for syntax problems or a query that analyzes to nothing.
+func ParseQuery(query string, an *text.Analyzer) (Node, error) {
+	toks, err := lex(query)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, an: an}
+	var nodes []Node
+	for !p.done() {
+		n, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		if n != nil {
+			nodes = append(nodes, n)
+		}
+	}
+	switch len(nodes) {
+	case 0:
+		return nil, fmt.Errorf("search: query %q analyzes to nothing", query)
+	case 1:
+		return nodes[0], nil
+	default:
+		return Combine{Children: nodes}, nil
+	}
+}
+
+type token struct {
+	kind byte // 'w' word, '(' open, ')' close, '#' operator
+	val  string
+}
+
+func lex(s string) ([]token, error) {
+	var toks []token
+	i := 0
+	runes := []rune(s)
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(':
+			toks = append(toks, token{kind: '('})
+			i++
+		case r == ')':
+			toks = append(toks, token{kind: ')'})
+			i++
+		case r == '#':
+			j := i + 1
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j])) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("search: dangling # at offset %d", i)
+			}
+			toks = append(toks, token{kind: '#', val: strings.ToLower(string(runes[i+1 : j]))})
+			i = j
+		default:
+			j := i
+			for j < len(runes) && !unicode.IsSpace(runes[j]) && runes[j] != '(' && runes[j] != ')' && runes[j] != '#' {
+				j++
+			}
+			toks = append(toks, token{kind: 'w', val: string(runes[i:j])})
+			i = j
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	an   *text.Analyzer
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() (token, bool) {
+	if p.done() {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expect(kind byte) error {
+	t, ok := p.next()
+	if !ok || t.kind != kind {
+		return fmt.Errorf("search: expected %q, got %q", string(kind), t.val)
+	}
+	return nil
+}
+
+// parseNode returns nil (no error) when the construct analyzes to nothing.
+func (p *parser) parseNode() (Node, error) {
+	t, ok := p.next()
+	if !ok {
+		return nil, fmt.Errorf("search: unexpected end of query")
+	}
+	switch t.kind {
+	case 'w':
+		terms := p.an.Analyze(t.val)
+		switch len(terms) {
+		case 0:
+			return nil, nil
+		case 1:
+			return Term{Text: terms[0]}, nil
+		default:
+			children := make([]Node, len(terms))
+			for i, term := range terms {
+				children[i] = Term{Text: term}
+			}
+			return Combine{Children: children}, nil
+		}
+	case '#':
+		switch t.val {
+		case "1":
+			return p.parsePhrase()
+		case "combine":
+			return p.parseCombine()
+		case "weight":
+			return p.parseWeight()
+		default:
+			return nil, fmt.Errorf("search: unsupported operator #%s", t.val)
+		}
+	default:
+		return nil, fmt.Errorf("search: unexpected token %q", string(t.kind))
+	}
+}
+
+func (p *parser) parsePhrase() (Node, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var raw []string
+	for {
+		t, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("search: unterminated #1(...)")
+		}
+		if t.kind == ')' {
+			break
+		}
+		if t.kind != 'w' {
+			return nil, fmt.Errorf("search: #1 accepts only words, got %q", t.val)
+		}
+		raw = append(raw, t.val)
+	}
+	phrase, ok := NewPhrase(strings.Join(raw, " "), p.an)
+	if !ok {
+		return nil, nil
+	}
+	return phrase, nil
+}
+
+func (p *parser) parseCombine() (Node, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var children []Node
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("search: unterminated #combine(...)")
+		}
+		if t.kind == ')' {
+			p.pos++
+			break
+		}
+		n, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		if n != nil {
+			children = append(children, n)
+		}
+	}
+	if len(children) == 0 {
+		return nil, nil
+	}
+	return Combine{Children: children}, nil
+}
+
+func (p *parser) parseWeight() (Node, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var node Weight
+	for {
+		t, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("search: unterminated #weight(...)")
+		}
+		if t.kind == ')' {
+			p.pos++
+			break
+		}
+		wt, ok := p.next()
+		if !ok || wt.kind != 'w' {
+			return nil, fmt.Errorf("search: #weight expects a number, got %q", wt.val)
+		}
+		w, err := strconv.ParseFloat(wt.val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("search: #weight expects a number, got %q", wt.val)
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("search: negative weight %g", w)
+		}
+		child, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		if child != nil {
+			node.Weights = append(node.Weights, w)
+			node.Children = append(node.Children, child)
+		}
+	}
+	if len(node.Children) == 0 {
+		return nil, nil
+	}
+	return node, nil
+}

@@ -1,0 +1,81 @@
+// Package synth generates the synthetic world the experiments run on: a
+// Wikipedia snapshot, an ImageCLEF-shaped document collection and a query
+// benchmark, all derived deterministically from a seed.
+//
+// The generator substitutes for data this reproduction cannot ship (the
+// English Wikipedia dump and the ImageCLEF 2011 collection). It recreates
+// the structural mechanisms the paper's analysis depends on rather than the
+// data itself:
+//
+//   - articles cluster into topics and link densely within a topic, with a
+//     hub article per topic (the "venice" of the paper's running example);
+//   - a configurable fraction of linked article pairs is reciprocal
+//     (the paper measures 11.47% on Wikipedia);
+//   - every article belongs to >= 1 topic category; categories form a
+//     mostly-tree hierarchy (so the category graph alone has no triangles);
+//   - some articles have redirect aliases (synonym sources);
+//   - sparse cross-topic links and deliberate category-free triangles play
+//     the role of the semantically-distant "sheep / quarantine / anthrax"
+//     relations;
+//   - documents are written *about* topics: they mention the titles of
+//     articles of their topic, so relevance is known by construction.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// nameGen produces pronounceable, unique synthetic words and multi-word
+// names from a seeded RNG. Words are built from consonant-vowel syllables,
+// so they never collide with English stopwords and tokenize to themselves.
+type nameGen struct {
+	rng  *rand.Rand
+	used map[string]struct{}
+}
+
+var (
+	onsets = []string{"b", "c", "d", "f", "g", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "tr", "gl", "pr", "st"}
+	nuclei = []string{"a", "e", "i", "o", "u", "ia", "ei", "ou"}
+)
+
+func newNameGen(rng *rand.Rand) *nameGen {
+	return &nameGen{rng: rng, used: make(map[string]struct{})}
+}
+
+// word returns one random syllabic word of 2–3 syllables (not necessarily
+// unique across calls; uniqueness is enforced at the name level).
+func (n *nameGen) word() string {
+	var b strings.Builder
+	syllables := 2 + n.rng.Intn(2)
+	for i := 0; i < syllables; i++ {
+		b.WriteString(onsets[n.rng.Intn(len(onsets))])
+		b.WriteString(nuclei[n.rng.Intn(len(nuclei))])
+	}
+	return b.String()
+}
+
+// unique returns a name of the requested word count that has not been
+// returned before (case-normalized). It retries with fresh words and, as a
+// last resort, appends a numeric disambiguator, mirroring Wikipedia's
+// parenthetical disambiguation.
+func (n *nameGen) unique(words int) string {
+	if words < 1 {
+		words = 1
+	}
+	for attempt := 0; ; attempt++ {
+		parts := make([]string, words)
+		for i := range parts {
+			parts[i] = n.word()
+		}
+		name := strings.Join(parts, " ")
+		if attempt >= 20 {
+			name = fmt.Sprintf("%s %d", name, n.rng.Intn(1_000_000))
+		}
+		if _, dup := n.used[name]; !dup {
+			n.used[name] = struct{}{}
+			return name
+		}
+	}
+}

@@ -1,0 +1,704 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"github.com/querygraph/querygraph/internal/corpus"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/wiki"
+)
+
+// Config controls the synthetic world. The zero value is not usable; start
+// from Default().
+type Config struct {
+	Seed int64
+
+	// Knowledge base shape.
+	Topics             int // number of topics
+	ArticlesPerTopic   int // articles per topic, including the hub
+	CategoriesPerTopic int // shared categories per topic (>= 1)
+	// SpecificCatsPerArticle is the mean number of specific (leaf)
+	// categories each article belongs to, drawn from a per-topic pool of
+	// ArticlesPerTopic leaf categories. Wikipedia articles carry several
+	// such narrow categories ("1697 births", "venetian gothic buildings"),
+	// which is what makes the paper's query graphs category-dominated.
+	SpecificCatsPerArticle float64
+	// LeafInsideMainProb is the probability that a leaf category nests
+	// inside the topic's main category rather than directly inside the
+	// super-category. Leaves parented outside the topic keep the query
+	// graph's triangle participation moderate, as in the paper.
+	LeafInsideMainProb float64
+	TopicsPerSuper     int     // topics grouped under one super-category
+	HubLinkProb        float64 // regular article -> hub link probability
+	HubBacklinkProb    float64 // hub -> article backlink (reciprocal) probability
+	IntraLinkProb      float64 // link probability between two regular articles of a topic
+	ReciprocalProb     float64 // probability that an intra-topic link gets a backlink
+	// SharedCatLinkProb links two articles that share a leaf category
+	// (semantically close articles link to each other); these links are the
+	// main source of the dense short cycles the paper highlights.
+	SharedCatLinkProb float64
+	// PopularFraction is the top fraction of a topic's articles (by
+	// popularity rank) whose links reciprocate at full ReciprocalProb;
+	// links between less popular articles reciprocate at a quarter of it.
+	// Reciprocal pairs of prominent articles are what makes the paper's
+	// 2-cycles scarce but highly contributing.
+	PopularFraction float64
+	// ZipfExponent skews how often each article is mentioned in documents
+	// (0 = uniform). Prominent articles appear in more documents, so the
+	// features introduced by 2-cycles retrieve more relevant results.
+	ZipfExponent float64
+	// ReciprocalAntiCooccur is the probability that a document drops a
+	// mention whose article reciprocally links an already-mentioned one.
+	// Reciprocal partners therefore cover *complementary* document sets —
+	// a picture of the Grand Canal rarely needs the word "Venice" — which
+	// is exactly why the paper's 2-cycles are such strong expansion
+	// features.
+	ReciprocalAntiCooccur float64
+	// CoMentionProb is the probability that a document's next mention is a
+	// link-neighbor of an already-mentioned article instead of a fresh
+	// draw. One-directionally linked articles therefore co-occur, making
+	// their coverage redundant: a long cycle of mutually linked articles
+	// adds fewer new documents per article than a reciprocal partner.
+	CoMentionProb      float64
+	SecondCategoryProb float64 // article also belongs to a second topic category
+	ForeignCatProb     float64 // article belongs to a category of the next topic (bridge)
+	RedirectProb       float64 // article has a redirect alias
+	CrossTopicLinks    int     // random cross-topic links added per topic
+	CrossTriangleProb  float64 // probability of one category-free cross-topic triangle per topic
+	ExtraInsideProb    float64 // probability of one extra inside edge per topic (category DAG noise)
+
+	// Corpus shape.
+	DocsPerTopic   int     // documents generated about each topic
+	MentionsPerDoc int     // mean number of topic articles mentioned per document
+	HubMentionProb float64 // probability a document mentions the topic hub
+	ForeignMention float64 // probability a document mentions one article of another topic
+	// ForeignHubProb is the probability that a foreign mention is the other
+	// topic's hub article. Such documents are lexical false positives for
+	// queries about that hub — the vocabulary-mismatch pressure that makes
+	// expansion worthwhile, as in the real ImageCLEF collection.
+	ForeignHubProb   float64
+	NoiseVocab       int // size of the background vocabulary
+	NoiseWordsPerDoc int // background words per document
+
+	// Benchmark shape.
+	Queries          int // number of queries
+	QueryArticlesMax int // up to this many entities per query (>= 1)
+}
+
+// Default returns the configuration used by the experiments: a world large
+// enough to show the paper's effects, small enough for a laptop test run.
+func Default() Config {
+	return Config{
+		Seed:                   3,
+		Topics:                 30,
+		ArticlesPerTopic:       32,
+		CategoriesPerTopic:     4,
+		SpecificCatsPerArticle: 1.8,
+		LeafInsideMainProb:     0.3,
+		TopicsPerSuper:         6,
+		HubLinkProb:            0.6,
+		HubBacklinkProb:        0.35,
+		IntraLinkProb:          0.08,
+		ReciprocalProb:         0.22,
+		SharedCatLinkProb:      0.5,
+		PopularFraction:        0.25,
+		ZipfExponent:           0.9,
+		ReciprocalAntiCooccur:  0.85,
+		CoMentionProb:          0.6,
+		SecondCategoryProb:     0.3,
+		ForeignCatProb:         0.08,
+		RedirectProb:           0.3,
+		CrossTopicLinks:        25,
+		CrossTriangleProb:      0.5,
+		ExtraInsideProb:        0.3,
+		DocsPerTopic:           50,
+		MentionsPerDoc:         2,
+		HubMentionProb:         0.12,
+		ForeignMention:         0.55,
+		ForeignHubProb:         0.6,
+		NoiseVocab:             150,
+		NoiseWordsPerDoc:       8,
+		Queries:                50,
+		QueryArticlesMax:       3,
+	}
+}
+
+// Validate checks the configuration for structural impossibilities.
+func (c Config) Validate() error {
+	switch {
+	case c.Topics < 1:
+		return fmt.Errorf("synth: Topics must be >= 1, got %d", c.Topics)
+	case c.ArticlesPerTopic < 2:
+		return fmt.Errorf("synth: ArticlesPerTopic must be >= 2, got %d", c.ArticlesPerTopic)
+	case c.CategoriesPerTopic < 1:
+		return fmt.Errorf("synth: CategoriesPerTopic must be >= 1, got %d", c.CategoriesPerTopic)
+	case c.TopicsPerSuper < 1:
+		return fmt.Errorf("synth: TopicsPerSuper must be >= 1, got %d", c.TopicsPerSuper)
+	case c.DocsPerTopic < 1:
+		return fmt.Errorf("synth: DocsPerTopic must be >= 1, got %d", c.DocsPerTopic)
+	case c.MentionsPerDoc < 1:
+		return fmt.Errorf("synth: MentionsPerDoc must be >= 1, got %d", c.MentionsPerDoc)
+	case c.Queries < 1:
+		return fmt.Errorf("synth: Queries must be >= 1, got %d", c.Queries)
+	case c.QueryArticlesMax < 1:
+		return fmt.Errorf("synth: QueryArticlesMax must be >= 1, got %d", c.QueryArticlesMax)
+	case c.NoiseVocab < 1:
+		return fmt.Errorf("synth: NoiseVocab must be >= 1, got %d", c.NoiseVocab)
+	case c.SpecificCatsPerArticle < 0 || c.SpecificCatsPerArticle > 5:
+		return fmt.Errorf("synth: SpecificCatsPerArticle must be in [0,5], got %g", c.SpecificCatsPerArticle)
+	case c.ZipfExponent < 0 || c.ZipfExponent > 3:
+		return fmt.Errorf("synth: ZipfExponent must be in [0,3], got %g", c.ZipfExponent)
+	}
+	for name, p := range map[string]float64{
+		"HubLinkProb": c.HubLinkProb, "HubBacklinkProb": c.HubBacklinkProb,
+		"IntraLinkProb": c.IntraLinkProb, "ReciprocalProb": c.ReciprocalProb,
+		"SecondCategoryProb": c.SecondCategoryProb, "ForeignCatProb": c.ForeignCatProb,
+		"RedirectProb": c.RedirectProb, "CrossTriangleProb": c.CrossTriangleProb,
+		"ExtraInsideProb": c.ExtraInsideProb, "HubMentionProb": c.HubMentionProb,
+		"ForeignMention": c.ForeignMention, "ForeignHubProb": c.ForeignHubProb,
+		"LeafInsideMainProb": c.LeafInsideMainProb, "SharedCatLinkProb": c.SharedCatLinkProb,
+		"PopularFraction": c.PopularFraction, "ReciprocalAntiCooccur": c.ReciprocalAntiCooccur,
+		"CoMentionProb": c.CoMentionProb,
+	} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("synth: %s must be in [0,1], got %g", name, p)
+		}
+	}
+	return nil
+}
+
+// Query is one benchmark query: a keyword string and its correct documents
+// (the paper's tuple q = <k, D>).
+type Query struct {
+	ID       int
+	Keywords string
+	Relevant []int32 // dense corpus doc IDs, ascending
+	Topic    int     // provenance: the topic the query is about
+	// Entities are the article nodes whose titles were embedded in the
+	// keywords (provenance for tests; the pipeline re-derives them by
+	// entity linking).
+	Entities []graph.NodeID
+}
+
+// World is a complete generated benchmark environment.
+type World struct {
+	Config     Config
+	Snapshot   *wiki.Snapshot
+	Collection *corpus.Collection
+	Queries    []Query
+
+	// Topic provenance.
+	TopicOfDoc      []int            // dense doc ID -> topic
+	TopicArticles   [][]graph.NodeID // topic -> its article nodes (hub first)
+	TopicHub        []graph.NodeID
+	TopicCategories [][]graph.NodeID
+}
+
+// Generate builds the world deterministically from cfg.Seed.
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	names := newNameGen(rng)
+
+	w := &World{Config: cfg}
+	b := wiki.NewBuilder(cfg.Topics * (cfg.ArticlesPerTopic + cfg.CategoriesPerTopic))
+
+	if err := buildKnowledgeBase(cfg, rng, names, b, w); err != nil {
+		return nil, err
+	}
+	snap, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("synth: knowledge base invalid: %w", err)
+	}
+	w.Snapshot = snap
+
+	if err := buildCorpus(cfg, rng, names, w); err != nil {
+		return nil, err
+	}
+	buildQueries(cfg, rng, w)
+	return w, nil
+}
+
+// buildKnowledgeBase creates categories, articles, links and redirects.
+func buildKnowledgeBase(cfg Config, rng *rand.Rand, names *nameGen, b *wiki.Builder, w *World) error {
+	root, err := b.AddCategory("root " + names.unique(1))
+	if err != nil {
+		return err
+	}
+	// Super-categories shared by groups of topics.
+	numSupers := (cfg.Topics + cfg.TopicsPerSuper - 1) / cfg.TopicsPerSuper
+	supers := make([]graph.NodeID, numSupers)
+	for i := range supers {
+		s, err := b.AddCategory("super " + names.unique(1))
+		if err != nil {
+			return err
+		}
+		if err := b.AddInside(s, root); err != nil {
+			return err
+		}
+		supers[i] = s
+	}
+
+	w.TopicArticles = make([][]graph.NodeID, cfg.Topics)
+	w.TopicHub = make([]graph.NodeID, cfg.Topics)
+	w.TopicCategories = make([][]graph.NodeID, cfg.Topics)
+
+	for t := 0; t < cfg.Topics; t++ {
+		topicWord := names.unique(1)
+		// Categories: main topic category plus subcategories.
+		cats := make([]graph.NodeID, cfg.CategoriesPerTopic)
+		main, err := b.AddCategory(topicWord + " topics")
+		if err != nil {
+			return err
+		}
+		if err := b.AddInside(main, supers[t/cfg.TopicsPerSuper]); err != nil {
+			return err
+		}
+		cats[0] = main
+		for i := 1; i < cfg.CategoriesPerTopic; i++ {
+			c, err := b.AddCategory(fmt.Sprintf("%s %s", topicWord, names.unique(1)))
+			if err != nil {
+				return err
+			}
+			if err := b.AddInside(c, main); err != nil {
+				return err
+			}
+			cats[i] = c
+		}
+		// Occasional extra inside edge: a subcategory also sits under a
+		// *different* super-category, so the category graph is a DAG, not a
+		// strict tree — while staying triangle-free, matching the paper's
+		// observation that the Wikipedia category graph is tree-like and
+		// contains no triangles.
+		if cfg.CategoriesPerTopic > 1 && numSupers > 1 && rng.Float64() < cfg.ExtraInsideProb {
+			sub := cats[1+rng.Intn(cfg.CategoriesPerTopic-1)]
+			own := t / cfg.TopicsPerSuper
+			other := (own + 1 + rng.Intn(numSupers-1)) % numSupers
+			_ = b.AddInside(sub, supers[other]) // duplicate-safe: error ignored
+		}
+		w.TopicCategories[t] = cats
+
+		// Specific (leaf) categories: a per-topic pool of narrow categories
+		// each nested inside the main topic category. Articles draw from
+		// this pool, so most leaves hold one or two articles — the shape of
+		// the paper's Figure 3, where the query graph is dominated by such
+		// categories.
+		leaves := make([]graph.NodeID, cfg.ArticlesPerTopic)
+		for i := range leaves {
+			c, err := b.AddCategory(fmt.Sprintf("%s %s", topicWord, names.unique(1)))
+			if err != nil {
+				return err
+			}
+			// Each leaf has exactly one parent (main or super), so the
+			// category graph stays triangle-free.
+			parent := supers[t/cfg.TopicsPerSuper]
+			if rng.Float64() < cfg.LeafInsideMainProb {
+				parent = main
+			}
+			if err := b.AddInside(c, parent); err != nil {
+				return err
+			}
+			leaves[i] = c
+		}
+		leafMembers := make([][]graph.NodeID, len(leaves))
+		drawLeaves := func(a graph.NodeID) {
+			k := int(cfg.SpecificCatsPerArticle)
+			if frac := cfg.SpecificCatsPerArticle - float64(k); rng.Float64() < frac {
+				k++
+			}
+			for d := 0; d < k; d++ {
+				li := rng.Intn(len(leaves))
+				if err := b.AddBelongs(a, leaves[li]); err == nil { // may duplicate; skip membership then
+					leafMembers[li] = append(leafMembers[li], a)
+				}
+			}
+		}
+
+		// Articles: hub first.
+		arts := make([]graph.NodeID, cfg.ArticlesPerTopic)
+		hub, err := b.AddArticle(topicWord)
+		if err != nil {
+			return err
+		}
+		if err := b.AddBelongs(hub, main); err != nil {
+			return err
+		}
+		drawLeaves(hub)
+		arts[0] = hub
+		w.TopicHub[t] = hub
+		for i := 1; i < cfg.ArticlesPerTopic; i++ {
+			title := names.unique(1 + rng.Intn(2))
+			a, err := b.AddArticle(title)
+			if err != nil {
+				return err
+			}
+			// Primary shared category.
+			if err := b.AddBelongs(a, cats[rng.Intn(len(cats))]); err != nil {
+				return err
+			}
+			// Optional second shared category of the same topic.
+			if rng.Float64() < cfg.SecondCategoryProb {
+				_ = b.AddBelongs(a, cats[rng.Intn(len(cats))]) // may duplicate; ignore
+			}
+			drawLeaves(a)
+			arts[i] = a
+		}
+		w.TopicArticles[t] = arts
+
+		// Hub links.
+		for _, a := range arts[1:] {
+			if rng.Float64() < cfg.HubLinkProb {
+				if err := b.AddLink(a, hub); err != nil {
+					return err
+				}
+				if rng.Float64() < cfg.HubBacklinkProb {
+					_ = b.AddLink(hub, a)
+				}
+			}
+		}
+		// Popularity rank: the article's index within the topic (hub = 0 is
+		// most prominent). Links between two popular articles reciprocate
+		// at the full rate; other pairs rarely do. This concentrates the
+		// scarce 2-cycles on prominent, strongly related articles, as the
+		// paper observes on Wikipedia.
+		popLimit := int(cfg.PopularFraction * float64(len(arts)))
+		rank := make(map[graph.NodeID]int, len(arts))
+		for i, a := range arts {
+			rank[a] = i
+		}
+		reciprocal := func(a, bb graph.NodeID) float64 {
+			if rank[a] < popLimit && rank[bb] < popLimit {
+				return cfg.ReciprocalProb
+			}
+			return cfg.ReciprocalProb / 4
+		}
+		// Intra-topic links between regular articles.
+		for i := 1; i < len(arts); i++ {
+			for j := i + 1; j < len(arts); j++ {
+				if rng.Float64() < cfg.IntraLinkProb {
+					if err := b.AddLink(arts[i], arts[j]); err != nil {
+						return err
+					}
+					if rng.Float64() < reciprocal(arts[i], arts[j]) {
+						_ = b.AddLink(arts[j], arts[i])
+					}
+				}
+			}
+		}
+		// Semantically close articles link: pairs sharing a leaf category
+		// link with SharedCatLinkProb. These links close the dense short
+		// cycles (article–article–category triangles and the 4-cycles of
+		// two articles sharing two categories) that the paper identifies as
+		// the best expansion sources.
+		for _, members := range leafMembers {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					if rng.Float64() < cfg.SharedCatLinkProb {
+						_ = b.AddLink(members[i], members[j]) // duplicate-safe
+						if rng.Float64() < reciprocal(members[i], members[j]) {
+							_ = b.AddLink(members[j], members[i])
+						}
+					}
+				}
+			}
+		}
+		// Redirect aliases.
+		for _, a := range arts {
+			if rng.Float64() < cfg.RedirectProb {
+				if _, err := b.AddRedirect(names.unique(1+rng.Intn(2)), a); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Cross-topic category bridges: an article of topic t also belongs to a
+	// category of the next topic.
+	for t := 0; t < cfg.Topics && cfg.Topics > 1; t++ {
+		arts := w.TopicArticles[t]
+		next := w.TopicCategories[(t+1)%cfg.Topics]
+		for _, a := range arts {
+			if rng.Float64() < cfg.ForeignCatProb {
+				_ = b.AddBelongs(a, next[rng.Intn(len(next))])
+			}
+		}
+	}
+	// Cross-topic noise links and category-free triangles.
+	pickArticle := func(topic int) graph.NodeID {
+		arts := w.TopicArticles[topic]
+		return arts[rng.Intn(len(arts))]
+	}
+	for t := 0; t < cfg.Topics && cfg.Topics > 1; t++ {
+		for i := 0; i < cfg.CrossTopicLinks; i++ {
+			other := rng.Intn(cfg.Topics)
+			if other == t {
+				continue
+			}
+			_ = b.AddLink(pickArticle(t), pickArticle(other))
+		}
+		if cfg.Topics > 2 && rng.Float64() < cfg.CrossTriangleProb {
+			// The "sheep -> quarantine -> anthrax" pattern: a category-free
+			// link triangle across three topics.
+			t2 := (t + 1 + rng.Intn(cfg.Topics-1)) % cfg.Topics
+			t3 := (t2 + 1 + rng.Intn(cfg.Topics-1)) % cfg.Topics
+			if t2 != t && t3 != t && t3 != t2 {
+				a, bb, c := pickArticle(t), pickArticle(t2), pickArticle(t3)
+				_ = b.AddLink(a, bb)
+				_ = b.AddLink(bb, c)
+				_ = b.AddLink(c, a)
+			}
+		}
+	}
+	return nil
+}
+
+// buildCorpus generates DocsPerTopic ImageCLEF-shaped documents per topic.
+func buildCorpus(cfg Config, rng *rand.Rand, names *nameGen, w *World) error {
+	noise := make([]string, cfg.NoiseVocab)
+	for i := range noise {
+		noise[i] = names.unique(1)
+	}
+	noiseWords := func(n int) string {
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = noise[rng.Intn(len(noise))]
+		}
+		return strings.Join(parts, " ")
+	}
+	snap := w.Snapshot
+	coll := &corpus.Collection{}
+	w.TopicOfDoc = nil
+
+	// Zipf-like popularity sampler: article index i (excluding the hub,
+	// which HubMentionProb governs) is drawn with weight
+	// 1/(i+1)^ZipfExponent, so prominent articles are mentioned in more
+	// documents.
+	sampler := newZipfSampler(cfg.ArticlesPerTopic-1, cfg.ZipfExponent)
+	drawRegular := func(t int) graph.NodeID {
+		return w.TopicArticles[t][1+sampler.draw(rng)]
+	}
+
+	g := snap.Graph()
+	reciprocalWith := func(mentions []graph.NodeID, x graph.NodeID) bool {
+		for _, y := range mentions {
+			if g.HasEdge(x, y, graph.Link) && g.HasEdge(y, x, graph.Link) {
+				return true
+			}
+		}
+		return false
+	}
+	// Intra-topic link neighborhoods, for mention clustering.
+	topicOf := make(map[graph.NodeID]int)
+	for t, arts := range w.TopicArticles {
+		for _, a := range arts {
+			topicOf[a] = t
+		}
+	}
+	onlyLinks := func(k graph.EdgeKind) bool { return k != graph.Link }
+	linkNbrs := make(map[graph.NodeID][]graph.NodeID)
+	for _, arts := range w.TopicArticles {
+		for _, a := range arts {
+			var same []graph.NodeID
+			for _, nb := range g.Neighbors(a, onlyLinks) {
+				if topicOf[nb] == topicOf[a] {
+					same = append(same, nb)
+				}
+			}
+			linkNbrs[a] = same
+		}
+	}
+	contains := func(mentions []graph.NodeID, x graph.NodeID) bool {
+		for _, y := range mentions {
+			if y == x {
+				return true
+			}
+		}
+		return false
+	}
+	docSeq := 0
+	for t := 0; t < cfg.Topics; t++ {
+		for d := 0; d < cfg.DocsPerTopic; d++ {
+			var mentions []graph.NodeID
+			if rng.Float64() < cfg.HubMentionProb {
+				mentions = append(mentions, w.TopicHub[t])
+			}
+			n := 1 + rng.Intn(2*cfg.MentionsPerDoc-1) // 1 .. 2*mean-1
+			for i := 0; i < n; i++ {
+				m := drawRegular(t)
+				if len(mentions) > 0 && rng.Float64() < cfg.CoMentionProb {
+					base := mentions[rng.Intn(len(mentions))]
+					if nbrs := linkNbrs[base]; len(nbrs) > 0 {
+						m = nbrs[rng.Intn(len(nbrs))]
+					}
+				}
+				if contains(mentions, m) {
+					continue
+				}
+				if reciprocalWith(mentions, m) && rng.Float64() < cfg.ReciprocalAntiCooccur {
+					continue
+				}
+				mentions = append(mentions, m)
+			}
+			if cfg.Topics > 1 && rng.Float64() < cfg.ForeignMention {
+				other := (t + 1 + rng.Intn(cfg.Topics-1)) % cfg.Topics
+				foreign := w.TopicArticles[other][rng.Intn(len(w.TopicArticles[other]))]
+				if rng.Float64() < cfg.ForeignHubProb {
+					foreign = w.TopicHub[other]
+				}
+				mentions = append(mentions, foreign)
+			}
+			// Shuffle so no slot (the file name, the description) is
+			// reserved for on-topic mentions: a foreign mention can be the
+			// document's most prominent term, which is what makes lexical
+			// false positives competitive in the real collection.
+			rng.Shuffle(len(mentions), func(i, j int) {
+				mentions[i], mentions[j] = mentions[j], mentions[i]
+			})
+			titles := make([]string, len(mentions))
+			for i, m := range mentions {
+				titles[i] = snap.Name(m)
+			}
+
+			im := corpus.Image{
+				ID:   fmt.Sprintf("%d", 100000+docSeq),
+				File: fmt.Sprintf("images/%d/%d.jpg", t, 100000+docSeq),
+				Name: titleCase(titles[0]) + ".jpg",
+			}
+			// English section: description holds a couple of mentions plus
+			// noise; each remaining mention becomes a caption.
+			descMentions := titles[:min(2, len(titles))]
+			im.Texts = []corpus.Text{{
+				Lang: "en",
+				Description: fmt.Sprintf("%s with %s near %s",
+					noiseWords(2), strings.Join(descMentions, " and "), noiseWords(1)),
+			}}
+			for _, title := range titles[min(2, len(titles)):] {
+				im.Texts[0].Captions = append(im.Texts[0].Captions, corpus.Caption{
+					Article: fmt.Sprintf("text/en/%d", rng.Intn(1000)),
+					Value:   fmt.Sprintf("a view of %s %s", title, noiseWords(1)),
+				})
+			}
+			// A German section that must be ignored by extraction.
+			im.Texts = append(im.Texts, corpus.Text{
+				Lang:        "de",
+				Description: "ein bild " + noiseWords(2),
+			})
+			im.Comment = fmt.Sprintf("({{Information |Description= %s |Source= synth |Author= synth |Permission= GFDL }})",
+				noiseWords(cfg.NoiseWordsPerDoc))
+			im.License = "GFDL"
+
+			if _, err := coll.Add(im); err != nil {
+				return fmt.Errorf("synth: corpus: %w", err)
+			}
+			w.TopicOfDoc = append(w.TopicOfDoc, t)
+			docSeq++
+		}
+	}
+	w.Collection = coll
+	return nil
+}
+
+// connectors are the stopword glue of query keyword strings ("gondola in
+// venice").
+var connectors = []string{"in", "of", "at", "with", "near"}
+
+// buildQueries creates the benchmark queries round-robin over topics.
+func buildQueries(cfg Config, rng *rand.Rand, w *World) {
+	snap := w.Snapshot
+	for qid := 0; qid < cfg.Queries; qid++ {
+		t := qid % cfg.Topics
+		arts := w.TopicArticles[t]
+		n := 1 + rng.Intn(cfg.QueryArticlesMax)
+		if n > len(arts) {
+			n = len(arts)
+		}
+		// The hub plus random regular articles, deduplicated.
+		chosen := map[graph.NodeID]struct{}{w.TopicHub[t]: {}}
+		for len(chosen) < n {
+			chosen[arts[rng.Intn(len(arts))]] = struct{}{}
+		}
+		entities := make([]graph.NodeID, 0, len(chosen))
+		for id := range chosen {
+			entities = append(entities, id)
+		}
+		// Deterministic order: sort by node ID.
+		for i := 1; i < len(entities); i++ {
+			for j := i; j > 0 && entities[j] < entities[j-1]; j-- {
+				entities[j], entities[j-1] = entities[j-1], entities[j]
+			}
+		}
+		parts := make([]string, 0, 2*len(entities)-1)
+		for i, e := range entities {
+			if i > 0 {
+				parts = append(parts, connectors[rng.Intn(len(connectors))])
+			}
+			parts = append(parts, strings.ToLower(snap.Name(e)))
+		}
+		var relevant []int32
+		for doc, topic := range w.TopicOfDoc {
+			if topic == t {
+				relevant = append(relevant, int32(doc))
+			}
+		}
+		w.Queries = append(w.Queries, Query{
+			ID:       qid,
+			Keywords: strings.Join(parts, " "),
+			Relevant: relevant,
+			Topic:    t,
+			Entities: entities,
+		})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// zipfSampler draws indices 0..n-1 with weight 1/(i+1)^exp.
+type zipfSampler struct {
+	cum []float64
+}
+
+func newZipfSampler(n int, exp float64) *zipfSampler {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), exp)
+		cum[i] = total
+	}
+	return &zipfSampler{cum: cum}
+}
+
+func (z *zipfSampler) draw(rng *rand.Rand) int {
+	r := rng.Float64() * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// titleCase uppercases the first letter of each ASCII word, mimicking the
+// file-name convention of the ImageCLEF collection.
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		if w[0] >= 'a' && w[0] <= 'z' {
+			words[i] = string(w[0]-'a'+'A') + w[1:]
+		}
+	}
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,263 @@
+package text
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980). This is a faithful implementation of the
+// original five-step algorithm operating on lowercase ASCII words; words
+// containing non-ASCII-letter bytes are returned unchanged, as are words of
+// length <= 2 (per the original paper's guard).
+
+// Stem returns the Porter stem of the lowercase word w.
+func Stem(w string) string {
+	if len(w) <= 2 {
+		return w
+	}
+	for i := 0; i < len(w); i++ {
+		if w[i] < 'a' || w[i] > 'z' {
+			return w
+		}
+	}
+	s := &stemmer{b: []byte(w)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemmer struct {
+	b []byte
+}
+
+// isConsonant reports whether the letter at index i acts as a consonant.
+// 'y' is a consonant when it starts the word or follows a vowel-acting
+// letter.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m for the prefix b[0:end]: the number of VC sequences in
+// the canonical form [C](VC)^m[V].
+func (s *stemmer) measure(end int) int {
+	n := 0
+	i := 0
+	// Skip the optional initial consonant run.
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		// Consonant run: one VC sequence completed.
+		n++
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+	}
+	return n
+}
+
+// hasVowel reports whether the prefix b[0:end] contains a vowel.
+func (s *stemmer) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doubleConsonant reports whether the word ends in a doubled consonant.
+func (s *stemmer) doubleConsonant() bool {
+	n := len(s.b)
+	return n >= 2 && s.b[n-1] == s.b[n-2] && s.isConsonant(n-1)
+}
+
+// cvc reports whether the prefix of length end ends consonant-vowel-consonant
+// where the final consonant is not w, x or y (the *o condition).
+func (s *stemmer) cvc(end int) bool {
+	if end < 3 {
+		return false
+	}
+	i := end - 1
+	if !s.isConsonant(i) || s.isConsonant(i-1) || !s.isConsonant(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the word ends with suf.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b)
+	if n < len(suf) {
+		return false
+	}
+	return string(s.b[n-len(suf):]) == suf
+}
+
+// stemEnd returns the length of the word with suf removed.
+func (s *stemmer) stemEnd(suf string) int { return len(s.b) - len(suf) }
+
+// replace replaces the suffix suf (which must be present) with rep.
+func (s *stemmer) replace(suf, rep string) {
+	s.b = append(s.b[:s.stemEnd(suf)], rep...)
+}
+
+// replaceIfM replaces suf with rep when the stem before suf has measure > m.
+// It reports whether suf was present (not whether the rule fired), matching
+// the "first matching suffix wins" control flow of the original algorithm.
+func (s *stemmer) replaceIfM(suf, rep string, m int) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	if s.measure(s.stemEnd(suf)) > m {
+		s.replace(suf, rep)
+	}
+	return true
+}
+
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.replace("sses", "ss")
+	case s.hasSuffix("ies"):
+		s.replace("ies", "i")
+	case s.hasSuffix("ss"):
+		// unchanged
+	case s.hasSuffix("s"):
+		s.replace("s", "")
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(s.stemEnd("eed")) > 0 {
+			s.replace("eed", "ee")
+		}
+		return
+	}
+	fired := false
+	if s.hasSuffix("ed") && s.hasVowel(s.stemEnd("ed")) {
+		s.replace("ed", "")
+		fired = true
+	} else if s.hasSuffix("ing") && s.hasVowel(s.stemEnd("ing")) {
+		s.replace("ing", "")
+		fired = true
+	}
+	if !fired {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"):
+		s.replace("at", "ate")
+	case s.hasSuffix("bl"):
+		s.replace("bl", "ble")
+	case s.hasSuffix("iz"):
+		s.replace("iz", "ize")
+	case s.doubleConsonant():
+		switch s.b[len(s.b)-1] {
+		case 'l', 's', 'z':
+			// keep the double letter
+		default:
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.cvc(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(s.stemEnd("y")) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+func (s *stemmer) step2() {
+	// Pairs are checked in the original algorithm's order; the first suffix
+	// present stops the scan whether or not the measure condition holds.
+	rules := []struct{ suf, rep string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+		{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+		{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+		{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+		{"biliti", "ble"},
+	}
+	for _, r := range rules {
+		if s.replaceIfM(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+func (s *stemmer) step3() {
+	rules := []struct{ suf, rep string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+		{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, r := range rules {
+		if s.replaceIfM(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+func (s *stemmer) step4() {
+	suffixes := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+		"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+	}
+	for _, suf := range suffixes {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		end := s.stemEnd(suf)
+		if s.measure(end) > 1 {
+			if suf == "ion" && end > 0 && s.b[end-1] != 's' && s.b[end-1] != 't' {
+				return // ion only strips after s or t
+			}
+			s.b = s.b[:end]
+		}
+		return
+	}
+}
+
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	end := s.stemEnd("e")
+	m := s.measure(end)
+	if m > 1 || (m == 1 && !s.cvc(end)) {
+		s.b = s.b[:end]
+	}
+}
+
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n >= 2 && s.b[n-1] == 'l' && s.b[n-2] == 'l' && s.measure(n) > 1 {
+		s.b = s.b[:n-1]
+	}
+}

@@ -1,0 +1,36 @@
+package text
+
+// stopwords is the classic English stopword list used by SMART-era IR
+// systems, trimmed to the terms that actually occur in query logs and image
+// captions. Retrieval quality in the experiments is insensitive to the exact
+// list; what matters is that queries such as "gondola in venice" drop the
+// "in" on both the index and the query side.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"a", "about", "above", "after", "again", "against", "all", "am",
+		"an", "and", "any", "are", "as", "at", "be", "because", "been",
+		"before", "being", "below", "between", "both", "but", "by", "can",
+		"did", "do", "does", "doing", "down", "during", "each", "few",
+		"for", "from", "further", "had", "has", "have", "having", "he",
+		"her", "here", "hers", "him", "his", "how", "i", "if", "in",
+		"into", "is", "it", "its", "just", "me", "more", "most", "my",
+		"no", "nor", "not", "now", "of", "off", "on", "once", "only",
+		"or", "other", "our", "ours", "out", "over", "own", "same",
+		"she", "should", "so", "some", "such", "than", "that", "the",
+		"their", "theirs", "them", "then", "there", "these", "they",
+		"this", "those", "through", "to", "too", "under", "until", "up",
+		"very", "was", "we", "were", "what", "when", "where", "which",
+		"while", "who", "whom", "why", "will", "with", "you", "your",
+		"yours",
+	} {
+		stopwords[w] = struct{}{}
+	}
+}
+
+// IsStopword reports whether the lowercase token w is an English stopword.
+func IsStopword(w string) bool {
+	_, ok := stopwords[w]
+	return ok
+}

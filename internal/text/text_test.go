@@ -1,0 +1,252 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestTokenizeBasic(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"Graffiti Street Art", []string{"graffiti", "street", "art"}},
+		{"  gondola   in  VENICE ", []string{"gondola", "in", "venice"}},
+		{"Grand Canal (Venice)", []string{"grand", "canal", "venice"}},
+		{"don't stop-me_now", []string{"don", "t", "stop", "me", "now"}},
+		{"", nil},
+		{"...!!!", nil},
+		{"ImageCLEF2011 file_82531.jpg", []string{"imageclef2011", "file", "82531", "jpg"}},
+		{"Centaurea cyanus", []string{"centaurea", "cyanus"}},
+		{"blühendes Feld", []string{"blühendes", "feld"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize("  Grand   CANAL (Venice) "); got != "grand canal venice" {
+		t.Errorf("Normalize = %q", got)
+	}
+	if got := Normalize(""); got != "" {
+		t.Errorf("Normalize(empty) = %q", got)
+	}
+}
+
+// Property: tokens never contain separators and are always lowercase.
+func TestTokenizePropertyClean(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+				// Lowercasing must be a fixed point. (Some uppercase letters,
+				// e.g. mathematical capitals, have no lowercase mapping and
+				// legitimately survive ToLower.)
+				if unicode.ToLower(r) != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalization is idempotent.
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		return Normalize(n) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	for _, w := range []string{"the", "in", "of", "and"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"gondola", "venice", "", "thee"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+}
+
+// Porter test vectors from the original paper and its reference vocabulary.
+func TestPorterKnownVectors(t *testing.T) {
+	cases := map[string]string{
+		// step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// step 3
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// step 5
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// misc sanity
+		"generalization": "gener",
+		"oscillators":    "oscil",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortAndNonASCII(t *testing.T) {
+	for _, w := range []string{"a", "be", "", "né", "café", "x9y"} {
+		if w == "x9y" {
+			continue // digits: handled below
+		}
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+	if got := Stem("x9y"); got != "x9y" {
+		t.Errorf("Stem with digit = %q, want unchanged", got)
+	}
+}
+
+// Property: stemming never lengthens a word beyond one appended 'e' and is
+// idempotent on its own output for plain ASCII words.
+func TestStemIdempotentProperty(t *testing.T) {
+	words := []string{
+		"running", "connection", "connections", "connective", "carefully",
+		"italian", "painters", "venetian", "attractions", "bridges",
+		"completed", "established", "organizations", "photographs",
+		"windsurfing", "quarantine", "anthrax", "gondolas", "historic",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		// Porter is not idempotent in general, but must be stable within two
+		// applications for our vocabulary (the index stems exactly once; the
+		// linker must agree).
+		if Stem(twice) != twice {
+			t.Errorf("Stem unstable for %q: %q -> %q -> %q", w, once, twice, Stem(twice))
+		}
+	}
+}
+
+func TestAnalyzer(t *testing.T) {
+	plain := NewAnalyzer(false, false)
+	if got := plain.Analyze("The Bridges of Venice"); strings.Join(got, " ") != "the bridges of venice" {
+		t.Errorf("plain analyze = %v", got)
+	}
+	stop := NewAnalyzer(true, false)
+	if got := stop.Analyze("The Bridges of Venice"); strings.Join(got, " ") != "bridges venice" {
+		t.Errorf("stopword analyze = %v", got)
+	}
+	full := NewAnalyzer(true, true)
+	if got := full.Analyze("The Bridges of Venice"); strings.Join(got, " ") != "bridg venic" {
+		t.Errorf("full analyze = %v", got)
+	}
+	if !full.Stems() || !full.RemovesStopwords() {
+		t.Error("full analyzer flags wrong")
+	}
+	if plain.Stems() || plain.RemovesStopwords() {
+		t.Error("plain analyzer flags wrong")
+	}
+}
+
+func TestAnalyzerNilSafe(t *testing.T) {
+	var a *Analyzer
+	if got := a.Analyze("Venice Canals"); strings.Join(got, " ") != "venice canals" {
+		t.Errorf("nil analyzer analyze = %v", got)
+	}
+	if a.Stems() || a.RemovesStopwords() {
+		t.Error("nil analyzer should report no filters")
+	}
+}

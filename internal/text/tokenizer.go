@@ -1,0 +1,84 @@
+// Package text implements the lexical analysis chain used by the indexing,
+// search and entity-linking layers: Unicode-aware tokenization, stopword
+// filtering, the Porter stemming algorithm and title normalization.
+//
+// The paper relies on INDRI's text pipeline; this package is the equivalent
+// substrate. An Analyzer bundles the configured steps so that the indexer,
+// the query parser and the entity linker are guaranteed to agree on token
+// boundaries.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lowercase tokens. A token is a maximal run of
+// letters or digits; everything else is a separator. The function never
+// returns empty tokens.
+func Tokenize(s string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Normalize canonicalizes a title or phrase: lowercase, tokens joined by a
+// single space. Two strings that tokenize identically normalize identically,
+// which is the equality used by the entity linker ("Grand Canal (Venice)"
+// and "grand canal venice" collide deliberately; Wikipedia disambiguation
+// suffixes are part of the title and therefore of the token stream).
+func Normalize(s string) string {
+	return strings.Join(Tokenize(s), " ")
+}
+
+// Analyzer bundles a tokenization configuration. The zero value tokenizes
+// only; use NewAnalyzer to enable stopword removal and stemming.
+type Analyzer struct {
+	removeStopwords bool
+	stem            bool
+}
+
+// NewAnalyzer returns an Analyzer with the given steps enabled.
+func NewAnalyzer(removeStopwords, stem bool) *Analyzer {
+	return &Analyzer{removeStopwords: removeStopwords, stem: stem}
+}
+
+// Analyze converts raw text into index terms by tokenizing and applying the
+// configured filters in order (stopword removal, then stemming).
+func (a *Analyzer) Analyze(s string) []string {
+	tokens := Tokenize(s)
+	if a == nil {
+		return tokens
+	}
+	out := tokens[:0]
+	for _, tok := range tokens {
+		if a.removeStopwords && IsStopword(tok) {
+			continue
+		}
+		if a.stem {
+			tok = Stem(tok)
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+// Stems reports whether stemming is enabled.
+func (a *Analyzer) Stems() bool { return a != nil && a.stem }
+
+// RemovesStopwords reports whether stopword removal is enabled.
+func (a *Analyzer) RemovesStopwords() bool { return a != nil && a.removeStopwords }
