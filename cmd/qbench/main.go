@@ -4,8 +4,12 @@
 //
 // Usage:
 //
-//	qbench [-exp all|table2|table3|table4|fig5|fig6|fig7a|fig7b|fig9|text3|ablation]
+//	qbench [-exp all|table2|table3|table4|fig5|fig6|fig7a|fig7b|fig9|text3|ablation|batch]
 //	       [-seed N] [-queries N] [-workers N]
+//
+// The batch experiment exercises the concurrent serving layer
+// (System.ExpandAll / System.SearchAll with the sharded expansion cache)
+// and reports queries/sec and the cache hit rate.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"github.com/querygraph/querygraph/internal/core"
 	"github.com/querygraph/querygraph/internal/groundtruth"
 	"github.com/querygraph/querygraph/internal/report"
+	"github.com/querygraph/querygraph/internal/search"
 	"github.com/querygraph/querygraph/internal/synth"
 )
 
@@ -25,7 +30,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qbench: ")
 	var (
-		exp     = flag.String("exp", "all", "experiment to run (all, table2, table3, table4, fig5, fig6, fig7a, fig7b, fig9, text3, ablation)")
+		exp     = flag.String("exp", "all", "experiment to run (all, table2, table3, table4, fig5, fig6, fig7a, fig7b, fig9, text3, ablation, batch)")
 		seed    = flag.Int64("seed", 0, "world seed (0 = the default benchmark seed)")
 		queries = flag.Int("queries", 0, "number of benchmark queries (0 = default 50)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
@@ -54,7 +59,7 @@ func main() {
 	fmt.Printf("world: seed %d, %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (built in %v)\n\n",
 		cfg.Seed, st.Articles, st.Redirects, st.Categories, st.Links, w.Collection.Len(), len(qs), time.Since(start).Round(time.Millisecond))
 
-	needAnalysis := *exp != "ablation"
+	needAnalysis := *exp != "ablation" && *exp != "batch"
 	var analysis *core.Analysis
 	if needAnalysis {
 		gts, err := s.BuildAllGroundTruths(qs, core.GroundTruthConfig{
@@ -80,6 +85,16 @@ func main() {
 	switch *exp {
 	case "all":
 		fmt.Println(report.All(analysis, ablation))
+		// The analysis and ablation passes above warmed s's expansion
+		// cache; measure batch serving on a fresh system so the cold
+		// throughput and cache counters are honest.
+		fresh, err := core.FromWorld(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runBatch(fresh, qs, *workers); err != nil {
+			log.Fatal(err)
+		}
 	case "table2":
 		fmt.Println(report.Table2(analysis))
 	case "table3":
@@ -100,10 +115,77 @@ func main() {
 		fmt.Println(report.Text3(analysis))
 	case "ablation":
 		fmt.Println(report.Ablation(ablation))
+	case "batch":
+		if err := runBatch(s, qs, *workers); err != nil {
+			log.Fatal(err)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runBatch drives the concurrent serving layer over the benchmark queries:
+// one cold ExpandAll pass, several warm passes that hit the expansion
+// cache, and repeated SearchAll passes over the expanded queries.
+func runBatch(s *core.System, qs []core.Query, workers int) error {
+	const (
+		warmPasses   = 3
+		searchPasses = 10
+	)
+	keywords := make([]string, len(qs))
+	for i, q := range qs {
+		keywords[i] = q.Keywords
+	}
+	eopts := core.DefaultExpanderOptions()
+	bopts := core.BatchOptions{Workers: workers}
+
+	start := time.Now()
+	exps, err := s.ExpandAll(keywords, eopts, bopts)
+	if err != nil {
+		return err
+	}
+	cold := time.Since(start)
+
+	start = time.Now()
+	for p := 0; p < warmPasses; p++ {
+		if _, err := s.ExpandAll(keywords, eopts, bopts); err != nil {
+			return err
+		}
+	}
+	warm := time.Since(start)
+
+	nodes := make([]search.Node, 0, len(exps))
+	for _, exp := range exps {
+		if node, ok := exp.Query(s); ok {
+			nodes = append(nodes, node)
+		}
+	}
+	start = time.Now()
+	for p := 0; p < searchPasses; p++ {
+		if _, err := s.SearchAll(nodes, core.MaxRank, bopts); err != nil {
+			return err
+		}
+	}
+	searched := time.Since(start)
+
+	qps := func(n int, d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(n) / d.Seconds()
+	}
+	st := s.ExpandCacheStats()
+	fmt.Printf("batch serving (%d queries, workers=%d means GOMAXPROCS when 0):\n", len(qs), workers)
+	fmt.Printf("  ExpandAll cold: %10.0f queries/sec  (%v)\n",
+		qps(len(keywords), cold), cold.Round(time.Microsecond))
+	fmt.Printf("  ExpandAll warm: %10.0f queries/sec  (%v over %d passes)\n",
+		qps(warmPasses*len(keywords), warm), warm.Round(time.Microsecond), warmPasses)
+	fmt.Printf("  SearchAll:      %10.0f queries/sec  (%v over %d passes, k=%d)\n",
+		qps(searchPasses*len(nodes), searched), searched.Round(time.Microsecond), searchPasses, core.MaxRank)
+	fmt.Printf("  expand cache:   %d/%d entries, %.1f%% hit rate (%d hits, %d misses)\n",
+		st.Entries, st.Capacity, 100*st.HitRate(), st.Hits, st.Misses)
+	return nil
 }

@@ -25,8 +25,11 @@
 //     contribution).
 //   - internal/core: the public facade tying everything together, including
 //     an online Expander that applies the paper's findings (dense cycles
-//     with a ~30% category ratio) as a practical query-expansion technique.
+//     with a ~30% category ratio) as a practical query-expansion technique,
+//     plus the batch serving layer (SearchAll / ExpandAll on bounded worker
+//     pools with a sharded LRU expansion cache).
 //
-// See DESIGN.md for the system inventory and the per-experiment index, and
-// EXPERIMENTS.md for paper-vs-measured results of every table and figure.
+// See DESIGN.md for the system inventory, the retrieval hot-path and batch
+// serving architecture, and the per-experiment benchmark index; cmd/qbench
+// prints paper-vs-measured results for every table and figure.
 package querygraph

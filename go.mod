@@ -1,0 +1,3 @@
+module github.com/querygraph/querygraph
+
+go 1.24

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// expandKey identifies one cached expansion: the raw keywords plus the
+// exact options used. ExpanderOptions is all scalar fields, so the struct
+// is comparable and usable as a map key directly.
+type expandKey struct {
+	keywords string
+	opts     ExpanderOptions
+}
+
+// expandCacheShards is the shard count (a power of two, so the shard pick
+// is a mask). Sharding keeps the cache off the batch layer's critical path:
+// concurrent workers lock distinct shards instead of one global mutex.
+const expandCacheShards = 16
+
+// expandCache is a sharded LRU over Expand results. Entries are shared
+// pointers — callers must treat cached Expansions as read-only.
+type expandCache struct {
+	shards       [expandCacheShards]cacheShard
+	hits, misses atomic.Uint64
+	capacity     int
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	items map[expandKey]*lruEntry
+	// Intrusive doubly-linked list in recency order; head is the most
+	// recently used entry, tail the eviction victim.
+	head, tail *lruEntry
+}
+
+type lruEntry struct {
+	key        expandKey
+	exp        *Expansion
+	prev, next *lruEntry
+}
+
+// newExpandCache sizes a cache for roughly capacity entries spread over the
+// shards; the per-shard capacity rounds up, and the effective total
+// (per-shard cap × shard count, what CacheStats reports as Capacity) is
+// what the cache actually enforces. capacity <= 0 disables caching
+// (returns nil, and the nil methods below make that a cheap no-op).
+func newExpandCache(capacity int) *expandCache {
+	if capacity <= 0 {
+		return nil
+	}
+	per := (capacity + expandCacheShards - 1) / expandCacheShards
+	c := &expandCache{capacity: per * expandCacheShards}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{cap: per, items: make(map[expandKey]*lruEntry, per)}
+	}
+	return c
+}
+
+// shardFor picks the shard by an FNV-1a hash of the keywords (the options
+// rarely vary within one workload, so the keywords carry the entropy).
+func (c *expandCache) shardFor(k expandKey) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.keywords); i++ {
+		h ^= uint32(k.keywords[i])
+		h *= 16777619
+	}
+	return &c.shards[h&(expandCacheShards-1)]
+}
+
+func (c *expandCache) get(k expandKey) (*Expansion, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	e, ok := s.items[k]
+	var exp *Expansion
+	if ok {
+		s.moveToFront(e)
+		// Copy under the lock: a concurrent put may update e.exp in place.
+		exp = e.exp
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return exp, true
+}
+
+func (c *expandCache) put(k expandKey, exp *Expansion) {
+	if c == nil {
+		return
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.items[k]; ok {
+		e.exp = exp
+		s.moveToFront(e)
+		return
+	}
+	if len(s.items) >= s.cap {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.items, victim.key)
+	}
+	e := &lruEntry{key: k, exp: exp}
+	s.items[k] = e
+	s.pushFront(e)
+}
+
+func (s *cacheShard) pushFront(e *lruEntry) {
+	e.prev, e.next = nil, s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheShard) unlink(e *lruEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheShard) moveToFront(e *lruEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// CacheStats reports the expansion cache's counters since construction.
+type CacheStats struct {
+	Hits     uint64
+	Misses   uint64
+	Entries  int
+	Capacity int
+}
+
+// HitRate is the fraction of lookups served from memory (0 when the cache
+// has never been consulted).
+func (cs CacheStats) HitRate() float64 {
+	total := cs.Hits + cs.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(cs.Hits) / float64(total)
+}
+
+func (c *expandCache) stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	cs := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Capacity: c.capacity}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		cs.Entries += len(s.items)
+		s.mu.Unlock()
+	}
+	return cs
+}

@@ -127,12 +127,32 @@ func (e *Expansion) Query(s *System) (search.Node, bool) {
 // the keywords, induce the Wikipedia neighborhood of the entities, mine
 // cycles containing an entity, keep the structurally promising cycles
 // (dense, category ratio around 30%), and rank the articles they introduce.
+//
+// Results are memoized per (keywords, options) in the system's sharded LRU
+// cache (see WithExpandCache), so repeated keywords hit memory. The
+// returned Expansion may be shared with the cache and other callers and
+// must be treated as read-only.
 func (s *System) Expand(keywords string, opts ExpanderOptions) (*Expansion, error) {
 	opts = opts.withDefaults()
 	if opts.MinCategoryRatio > opts.MaxCategoryRatio {
 		return nil, fmt.Errorf("core: invalid category ratio band [%g, %g]",
 			opts.MinCategoryRatio, opts.MaxCategoryRatio)
 	}
+	key := expandKey{keywords: keywords, opts: opts}
+	if exp, ok := s.expandCache.get(key); ok {
+		return exp, nil
+	}
+	exp, err := s.expand(keywords, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.expandCache.put(key, exp)
+	return exp, nil
+}
+
+// expand is the uncached expansion pipeline behind Expand; opts have
+// already been defaulted and validated.
+func (s *System) expand(keywords string, opts ExpanderOptions) (*Expansion, error) {
 	queryArts := s.LinkKeywords(keywords)
 	exp := &Expansion{Keywords: keywords, QueryArticles: queryArts}
 	if len(queryArts) == 0 {

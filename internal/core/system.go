@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/querygraph/querygraph/internal/corpus"
 	"github.com/querygraph/querygraph/internal/eval"
@@ -41,6 +42,9 @@ type System struct {
 	// every title query. The paper writes queries from article titles only;
 	// the option exists for the ablation benchmark.
 	includeKeywordTerms bool
+	// expandCache memoizes Expand results per (keywords, options); nil when
+	// caching is disabled.
+	expandCache *expandCache
 }
 
 // SystemOption configures NewSystem.
@@ -50,7 +54,12 @@ type systemConfig struct {
 	analyzer            *text.Analyzer
 	mu                  float64
 	includeKeywordTerms bool
+	expandCacheSize     int
 }
+
+// DefaultExpandCacheSize is the expansion cache capacity NewSystem uses
+// unless WithExpandCache overrides it.
+const DefaultExpandCacheSize = 1024
 
 // WithAnalyzer overrides the text analysis chain (default: stopword removal
 // plus Porter stemming, applied consistently to documents and queries).
@@ -69,6 +78,15 @@ func WithKeywordTerms(on bool) SystemOption {
 	return func(c *systemConfig) { c.includeKeywordTerms = on }
 }
 
+// WithExpandCache overrides the expansion cache capacity (default
+// DefaultExpandCacheSize). The cache is sharded 16 ways and the per-shard
+// capacity rounds up, so the enforced total — what CacheStats reports as
+// Capacity — is the given capacity rounded up to a multiple of 16.
+// capacity <= 0 disables caching entirely.
+func WithExpandCache(capacity int) SystemOption {
+	return func(c *systemConfig) { c.expandCacheSize = capacity }
+}
+
 // NewSystem indexes the collection and builds the engine and linker.
 func NewSystem(snap *wiki.Snapshot, coll *corpus.Collection, opts ...SystemOption) (*System, error) {
 	if snap == nil {
@@ -78,8 +96,9 @@ func NewSystem(snap *wiki.Snapshot, coll *corpus.Collection, opts ...SystemOptio
 		return nil, fmt.Errorf("core: nil collection")
 	}
 	cfg := systemConfig{
-		analyzer: text.NewAnalyzer(true, true),
-		mu:       search.DefaultMu,
+		analyzer:        text.NewAnalyzer(true, true),
+		mu:              search.DefaultMu,
+		expandCacheSize: DefaultExpandCacheSize,
 	}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -96,6 +115,7 @@ func NewSystem(snap *wiki.Snapshot, coll *corpus.Collection, opts ...SystemOptio
 		Linker:              linking.New(snap),
 		analyzer:            cfg.analyzer,
 		includeKeywordTerms: cfg.includeKeywordTerms,
+		expandCache:         newExpandCache(cfg.expandCacheSize),
 	}, nil
 }
 
@@ -195,7 +215,9 @@ func parallelism(requested int) int {
 }
 
 // forEachQuery runs fn over the indices [0, n) on a bounded worker pool,
-// returning the first error.
+// returning the first recorded error. Once any worker reports an error the
+// producer stops scheduling new indices, so a failing batch ends after at
+// most the work already in flight rather than grinding through the rest.
 func forEachQuery(n, workers int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
@@ -208,6 +230,7 @@ func forEachQuery(n, workers int, fn func(i int) error) error {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		failed   atomic.Bool
 	)
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -221,11 +244,12 @@ func forEachQuery(n, workers int, fn func(i int) error) error {
 						firstErr = err
 					}
 					mu.Unlock()
+					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !failed.Load(); i++ {
 		idx <- i
 	}
 	close(idx)

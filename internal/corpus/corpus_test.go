@@ -237,11 +237,18 @@ func TestReadCollection(t *testing.T) {
 // Property: encode→decode is lossless for the fields the pipeline uses.
 func TestRoundTripProperty(t *testing.T) {
 	f := func(id, file, name, desc, caption, comment string) bool {
-		// XML cannot carry arbitrary control bytes; restrict to printable input.
+		// XML 1.0 cannot carry arbitrary code points; restrict to the spec's
+		// character range (encoding/xml substitutes U+FFFD outside it, which
+		// would break the round trip) minus markup characters.
+		valid := func(r rune) bool {
+			return (r >= 0x20 && r <= 0xD7FF) ||
+				(r >= 0xE000 && r < 0xFFFD) ||
+				(r >= 0x10000 && r <= 0x10FFFF)
+		}
 		clean := func(s string) string {
 			var b strings.Builder
 			for _, r := range s {
-				if r >= 0x20 && r != '<' && r != '&' && r != '>' && r != 0xFFFD {
+				if valid(r) && r != '<' && r != '&' && r != '>' {
 					b.WriteRune(r)
 				}
 			}

@@ -175,8 +175,16 @@ func shiftIntersect(starts, next []uint32, offset uint32) []uint32 {
 // PhraseCollectionFreq returns the total occurrences of the exact phrase in
 // the collection.
 func (ix *Index) PhraseCollectionFreq(terms []string) int64 {
+	return PostingsCollectionFreq(ix.PhrasePostings(terms))
+}
+
+// PostingsCollectionFreq sums the occurrence counts of a postings list —
+// the collection frequency of whatever produced it. Callers that already
+// hold a phrase's postings use this instead of re-running the positional
+// intersection behind PhraseCollectionFreq.
+func PostingsCollectionFreq(postings []Posting) int64 {
 	var n int64
-	for _, p := range ix.PhrasePostings(terms) {
+	for _, p := range postings {
 		n += int64(len(p.Positions))
 	}
 	return n

@@ -3,7 +3,7 @@ package search
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"github.com/querygraph/querygraph/internal/corpus"
 	"github.com/querygraph/querygraph/internal/index"
@@ -31,6 +31,10 @@ type Engine struct {
 	ix *index.Index
 	an *text.Analyzer
 	mu float64
+
+	// scratch pools the dense per-search accumulators so concurrent
+	// searches don't contend and repeated searches don't reallocate.
+	scratch sync.Pool
 }
 
 // Option configures an Engine.
@@ -140,27 +144,65 @@ func flatten(n Node, w float64, out []leaf) ([]leaf, error) {
 	}
 }
 
+// scorerScratch holds the dense per-search working state. Accumulators are
+// keyed directly by the index's dense int32 doc IDs; epoch marking makes
+// reuse across searches O(candidates) instead of O(NumDocs) clearing.
+type scorerScratch struct {
+	acc   []float64 // acc[doc]: tf-dependent score mass of this search
+	epoch []uint32  // epoch[doc] == cur marks doc as a candidate
+	cur   uint32
+	docs  []int32 // candidate docs in first-touch order
+}
+
+func (e *Engine) getScratch() *scorerScratch {
+	sc, _ := e.scratch.Get().(*scorerScratch)
+	if sc == nil {
+		sc = &scorerScratch{}
+	}
+	if n := e.ix.NumDocs(); len(sc.acc) < n {
+		sc.acc = make([]float64, n)
+		sc.epoch = make([]uint32, n)
+		sc.cur = 0
+	}
+	sc.cur++
+	if sc.cur == 0 { // epoch counter wrapped: stale marks would alias
+		clear(sc.epoch)
+		sc.cur = 1
+	}
+	sc.docs = sc.docs[:0]
+	return sc
+}
+
 // Search evaluates the query and returns the top k documents by descending
 // score, ties broken by ascending document ID for determinism. Only
 // documents matching at least one leaf are candidates; k <= 0 returns all
-// candidates ranked.
+// candidates ranked. A query with no matching documents returns an empty
+// (non-nil) slice.
+//
+// The scorer is a doc-ordered accumulator merge: each leaf's postings are
+// walked once, folding that leaf's contribution into a dense per-document
+// accumulator. A document's Dirichlet query-likelihood score decomposes as
+//
+//	score(d) = Σ_l w_l·log(tf_l(d) + µ·pc_l) − (Σ_l w_l)·log(|d| + µ)
+//
+// so the merge accumulates the tf-dependent part only where tf > 0 (zeroSum
+// carries the tf = 0 baseline) and applies the length normalization once
+// per candidate. Ranking uses a bounded top-k heap instead of sorting every
+// candidate.
 func (e *Engine) Search(q Node, k int) ([]Result, error) {
 	leaves, err := flatten(q, 1, nil)
 	if err != nil {
 		return nil, err
 	}
 	if e.ix.NumDocs() == 0 || e.ix.TotalTokens() == 0 {
-		return nil, nil
+		return []Result{}, nil
 	}
 	total := float64(e.ix.TotalTokens())
 
-	type leafStats struct {
-		weight float64
-		pc     float64 // background probability
-		tf     map[int32]float64
-	}
-	stats := make([]leafStats, 0, len(leaves))
-	candidates := make(map[int32]struct{})
+	sc := e.getScratch()
+	defer e.scratch.Put(sc)
+
+	var zeroSum, weightSum float64
 	for _, lf := range leaves {
 		var postings []index.Posting
 		var cf int64
@@ -169,49 +211,40 @@ func (e *Engine) Search(q Node, k int) ([]Result, error) {
 			cf = e.ix.CollectionFreq(lf.terms[0])
 		} else {
 			postings = e.ix.PhrasePostings(lf.terms)
-			cf = 0
-			for _, p := range postings {
-				cf += int64(len(p.Positions))
+			cf = index.PostingsCollectionFreq(postings)
+		}
+		muPc := e.mu * math.Max(float64(cf), unseenFloor) / total
+		logMuPc := math.Log(muPc)
+		zeroSum += lf.weight * logMuPc
+		weightSum += lf.weight
+		for _, p := range postings {
+			delta := lf.weight * (math.Log(float64(len(p.Positions))+muPc) - logMuPc)
+			if sc.epoch[p.Doc] == sc.cur {
+				sc.acc[p.Doc] += delta
+			} else {
+				sc.epoch[p.Doc] = sc.cur
+				sc.acc[p.Doc] = delta
+				sc.docs = append(sc.docs, p.Doc)
 			}
 		}
-		ls := leafStats{
-			weight: lf.weight,
-			pc:     math.Max(float64(cf), unseenFloor) / total,
-			tf:     make(map[int32]float64, len(postings)),
-		}
-		for _, p := range postings {
-			ls.tf[p.Doc] = float64(len(p.Positions))
-			candidates[p.Doc] = struct{}{}
-		}
-		stats = append(stats, ls)
 	}
-	if len(candidates) == 0 {
-		return nil, nil
+	if len(sc.docs) == 0 {
+		return []Result{}, nil
 	}
 
-	results := make([]Result, 0, len(candidates))
-	for doc := range candidates {
+	if k <= 0 || k > len(sc.docs) {
+		k = len(sc.docs)
+	}
+	top := newTopK(k)
+	for _, doc := range sc.docs {
 		dl, err := e.ix.DocLen(doc)
 		if err != nil {
 			return nil, err
 		}
-		score := 0.0
-		for _, ls := range stats {
-			tf := ls.tf[doc]
-			score += ls.weight * math.Log((tf+e.mu*ls.pc)/(float64(dl)+e.mu))
-		}
-		results = append(results, Result{Doc: doc, Score: score})
+		score := zeroSum + sc.acc[doc] - weightSum*math.Log(float64(dl)+e.mu)
+		top.offer(Result{Doc: doc, Score: score})
 	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Score != results[j].Score {
-			return results[i].Score > results[j].Score
-		}
-		return results[i].Doc < results[j].Doc
-	})
-	if k > 0 && len(results) > k {
-		results = results[:k]
-	}
-	return results, nil
+	return top.ranked(), nil
 }
 
 // Docs extracts the document IDs of results in rank order.

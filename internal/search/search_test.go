@@ -138,9 +138,12 @@ func TestTopKTruncation(t *testing.T) {
 }
 
 func TestNoMatchesAndEmptyIndex(t *testing.T) {
+	// Contract: every no-result path returns an empty, non-nil slice, so
+	// len(rs) == 0 and range loops behave uniformly whether the query was
+	// truncated to nothing or never matched at all.
 	e := buildEngine(t, "alpha beta")
-	if rs := search(t, e, "missingterm", 10); rs != nil {
-		t.Errorf("no-match query = %+v, want nil", rs)
+	if rs := search(t, e, "missingterm", 10); rs == nil || len(rs) != 0 {
+		t.Errorf("no-match query = %#v, want empty non-nil slice", rs)
 	}
 	empty, err := NewEngine(index.New(), plain)
 	if err != nil {
@@ -151,8 +154,25 @@ func TestNoMatchesAndEmptyIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	rs, err := empty.Search(node, 5)
-	if err != nil || rs != nil {
-		t.Errorf("empty index search = %+v, %v", rs, err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs == nil || len(rs) != 0 {
+		t.Errorf("empty index search = %#v, want empty non-nil slice", rs)
+	}
+	// Zero-length documents only: the index has docs but no tokens.
+	zeroTok := index.New()
+	zeroTok.AddDocument(nil)
+	ze, err := NewEngine(zeroTok, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err = ze.Search(Term{Text: "anything"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs == nil || len(rs) != 0 {
+		t.Errorf("zero-token search = %#v, want empty non-nil slice", rs)
 	}
 }
 
