@@ -11,6 +11,7 @@
 package querygraph_test
 
 import (
+	"bytes"
 	"sync"
 	"testing"
 
@@ -455,6 +456,67 @@ func BenchmarkWorldGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := synth.Generate(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- snapshot startup path (internal/store) ----------------------------
+
+// BenchmarkRebuildSystem measures cold startup without a snapshot on the
+// default benchmark world: world generation plus system assembly (corpus
+// indexing, linker construction). This is the cost every qbench/qgraph run
+// used to pay — the baseline BenchmarkLoadSystem is compared against.
+func BenchmarkRebuildSystem(b *testing.B) {
+	e := benchSetup(b)
+	cfg := e.world.Config
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := synth.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.FromWorld(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSaveSystem measures encoding the full serving state plus query
+// benchmark into the binary snapshot format.
+func BenchmarkSaveSystem(b *testing.B) {
+	e := benchSetup(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := e.system.Save(&buf, e.queries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len())/(1<<20), "snapshotMiB")
+}
+
+// BenchmarkLoadSystem measures snapshot-based startup on the same default
+// world as BenchmarkRebuildSystem: decode graph, titles, corpus, index and
+// queries, then assemble the engine and linker. The roadmap's serving
+// requirement is that this is at least 5x faster than rebuilding
+// (world generation + indexing); in practice it is far more.
+func BenchmarkLoadSystem(b *testing.B) {
+	e := benchSetup(b)
+	var buf bytes.Buffer
+	if err := e.system.Save(&buf, e.queries); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, qs, err := core.LoadSystem(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s == nil || len(qs) != len(e.queries) {
+			b.Fatal("short load")
 		}
 	}
 }

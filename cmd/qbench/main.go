@@ -5,11 +5,16 @@
 // Usage:
 //
 //	qbench [-exp all|table2|table3|table4|fig5|fig6|fig7a|fig7b|fig9|text3|ablation|batch]
-//	       [-seed N] [-queries N] [-workers N]
+//	       [-seed N] [-queries N] [-workers N] [-load FILE.qgs]
 //
 // The batch experiment exercises the concurrent serving layer
 // (System.ExpandAll / System.SearchAll with the sharded expansion cache)
 // and reports queries/sec and the cache hit rate.
+//
+// With -load, the world is decoded from a binary snapshot written by
+// qgen -out world.qgs instead of being regenerated and re-indexed, so
+// experiments across runs (and machines) share one artifact and startup
+// is near-instant; -seed and -queries are ignored in that mode.
 package main
 
 import (
@@ -34,30 +39,19 @@ func main() {
 		seed    = flag.Int64("seed", 0, "world seed (0 = the default benchmark seed)")
 		queries = flag.Int("queries", 0, "number of benchmark queries (0 = default 50)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		load    = flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
 	)
 	flag.Parse()
 
-	cfg := synth.Default()
-	if *seed != 0 {
-		cfg.Seed = *seed
-	}
-	if *queries > 0 {
-		cfg.Queries = *queries
-	}
-
 	start := time.Now()
-	w, err := synth.Generate(cfg)
+	s, qs, fresh, err := buildWorld(*load, *seed, *queries)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := core.FromWorld(w)
-	if err != nil {
-		log.Fatal(err)
-	}
-	qs := core.QueriesFromWorld(w)
-	st := w.Snapshot.Stats()
-	fmt.Printf("world: seed %d, %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (built in %v)\n\n",
-		cfg.Seed, st.Articles, st.Redirects, st.Categories, st.Links, w.Collection.Len(), len(qs), time.Since(start).Round(time.Millisecond))
+	st := s.Snapshot.Stats()
+	fmt.Printf("world: %s, %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (ready in %v)\n\n",
+		worldSource(*load, *seed), st.Articles, st.Redirects, st.Categories, st.Links,
+		s.Collection.Len(), len(qs), time.Since(start).Round(time.Millisecond))
 
 	needAnalysis := *exp != "ablation" && *exp != "batch"
 	var analysis *core.Analysis
@@ -88,11 +82,11 @@ func main() {
 		// The analysis and ablation passes above warmed s's expansion
 		// cache; measure batch serving on a fresh system so the cold
 		// throughput and cache counters are honest.
-		fresh, err := core.FromWorld(w)
+		cold, err := fresh()
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := runBatch(fresh, qs, *workers); err != nil {
+		if err := runBatch(cold, qs, *workers); err != nil {
 			log.Fatal(err)
 		}
 	case "table2":
@@ -125,6 +119,55 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// buildWorld assembles the serving system and query set, either by
+// decoding a binary snapshot (path != "") or by generating and indexing
+// the synthetic world. fresh re-creates an identical cold system — by
+// re-decoding the snapshot or re-assembling from the generated world —
+// for experiments that need untouched caches.
+func buildWorld(path string, seed int64, queries int) (*core.System, []core.Query, func() (*core.System, error), error) {
+	if path != "" {
+		s, qs, err := core.LoadSystemFile(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if len(qs) == 0 {
+			return nil, nil, nil, fmt.Errorf("snapshot %s carries no query benchmark", path)
+		}
+		fresh := func() (*core.System, error) {
+			s, _, err := core.LoadSystemFile(path)
+			return s, err
+		}
+		return s, qs, fresh, nil
+	}
+	cfg := synth.Default()
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	if queries > 0 {
+		cfg.Queries = queries
+	}
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s, err := core.FromWorld(w)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fresh := func() (*core.System, error) { return core.FromWorld(w) }
+	return s, core.QueriesFromWorld(w), fresh, nil
+}
+
+func worldSource(path string, seed int64) string {
+	if path != "" {
+		return fmt.Sprintf("snapshot %s", path)
+	}
+	if seed == 0 {
+		seed = synth.Default().Seed
+	}
+	return fmt.Sprintf("seed %d", seed)
 }
 
 // runBatch drives the concurrent serving layer over the benchmark queries:
@@ -185,7 +228,7 @@ func runBatch(s *core.System, qs []core.Query, workers int) error {
 		qps(warmPasses*len(keywords), warm), warm.Round(time.Microsecond), warmPasses)
 	fmt.Printf("  SearchAll:      %10.0f queries/sec  (%v over %d passes, k=%d)\n",
 		qps(searchPasses*len(nodes), searched), searched.Round(time.Microsecond), searchPasses, core.MaxRank)
-	fmt.Printf("  expand cache:   %d/%d entries, %.1f%% hit rate (%d hits, %d misses)\n",
-		st.Entries, st.Capacity, 100*st.HitRate(), st.Hits, st.Misses)
+	fmt.Printf("  expand cache:   %d/%d entries, %.1f%% hit rate (%d hits, %d misses, %d deduped in flight)\n",
+		st.Entries, st.Capacity, 100*st.HitRate(), st.Hits, st.Misses, st.Deduped)
 	return nil
 }

@@ -1,11 +1,19 @@
 // Command qgen generates a synthetic benchmark world — Wikipedia snapshot,
-// ImageCLEF-shaped corpus and query set — and writes it to a directory:
+// ImageCLEF-shaped corpus and query set — and writes it out.
+//
+// With a directory -out (the default), it writes the text dumps:
 //
 //	corpus.xml   every image record (parsable by internal/corpus)
 //	queries.tsv  query id, topic, keywords, relevant doc ids
 //	wiki.tsv     knowledge-base dump (nodes and typed edges)
 //
-// Usage: qgen [-seed N] [-out DIR] [-topics N] [-docs N]
+// With an -out ending in ".qgs" (e.g. -out world.qgs), it instead builds
+// the full serving state — system assembly plus indexing — once, and
+// writes the versioned binary snapshot of internal/store. qbench, qgraph
+// and the examples load that artifact with -load and start serving
+// without re-running generation or indexing.
+//
+// Usage: qgen [-seed N] [-out DIR|FILE.qgs] [-topics N] [-docs N]
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"github.com/querygraph/querygraph/internal/core"
 	"github.com/querygraph/querygraph/internal/corpus"
 	"github.com/querygraph/querygraph/internal/graph"
 	"github.com/querygraph/querygraph/internal/synth"
@@ -27,7 +36,7 @@ func main() {
 	log.SetPrefix("qgen: ")
 	var (
 		seed   = flag.Int64("seed", 0, "world seed (0 = default)")
-		out    = flag.String("out", "world", "output directory")
+		out    = flag.String("out", "world", "output directory, or a .qgs file for a binary serving snapshot")
 		topics = flag.Int("topics", 0, "topic count (0 = default)")
 		docs   = flag.Int("docs", 0, "documents per topic (0 = default)")
 	)
@@ -47,6 +56,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if strings.HasSuffix(*out, ".qgs") {
+		if err := writeSnapshot(*out, w); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
@@ -62,6 +77,35 @@ func main() {
 	st := w.Snapshot.Stats()
 	fmt.Printf("wrote %s: %d articles, %d redirects, %d categories, %d docs, %d queries\n",
 		*out, st.Articles, st.Redirects, st.Categories, w.Collection.Len(), len(w.Queries))
+}
+
+// writeSnapshot assembles the serving system (indexing the collection)
+// and writes the binary snapshot with the query benchmark attached.
+func writeSnapshot(path string, w *synth.World) error {
+	s, err := core.FromWorld(w)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Save(f, core.QueriesFromWorld(w)); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	st := w.Snapshot.Stats()
+	fmt.Printf("wrote %s: %d articles, %d redirects, %d categories, %d docs, %d queries (%.1f MiB binary snapshot)\n",
+		path, st.Articles, st.Redirects, st.Categories, w.Collection.Len(), len(w.Queries),
+		float64(info.Size())/(1<<20))
+	return nil
 }
 
 func writeCorpus(path string, w *synth.World) error {

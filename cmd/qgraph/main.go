@@ -3,7 +3,11 @@
 // paper's Figures 3 and 4. With -dot it also writes the query graph in
 // Graphviz format.
 //
-// Usage: qgraph [-seed N] [-query N] [-dot FILE]
+// Usage: qgraph [-seed N] [-query N] [-dot FILE] [-load FILE.qgs]
+//
+// With -load, the world is decoded from a binary snapshot written by
+// qgen -out world.qgs instead of being regenerated and re-indexed
+// (-seed is ignored in that mode).
 package main
 
 import (
@@ -27,22 +31,33 @@ func main() {
 		seed    = flag.Int64("seed", 0, "world seed (0 = default)")
 		queryID = flag.Int("query", 0, "benchmark query to inspect")
 		dotFile = flag.String("dot", "", "write the query graph as Graphviz DOT to this file")
+		load    = flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
 	)
 	flag.Parse()
 
-	cfg := synth.Default()
-	if *seed != 0 {
-		cfg.Seed = *seed
+	var (
+		s   *core.System
+		qs  []core.Query
+		err error
+	)
+	if *load != "" {
+		if s, qs, err = core.LoadSystemFile(*load); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := synth.Default()
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		w, gerr := synth.Generate(cfg)
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
+		if s, err = core.FromWorld(w); err != nil {
+			log.Fatal(err)
+		}
+		qs = core.QueriesFromWorld(w)
 	}
-	w, err := synth.Generate(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s, err := core.FromWorld(w)
-	if err != nil {
-		log.Fatal(err)
-	}
-	qs := core.QueriesFromWorld(w)
 	if *queryID < 0 || *queryID >= len(qs) {
 		log.Fatalf("query %d out of range [0, %d)", *queryID, len(qs))
 	}

@@ -3,13 +3,13 @@
 // characteristics (length, category ratio, density of extra edges,
 // contribution), in the spirit of the paper's Figures 3, 4 and 8.
 //
-// Run: go run ./examples/cycleanalysis [query-id]
+// Run: go run ./examples/cycleanalysis [-load world.qgs] [query-id]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 	"strconv"
 	"strings"
 
@@ -23,24 +23,21 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	loadPath := flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
+	flag.Parse()
 	queryID := 3
-	if len(os.Args) > 1 {
-		id, err := strconv.Atoi(os.Args[1])
+	if flag.NArg() > 0 {
+		id, err := strconv.Atoi(flag.Arg(0))
 		if err != nil {
-			log.Fatalf("bad query id %q", os.Args[1])
+			log.Fatalf("bad query id %q", flag.Arg(0))
 		}
 		queryID = id
 	}
 
-	world, err := synth.Generate(synth.Default())
+	system, queries, err := buildOrLoad(*loadPath)
 	if err != nil {
 		log.Fatal(err)
 	}
-	system, err := core.FromWorld(world)
-	if err != nil {
-		log.Fatal(err)
-	}
-	queries := core.QueriesFromWorld(world)
 	if queryID < 0 || queryID >= len(queries) {
 		log.Fatalf("query id out of range [0, %d)", len(queries))
 	}
@@ -86,7 +83,7 @@ func main() {
 		}
 		names := make([]string, len(c.Nodes))
 		for i, n := range c.Nodes {
-			name := world.Snapshot.Name(sub.ToParent[n])
+			name := system.Snapshot.Name(sub.ToParent[n])
 			if sub.Kind(n) == graph.Category {
 				name = "[" + name + "]"
 			}
@@ -103,4 +100,21 @@ func main() {
 	if len(cs) == 0 {
 		fmt.Println("(no cycles around the query articles — try another query)")
 	}
+}
+
+// buildOrLoad assembles the serving system and queries, decoding a binary
+// snapshot when path is given and generating the default world otherwise.
+func buildOrLoad(path string) (*core.System, []core.Query, error) {
+	if path != "" {
+		return core.LoadSystemFile(path)
+	}
+	world, err := synth.Generate(synth.Default())
+	if err != nil {
+		return nil, nil, err
+	}
+	system, err := core.FromWorld(world)
+	if err != nil {
+		return nil, nil, err
+	}
+	return system, core.QueriesFromWorld(world), nil
 }

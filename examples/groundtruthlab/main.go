@@ -2,10 +2,11 @@
 // benchmark query via the ADD/REMOVE/SWAP local search and print the
 // Table 2-style precision statistics of the resulting ground truth.
 //
-// Run: go run ./examples/groundtruthlab
+// Run: go run ./examples/groundtruthlab [-load world.qgs]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -18,17 +19,34 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	cfg := synth.Default()
-	cfg.Queries = 20 // a fast subset; cmd/qbench runs the full set
-	world, err := synth.Generate(cfg)
-	if err != nil {
-		log.Fatal(err)
+	loadPath := flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
+	flag.Parse()
+
+	var (
+		system  *core.System
+		queries []core.Query
+	)
+	if *loadPath != "" {
+		var err error
+		system, queries, err = core.LoadSystemFile(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(queries) > 20 {
+			queries = queries[:20] // a fast subset; cmd/qbench runs the full set
+		}
+	} else {
+		cfg := synth.Default()
+		cfg.Queries = 20 // a fast subset; cmd/qbench runs the full set
+		world, err := synth.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if system, err = core.FromWorld(world); err != nil {
+			log.Fatal(err)
+		}
+		queries = core.QueriesFromWorld(world)
 	}
-	system, err := core.FromWorld(world)
-	if err != nil {
-		log.Fatal(err)
-	}
-	queries := core.QueriesFromWorld(world)
 
 	gts, err := system.BuildAllGroundTruths(queries, core.GroundTruthConfig{
 		Search: groundtruth.Config{Seed: 1},

@@ -2,10 +2,11 @@
 // ImageCLEF-style image-metadata collection, with and without cycle-based
 // query expansion, for every benchmark query.
 //
-// Run: go run ./examples/imagesearch
+// Run: go run ./examples/imagesearch [-load world.qgs]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,19 +18,34 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	world, err := synth.Generate(synth.Default())
-	if err != nil {
-		log.Fatal(err)
-	}
-	system, err := core.FromWorld(world)
-	if err != nil {
-		log.Fatal(err)
+	loadPath := flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
+	flag.Parse()
+
+	var (
+		system  *core.System
+		queries []core.Query
+	)
+	if *loadPath != "" {
+		var err error
+		system, queries, err = core.LoadSystemFile(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		world, err := synth.Generate(synth.Default())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if system, err = core.FromWorld(world); err != nil {
+			log.Fatal(err)
+		}
+		queries = core.QueriesFromWorld(world)
 	}
 
 	fmt.Printf("%-4s  %-34s  %8s  %8s  %8s\n", "q", "keywords", "baseline", "expanded", "gain")
 	var baseSum, expSum float64
 	n := 0
-	for _, q := range world.Queries {
+	for _, q := range queries {
 		relevant := eval.NewRelevance(q.Relevant)
 		queryArts := system.LinkKeywords(q.Keywords)
 

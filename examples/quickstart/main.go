@@ -1,12 +1,22 @@
-// Quickstart: generate a small synthetic world, expand one query with the
-// cycle-based expander, and inspect the proposed expansion features.
+// Quickstart: build (or load) a small synthetic world, expand one query
+// with the cycle-based expander, and inspect the proposed expansion
+// features.
 //
 // Run: go run ./examples/quickstart
+//
+// The serving state can be persisted and restored through the binary
+// snapshot subsystem (internal/store):
+//
+//	go run ./examples/quickstart -save world.qgs   # build once
+//	go run ./examples/quickstart -load world.qgs   # serve instantly
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"github.com/querygraph/querygraph/internal/core"
 	"github.com/querygraph/querygraph/internal/synth"
@@ -14,33 +24,70 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	loadPath := flag.String("load", "", "load a binary world snapshot (.qgs) instead of generating")
+	savePath := flag.String("save", "", "after generating, save the serving state to this .qgs file")
+	flag.Parse()
 
-	// 1. A deterministic world: Wikipedia-shaped knowledge base, an
-	//    ImageCLEF-shaped document collection and a query benchmark.
-	cfg := synth.Default()
-	cfg.Topics = 10
-	cfg.DocsPerTopic = 30
-	cfg.Queries = 10
-	world, err := synth.Generate(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
+	var (
+		system  *core.System
+		queries []core.Query
+	)
+	if *loadPath != "" {
+		// 1b. Load a previously saved serving state: the knowledge base,
+		//     collection, index and benchmark decode directly — nothing is
+		//     regenerated or re-indexed.
+		start := time.Now()
+		var err error
+		system, queries, err = core.LoadSystemFile(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %s in %v\n", *loadPath, time.Since(start).Round(time.Millisecond))
+	} else {
+		// 1. A deterministic world: Wikipedia-shaped knowledge base, an
+		//    ImageCLEF-shaped document collection and a query benchmark.
+		cfg := synth.Default()
+		cfg.Topics = 10
+		cfg.DocsPerTopic = 30
+		cfg.Queries = 10
+		world, err := synth.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 
-	// 2. Assemble the system: index the collection, build the engine and
-	//    the entity linker.
-	system, err := core.FromWorld(world)
-	if err != nil {
-		log.Fatal(err)
+		// 2. Assemble the system: index the collection, build the engine
+		//    and the entity linker.
+		system, err = core.FromWorld(world)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries = core.QueriesFromWorld(world)
+		if *savePath != "" {
+			f, err := os.Create(*savePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := system.Save(f, queries); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("saved serving state to %s\n", *savePath)
+		}
 	}
-	stats := world.Snapshot.Stats()
+	stats := system.Snapshot.Stats()
 	fmt.Printf("knowledge base: %d articles, %d redirects, %d categories\n",
 		stats.Articles, stats.Redirects, stats.Categories)
-	fmt.Printf("collection: %d documents\n\n", world.Collection.Len())
+	fmt.Printf("collection: %d documents\n\n", system.Collection.Len())
+	if len(queries) == 0 {
+		log.Fatal("no benchmark queries available")
+	}
 
 	// 3. Expand a benchmark query with the paper's findings: mine cycles of
 	//    length <= 5 around the query entities and keep the dense ones with
 	//    a category ratio around 30%.
-	query := world.Queries[0]
+	query := queries[0]
 	fmt.Printf("query: %q\n", query.Keywords)
 
 	expansion, err := system.Expand(query.Keywords, core.DefaultExpanderOptions())
@@ -49,7 +96,7 @@ func main() {
 	}
 	fmt.Printf("linked entities:\n")
 	for _, id := range expansion.QueryArticles {
-		fmt.Printf("  - %s\n", world.Snapshot.Name(id))
+		fmt.Printf("  - %s\n", system.Snapshot.Name(id))
 	}
 	fmt.Printf("cycles: %d considered, %d accepted by the structural filters\n",
 		expansion.CyclesConsidered, expansion.CyclesAccepted)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -18,22 +19,42 @@ type expandKey struct {
 // concurrent workers lock distinct shards instead of one global mutex.
 const expandCacheShards = 16
 
-// expandCache is a sharded LRU over Expand results. Entries are shared
-// pointers — callers must treat cached Expansions as read-only.
+// expandCache is a sharded LRU over Expand results with single-flight
+// deduplication of concurrent cold misses. Entries are shared pointers —
+// callers must treat cached Expansions as read-only.
 type expandCache struct {
-	shards       [expandCacheShards]cacheShard
-	hits, misses atomic.Uint64
-	capacity     int
+	shards   [expandCacheShards]cacheShard
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	deduped  atomic.Uint64
+	capacity int
 }
 
 type cacheShard struct {
 	mu    sync.Mutex
 	cap   int
 	items map[expandKey]*lruEntry
+	// flight tracks keys whose pipeline run is in progress, so concurrent
+	// cold misses on the same key wait for the leader instead of running
+	// the pipeline again (single-flight).
+	flight map[expandKey]*flightCall
 	// Intrusive doubly-linked list in recency order; head is the most
 	// recently used entry, tail the eviction victim.
 	head, tail *lruEntry
 }
+
+// flightCall is one in-progress pipeline run; followers block on done and
+// then read exp/err, which the leader sets before closing the channel.
+type flightCall struct {
+	done chan struct{}
+	exp  *Expansion
+	err  error
+}
+
+// errExpandAborted is what followers observe when the leader's pipeline
+// call panicked instead of returning: the flight entry is torn down in a
+// defer, so waiters unblock with a real error rather than a nil result.
+var errExpandAborted = errors.New("core: expansion aborted: in-flight pipeline panicked")
 
 type lruEntry struct {
 	key        expandKey
@@ -97,7 +118,67 @@ func (c *expandCache) put(k expandKey, exp *Expansion) {
 	}
 	s := c.shardFor(k)
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.insert(k, exp)
+	s.mu.Unlock()
+}
+
+// getOrDo is the single-flight lookup behind Expand: a cached entry is
+// returned immediately (hit); otherwise the first caller per key becomes
+// the leader, runs fn and caches its result, while concurrent callers of
+// the same key block until the leader finishes and share its result and
+// error (deduped). A nil cache degrades to calling fn directly — with
+// caching disabled there is nowhere to publish in-flight state.
+//
+// fn runs outside the shard lock, so slow pipelines only serialize callers
+// of the same key, never the shard. Errors are returned to every waiter
+// but never cached: the next lookup after a failure leads a fresh run.
+func (c *expandCache) getOrDo(k expandKey, fn func() (*Expansion, error)) (*Expansion, error) {
+	if c == nil {
+		return fn()
+	}
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if e, ok := s.items[k]; ok {
+		s.moveToFront(e)
+		exp := e.exp
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return exp, nil
+	}
+	if fl, ok := s.flight[k]; ok {
+		s.mu.Unlock()
+		c.deduped.Add(1)
+		<-fl.done
+		return fl.exp, fl.err
+	}
+	fl := &flightCall{done: make(chan struct{})}
+	if s.flight == nil {
+		s.flight = make(map[expandKey]*flightCall)
+	}
+	s.flight[k] = fl
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	completed := false
+	defer func() {
+		if !completed { // fn panicked: fail the waiters, then re-panic
+			fl.exp, fl.err = nil, errExpandAborted
+		}
+		s.mu.Lock()
+		delete(s.flight, k)
+		if fl.err == nil {
+			s.insert(k, fl.exp)
+		}
+		s.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.exp, fl.err = fn()
+	completed = true
+	return fl.exp, fl.err
+}
+
+// insert adds or refreshes an entry; the caller holds s.mu.
+func (s *cacheShard) insert(k expandKey, exp *Expansion) {
 	if e, ok := s.items[k]; ok {
 		e.exp = exp
 		s.moveToFront(e)
@@ -148,27 +229,39 @@ func (s *cacheShard) moveToFront(e *lruEntry) {
 
 // CacheStats reports the expansion cache's counters since construction.
 type CacheStats struct {
-	Hits     uint64
-	Misses   uint64
+	// Hits counts lookups served from a cached entry; Misses counts
+	// lookups that led a pipeline run; Deduped counts lookups that joined
+	// another caller's in-flight run of the same key (single-flight)
+	// instead of running the pipeline again.
+	Hits    uint64
+	Misses  uint64
+	Deduped uint64
+
 	Entries  int
 	Capacity int
 }
 
-// HitRate is the fraction of lookups served from memory (0 when the cache
-// has never been consulted).
+// HitRate is the fraction of lookups that did not run the pipeline —
+// cache hits plus single-flight followers — over all lookups (0 when the
+// cache has never been consulted).
 func (cs CacheStats) HitRate() float64 {
-	total := cs.Hits + cs.Misses
+	total := cs.Hits + cs.Misses + cs.Deduped
 	if total == 0 {
 		return 0
 	}
-	return float64(cs.Hits) / float64(total)
+	return float64(cs.Hits+cs.Deduped) / float64(total)
 }
 
 func (c *expandCache) stats() CacheStats {
 	if c == nil {
 		return CacheStats{}
 	}
-	cs := CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Capacity: c.capacity}
+	cs := CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Deduped:  c.deduped.Load(),
+		Capacity: c.capacity,
+	}
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()

@@ -129,9 +129,11 @@ func (e *Expansion) Query(s *System) (search.Node, bool) {
 // (dense, category ratio around 30%), and rank the articles they introduce.
 //
 // Results are memoized per (keywords, options) in the system's sharded LRU
-// cache (see WithExpandCache), so repeated keywords hit memory. The
-// returned Expansion may be shared with the cache and other callers and
-// must be treated as read-only.
+// cache (see WithExpandCache), so repeated keywords hit memory, and
+// concurrent cold misses on the same key are single-flighted: one caller
+// runs the pipeline, the others wait and share its result. The returned
+// Expansion may be shared with the cache and other callers and must be
+// treated as read-only.
 func (s *System) Expand(keywords string, opts ExpanderOptions) (*Expansion, error) {
 	opts = opts.withDefaults()
 	if opts.MinCategoryRatio > opts.MaxCategoryRatio {
@@ -139,20 +141,15 @@ func (s *System) Expand(keywords string, opts ExpanderOptions) (*Expansion, erro
 			opts.MinCategoryRatio, opts.MaxCategoryRatio)
 	}
 	key := expandKey{keywords: keywords, opts: opts}
-	if exp, ok := s.expandCache.get(key); ok {
-		return exp, nil
-	}
-	exp, err := s.expand(keywords, opts)
-	if err != nil {
-		return nil, err
-	}
-	s.expandCache.put(key, exp)
-	return exp, nil
+	return s.expandCache.getOrDo(key, func() (*Expansion, error) {
+		return s.expand(keywords, opts)
+	})
 }
 
 // expand is the uncached expansion pipeline behind Expand; opts have
 // already been defaulted and validated.
 func (s *System) expand(keywords string, opts ExpanderOptions) (*Expansion, error) {
+	s.expandCalls.Add(1)
 	queryArts := s.LinkKeywords(keywords)
 	exp := &Expansion{Keywords: keywords, QueryArticles: queryArts}
 	if len(queryArts) == 0 {

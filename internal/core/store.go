@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/querygraph/querygraph/internal/linking"
+	"github.com/querygraph/querygraph/internal/search"
+	"github.com/querygraph/querygraph/internal/store"
+	"github.com/querygraph/querygraph/internal/text"
+)
+
+// Save writes the system's complete serving state — knowledge base, corpus,
+// positional index and engine configuration — plus an optional query
+// benchmark as a versioned, checksummed binary snapshot (internal/store).
+// LoadSystem on the written bytes serves bit-identical Search, Expand and
+// Analyze results without re-running world generation, relevant-text
+// extraction, entity-dictionary construction or indexing.
+func (s *System) Save(w io.Writer, queries []Query) error {
+	arch := &store.Archive{
+		Mu:                  s.Engine.Mu(),
+		IncludeKeywordTerms: s.includeKeywordTerms,
+		RemoveStopwords:     s.analyzer.RemovesStopwords(),
+		Stem:                s.analyzer.Stems(),
+		Snapshot:            s.Snapshot,
+		Collection:          s.Collection,
+		Index:               s.Engine.Index(),
+	}
+	if len(queries) > 0 {
+		arch.Queries = make([]store.Query, len(queries))
+		for i, q := range queries {
+			arch.Queries[i] = store.Query(q)
+		}
+	}
+	return store.Write(w, arch)
+}
+
+// LoadSystem decodes a snapshot written by Save and assembles a serving
+// System around the decoded state. This is the build-once/serve-instantly
+// startup path: the graph, title dictionary, corpus and inverted index are
+// decoded directly through the substrate Load constructors, not rebuilt,
+// so startup cost is dominated by reading the bytes (BenchmarkLoadSystem
+// vs BenchmarkRebuildSystem). The snapshot's engine configuration — mu,
+// keyword-term inclusion, analyzer steps — is restored first and opts
+// apply on top, so WithExpandCache and friends compose; note that
+// WithAnalyzer only changes query-side analysis (the stored index keeps
+// the terms it was built with) and will normally break score parity.
+// The saved query benchmark is returned alongside (empty when none was
+// saved).
+// LoadSystemFile is LoadSystem over a snapshot file path — the one-liner
+// every -load flag (qbench, qgraph, the examples) goes through.
+func LoadSystemFile(path string, opts ...SystemOption) (*System, []Query, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return LoadSystem(f, opts...)
+}
+
+func LoadSystem(r io.Reader, opts ...SystemOption) (*System, []Query, error) {
+	arch, err := store.Read(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := systemConfig{
+		analyzer:            text.NewAnalyzer(arch.RemoveStopwords, arch.Stem),
+		mu:                  arch.Mu,
+		includeKeywordTerms: arch.IncludeKeywordTerms,
+		expandCacheSize:     DefaultExpandCacheSize,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	engine, err := search.NewEngine(arch.Index, cfg.analyzer, search.WithMu(cfg.mu))
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: load: %w", err)
+	}
+	var queries []Query
+	if len(arch.Queries) > 0 {
+		queries = make([]Query, len(arch.Queries))
+		for i, q := range arch.Queries {
+			queries[i] = Query(q)
+		}
+	}
+	return &System{
+		Snapshot:            arch.Snapshot,
+		Collection:          arch.Collection,
+		Engine:              engine,
+		Linker:              linking.New(arch.Snapshot),
+		analyzer:            cfg.analyzer,
+		includeKeywordTerms: cfg.includeKeywordTerms,
+		expandCache:         newExpandCache(cfg.expandCacheSize),
+	}, queries, nil
+}

@@ -45,6 +45,9 @@ type System struct {
 	// expandCache memoizes Expand results per (keywords, options); nil when
 	// caching is disabled.
 	expandCache *expandCache
+	// expandCalls counts invocations of the uncached expansion pipeline —
+	// the observable the single-flight regression tests assert on.
+	expandCalls atomic.Uint64
 }
 
 // SystemOption configures NewSystem.

@@ -47,6 +47,27 @@ func (c *Collection) Add(im Image) (DocID, error) {
 	return id, nil
 }
 
+// LoadCollection reassembles a collection from decoded documents, keeping
+// their stored relevant text instead of re-running the Figure 2 extraction.
+// This is the decode path of the binary snapshot subsystem (internal/store).
+// Documents must carry the dense IDs they were saved with, i.e. their slice
+// positions; the slice is owned by the collection afterwards.
+func LoadCollection(docs []Document) (*Collection, error) {
+	c := &Collection{docs: docs, byExt: make(map[string]DocID, len(docs))}
+	for i, d := range docs {
+		if d.ID != DocID(i) {
+			return nil, fmt.Errorf("corpus: load: document at position %d carries id %d", i, d.ID)
+		}
+		if d.Image.ID != "" {
+			if prev, ok := c.byExt[d.Image.ID]; ok {
+				return nil, fmt.Errorf("corpus: load: duplicate external id %q (doc %d)", d.Image.ID, prev)
+			}
+			c.byExt[d.Image.ID] = d.ID
+		}
+	}
+	return c, nil
+}
+
 // Len returns the number of documents.
 func (c *Collection) Len() int { return len(c.docs) }
 

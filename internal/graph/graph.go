@@ -128,6 +128,46 @@ func (g *Graph) AddEdge(from, to NodeID, kind EdgeKind) error {
 	return nil
 }
 
+// Load reconstructs a graph directly from its raw adjacency — node kinds
+// and per-node outgoing arc lists in stored order — without replaying
+// AddEdge's per-edge duplicate scan. This is the decode path of the binary
+// snapshot subsystem (internal/store): the input is trusted to originate
+// from a Graph (it is checksummed on disk), so only structural bounds are
+// validated. The incoming-arc lists are derived; their internal order is
+// unspecified, which is safe because no exported API exposes it unsorted.
+// The given slices are owned by the graph afterwards.
+func Load(kinds []NodeKind, out [][]Arc) (*Graph, error) {
+	if len(kinds) != len(out) {
+		return nil, fmt.Errorf("graph: load: %d kinds but %d adjacency lists", len(kinds), len(out))
+	}
+	n := len(kinds)
+	g := &Graph{kinds: kinds, out: out, in: make([][]Arc, n)}
+	indeg := make([]int, n)
+	for from, arcs := range out {
+		for _, a := range arcs {
+			if int(a.To) >= n {
+				return nil, fmt.Errorf("graph: load: arc %d->%d beyond %d nodes", from, a.To, n)
+			}
+			if int(a.To) == from {
+				return nil, fmt.Errorf("graph: load: self-loop on node %d", from)
+			}
+			indeg[a.To]++
+			g.edges++
+		}
+	}
+	for to, d := range indeg {
+		if d > 0 {
+			g.in[to] = make([]Arc, 0, d)
+		}
+	}
+	for from, arcs := range out {
+		for _, a := range arcs {
+			g.in[a.To] = append(g.in[a.To], Arc{To: NodeID(from), Kind: a.Kind})
+		}
+	}
+	return g, nil
+}
+
 // NumNodes returns the number of nodes.
 func (g *Graph) NumNodes() int { return len(g.kinds) }
 

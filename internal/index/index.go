@@ -63,6 +63,52 @@ func (ix *Index) AddDocument(tokens []string) int32 {
 	return doc
 }
 
+// Load reconstructs an index directly from its decoded state — document
+// lengths, vocabulary and per-term postings — bypassing AddDocument: no
+// tokens are replayed and no postings are re-merged. This is the decode
+// path of the binary snapshot subsystem (internal/store). Collection
+// frequencies and the collection length are derived in one pass over the
+// input, which is validated for shape (doc bounds, ascending postings,
+// non-empty position lists) so a corrupted snapshot fails loudly instead
+// of silently corrupting scoring. The slices are owned by the index
+// afterwards.
+func Load(docLens []int64, terms []string, postings [][]Posting) (*Index, error) {
+	if len(terms) != len(postings) {
+		return nil, fmt.Errorf("index: load: %d terms but %d postings lists", len(terms), len(postings))
+	}
+	ix := &Index{
+		dict:     make(map[string]int32, len(terms)),
+		terms:    terms,
+		postings: postings,
+		colFreq:  make([]int64, len(terms)),
+		docLens:  docLens,
+	}
+	for doc, dl := range docLens {
+		if dl < 0 {
+			return nil, fmt.Errorf("index: load: negative length %d for doc %d", dl, doc)
+		}
+		ix.total += dl
+	}
+	for tid, term := range terms {
+		if _, dup := ix.dict[term]; dup {
+			return nil, fmt.Errorf("index: load: duplicate term %q", term)
+		}
+		ix.dict[term] = int32(tid)
+		prev := int32(-1)
+		for _, p := range postings[tid] {
+			if p.Doc <= prev || int(p.Doc) >= len(docLens) {
+				return nil, fmt.Errorf("index: load: term %q: doc %d out of order or out of range", term, p.Doc)
+			}
+			if len(p.Positions) == 0 {
+				return nil, fmt.Errorf("index: load: term %q: empty posting for doc %d", term, p.Doc)
+			}
+			prev = p.Doc
+			ix.colFreq[tid] += int64(len(p.Positions))
+		}
+	}
+	return ix, nil
+}
+
 // NumDocs returns the number of indexed documents.
 func (ix *Index) NumDocs() int { return len(ix.docLens) }
 

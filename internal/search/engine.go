@@ -67,6 +67,9 @@ func (e *Engine) Analyzer() *text.Analyzer { return e.an }
 // Index returns the underlying index.
 func (e *Engine) Index() *index.Index { return e.ix }
 
+// Mu returns the engine's Dirichlet smoothing parameter.
+func (e *Engine) Mu() float64 { return e.mu }
+
 // IndexCollection analyzes and indexes every document of the collection in
 // dense-ID order, so corpus.DocID and index doc IDs coincide. It returns the
 // populated index.

@@ -1,0 +1,81 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/text"
+)
+
+// FuzzParse drives ParseQuery with arbitrary input. The parser's contract
+// under fuzzing:
+//
+//   - it never panics — syntax problems are errors, not crashes;
+//   - err == nil implies a non-nil Node;
+//   - an accepted query renders (Node.String is documented as
+//     parse-compatible) back into a query the parser accepts again, with
+//     one carve-out: analysis is not idempotent, so re-analyzing already
+//     analyzed terms may collapse the query to nothing (found by fuzzing:
+//     "BYS" stems to "by", which is a stopword). That specific "analyzes
+//     to nothing" outcome is legal; any other re-parse failure is a bug.
+//
+// Both the full analysis chain and the bare tokenizing analyzer run, since
+// stopword removal changes which constructs collapse to nothing.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"gondola in venice",
+		"grand canal venice",
+		"#combine(a b c)",
+		"#1(grand canal)",
+		"#weight(0.7 venice 0.3 #1(grand canal))",
+		"#weight(1 #combine(a) 2 b)",
+		"#combine(#combine(a) #1(b c) #weight(1 d))",
+		"#combine(the of and)", // stopwords only: analyzes to nothing
+		"#1()",
+		"#combine()",
+		"#weight()",
+		"#weight(x y)",
+		"#weight(-1 a)",
+		"#weight(1e300 a 2.5e-7 b)",
+		"#1(a #combine(b))",
+		"#2(a b)",
+		"#",
+		"##",
+		"#combine(a",
+		"#1(a b",
+		"((((",
+		"))))",
+		")a(",
+		"word#word",
+		"süß #1(ñ ü)",
+		"\x00\xff\xfe",
+		"#weight(0 a 0 b)",
+		"#weight(NaN a)",
+		"#weight(Inf a)",
+	} {
+		f.Add(seed)
+	}
+	full := text.NewAnalyzer(true, true)
+	bare := &text.Analyzer{}
+	f.Fuzz(func(t *testing.T, query string) {
+		for _, an := range []*text.Analyzer{full, bare} {
+			node, err := ParseQuery(query, an)
+			if err != nil {
+				if node != nil {
+					t.Fatalf("ParseQuery(%q) returned both a node and error %v", query, err)
+				}
+				continue
+			}
+			if node == nil {
+				t.Fatalf("ParseQuery(%q) returned nil node without error", query)
+			}
+			rendered := node.String()
+			if _, err := ParseQuery(rendered, an); err != nil &&
+				!strings.Contains(err.Error(), "analyzes to nothing") {
+				t.Fatalf("ParseQuery(%q) accepted, but its rendering %q does not re-parse: %v",
+					query, rendered, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+// Package store implements the versioned, checksummed binary snapshot
+// format that persists a complete serving state — the wiki knowledge base,
+// the document collection, the positional inverted index and the query
+// benchmark — so that serving startup is a decode, not a rebuild: world
+// generation, entity-dictionary construction and corpus indexing are all
+// paid once at build time (cmd/qgen -out world.qgs) and never again
+// (cmd/qbench -load, cmd/qgraph -load, core.LoadSystem).
+//
+// # Layout
+//
+//	offset 0   magic "QGSNAP\r\n" (8 bytes; \r\n catches text-mode mangling)
+//	offset 8   format version, uint16 little-endian
+//	then       seven sections, in fixed order:
+//
+//	  tag  section    payload
+//	  'M'  meta       engine configuration: mu (float64 bits), keyword-term
+//	                  inclusion, analyzer steps (stopword removal, stemming)
+//	  'S'  strings    deduplicated string table; every other section refers
+//	                  to strings by uvarint table index ("ref")
+//	  'G'  graph      node kinds + per-node out-arc lists in stored order
+//	  'N'  names      one ref per node (display titles)
+//	  'C'  corpus     ImageCLEF records by ref, plus the precomputed
+//	                  relevant text so Figure 2 extraction is not re-run
+//	  'I'  index      doc lengths, vocabulary refs and positional postings
+//	                  with varint delta compression (doc gaps, position gaps)
+//	  'Q'  queries    the benchmark: id, keywords ref, relevant doc ids
+//
+// Every section is framed as
+//
+//	tag (1 byte) | payload length (uvarint) | payload | CRC32-IEEE (4 bytes LE)
+//
+// so a truncated or bit-flipped file fails loudly with the offending
+// section named, instead of decoding into a silently corrupt system. All
+// multi-byte integers inside payloads are varints; floats are IEEE-754
+// bits, little-endian.
+//
+// # Version policy
+//
+// Version is bumped on any incompatible layout change; readers reject
+// unknown versions rather than guessing. There is no cross-version
+// migration: a snapshot is a cache of a deterministic build, so the
+// recovery path for an old file is to regenerate it, never to migrate it.
+package store
+
+import (
+	"github.com/querygraph/querygraph/internal/corpus"
+	"github.com/querygraph/querygraph/internal/index"
+	"github.com/querygraph/querygraph/internal/wiki"
+)
+
+// Magic identifies a querygraph snapshot file.
+const Magic = "QGSNAP\r\n"
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// Section tags, in file order.
+const (
+	secMeta    = 'M'
+	secStrings = 'S'
+	secGraph   = 'G'
+	secNames   = 'N'
+	secCorpus  = 'C'
+	secIndex   = 'I'
+	secQueries = 'Q'
+)
+
+// sectionName names a tag for error messages.
+func sectionName(tag byte) string {
+	switch tag {
+	case secMeta:
+		return "meta"
+	case secStrings:
+		return "strings"
+	case secGraph:
+		return "graph"
+	case secNames:
+		return "names"
+	case secCorpus:
+		return "corpus"
+	case secIndex:
+		return "index"
+	case secQueries:
+		return "queries"
+	}
+	return "unknown"
+}
+
+// sectionOrder is the fixed on-disk section sequence.
+var sectionOrder = []byte{secMeta, secStrings, secGraph, secNames, secCorpus, secIndex, secQueries}
+
+// Query is one benchmark query carried alongside the serving state.
+type Query struct {
+	ID       int
+	Keywords string
+	Relevant []int32
+}
+
+// Archive is the decoded (or to-be-encoded) content of one snapshot file:
+// everything core.LoadSystem needs to assemble a serving System without
+// reconstruction.
+type Archive struct {
+	// Engine configuration.
+	Mu                  float64
+	IncludeKeywordTerms bool
+	RemoveStopwords     bool
+	Stem                bool
+
+	Snapshot   *wiki.Snapshot
+	Collection *corpus.Collection
+	Index      *index.Index
+	Queries    []Query
+}

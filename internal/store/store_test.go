@@ -1,0 +1,394 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/corpus"
+	"github.com/querygraph/querygraph/internal/index"
+	"github.com/querygraph/querygraph/internal/wiki"
+)
+
+// testArchive hand-builds a small but fully featured archive: redirects,
+// multi-category articles, captions, phrase-bearing postings and queries.
+func testArchive(t *testing.T) *Archive {
+	t.Helper()
+	b := wiki.NewBuilder(8)
+	catA, err := b.AddCategory("waterways")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catB, err := b.AddCategory("venetian gothic buildings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	venice, err := b.AddArticle("venice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canal, err := b.AddArticle("grand canal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	palace, err := b.AddArticle("doge palace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddRedirect("canalazzo", canal); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddBelongs(venice, catA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddBelongs(canal, catA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddBelongs(palace, catB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddInside(catB, catA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLink(venice, canal); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLink(canal, venice); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLink(palace, venice); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coll := &corpus.Collection{}
+	for i, im := range []corpus.Image{
+		{
+			ID: "100001", File: "images/0/100001.jpg", Name: "Grand Canal.jpg",
+			Texts: []corpus.Text{{
+				Lang:        "en",
+				Description: "a gondola on the grand canal",
+				Captions:    []corpus.Caption{{Article: "text/en/1", Value: "grand canal at dusk"}},
+			}},
+			Comment: "({{Information |Description= venice waterway |Source= synth }})",
+			License: "GFDL",
+		},
+		{
+			ID: "100002", File: "images/0/100002.jpg", Name: "Doge Palace.jpg",
+			Texts: []corpus.Text{
+				{Lang: "en", Description: "doge palace facade"},
+				{Lang: "de", Description: "der dogenpalast"},
+			},
+			License: "GFDL",
+		},
+		{ID: "100003", File: "images/0/100003.jpg", Name: "Venice.jpg"},
+	} {
+		if _, err := coll.Add(im); err != nil {
+			t.Fatalf("doc %d: %v", i, err)
+		}
+	}
+
+	ix := index.New()
+	ix.AddDocument([]string{"gondola", "grand", "canal", "grand", "canal"})
+	ix.AddDocument([]string{"doge", "palace", "facade"})
+	ix.AddDocument([]string{"venice"})
+
+	return &Archive{
+		Mu:                  1750,
+		IncludeKeywordTerms: true,
+		RemoveStopwords:     true,
+		Stem:                false,
+		Snapshot:            snap,
+		Collection:          coll,
+		Index:               ix,
+		Queries: []Query{
+			{ID: 0, Keywords: "gondola in venice", Relevant: []int32{0, 2}},
+			{ID: 7, Keywords: "doge palace", Relevant: []int32{1}},
+		},
+	}
+}
+
+func encodeArchive(t *testing.T, a *Archive) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	a := testArchive(t)
+	data := encodeArchive(t, a)
+	got, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Mu != a.Mu || got.IncludeKeywordTerms != a.IncludeKeywordTerms ||
+		got.RemoveStopwords != a.RemoveStopwords || got.Stem != a.Stem {
+		t.Errorf("meta mismatch: got %+v", got)
+	}
+	// Snapshot: same stats, names, redirects and title lookups.
+	if !reflect.DeepEqual(got.Snapshot.Stats(), a.Snapshot.Stats()) {
+		t.Errorf("snapshot stats: got %+v, want %+v", got.Snapshot.Stats(), a.Snapshot.Stats())
+	}
+	if !reflect.DeepEqual(got.Snapshot.Graph().Edges(), a.Snapshot.Graph().Edges()) {
+		t.Error("graph edges differ")
+	}
+	if !reflect.DeepEqual(got.Snapshot.Titles(), a.Snapshot.Titles()) {
+		t.Error("title dictionaries differ")
+	}
+	canal, ok := got.Snapshot.Lookup("Grand Canal")
+	if !ok {
+		t.Fatal("lookup of Grand Canal failed after decode")
+	}
+	if rs := got.Snapshot.RedirectsTo(canal); len(rs) != 1 || got.Snapshot.Name(rs[0]) != "canalazzo" {
+		t.Errorf("redirect aliases lost: %v", rs)
+	}
+	// Corpus: documents including precomputed relevant text.
+	if !reflect.DeepEqual(got.Collection.Docs(), a.Collection.Docs()) {
+		t.Error("collection documents differ")
+	}
+	if id, ok := got.Collection.ByExternalID("100002"); !ok || id != 1 {
+		t.Errorf("external id lookup: got %d, %v", id, ok)
+	}
+	// Index: vocabulary, postings, lengths and derived statistics.
+	if !reflect.DeepEqual(got.Index.Terms(), a.Index.Terms()) {
+		t.Errorf("terms differ: %v vs %v", got.Index.Terms(), a.Index.Terms())
+	}
+	for _, term := range a.Index.Terms() {
+		if !reflect.DeepEqual(got.Index.Postings(term), a.Index.Postings(term)) {
+			t.Errorf("postings for %q differ", term)
+		}
+		if got.Index.CollectionFreq(term) != a.Index.CollectionFreq(term) {
+			t.Errorf("colFreq for %q differs", term)
+		}
+	}
+	if got.Index.TotalTokens() != a.Index.TotalTokens() || got.Index.NumDocs() != a.Index.NumDocs() {
+		t.Error("index statistics differ")
+	}
+	if !reflect.DeepEqual(got.Queries, a.Queries) {
+		t.Errorf("queries: got %+v, want %+v", got.Queries, a.Queries)
+	}
+}
+
+func TestWriteRejectsIncompleteArchive(t *testing.T) {
+	a := testArchive(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err == nil {
+		t.Error("nil archive should fail")
+	}
+	broken := *a
+	broken.Index = index.New() // zero docs vs three corpus docs
+	if err := Write(&buf, &broken); err == nil || !strings.Contains(err.Error(), "dense ids") {
+		t.Errorf("doc-count mismatch should fail, got %v", err)
+	}
+}
+
+// section is one decoded frame of the file, located by offset.
+type section struct {
+	tag                      byte
+	start, payloadStart, end int // end is one past the CRC
+}
+
+// walkSections re-parses the framing so corruption tests can target exact
+// byte ranges.
+func walkSections(t *testing.T, data []byte) []section {
+	t.Helper()
+	off := len(Magic) + 2
+	var out []section
+	for off < len(data) {
+		s := section{tag: data[off], start: off}
+		n, read := binary.Uvarint(data[off+1:])
+		if read <= 0 {
+			t.Fatalf("bad length at offset %d", off+1)
+		}
+		s.payloadStart = off + 1 + read
+		s.end = s.payloadStart + int(n) + 4
+		out = append(out, s)
+		off = s.end
+	}
+	return out
+}
+
+// TestDecodeFailurePaths drives every framing defense: wrong magic,
+// unsupported version, flipped payload and CRC bytes per section, wrong
+// section order, and truncation at every section boundary. Every case must
+// fail with an error naming the problem — never a panic, never a nil error.
+func TestDecodeFailurePaths(t *testing.T) {
+	pristine := encodeArchive(t, testArchive(t))
+	secs := walkSections(t, pristine)
+	if len(secs) != len(sectionOrder) {
+		t.Fatalf("expected %d sections, walked %d", len(sectionOrder), len(secs))
+	}
+
+	type tc struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr string
+	}
+	cases := []tc{
+		{
+			name:    "wrong magic",
+			mutate:  func(d []byte) []byte { d[0] ^= 0xff; return d },
+			wantErr: "bad magic",
+		},
+		{
+			name:    "unsupported version",
+			mutate:  func(d []byte) []byte { d[len(Magic)] = 99; return d },
+			wantErr: "unsupported snapshot version 99",
+		},
+		{
+			name:    "empty file",
+			mutate:  func(d []byte) []byte { return d[:0] },
+			wantErr: "truncated header",
+		},
+		{
+			name:    "header cut mid-magic",
+			mutate:  func(d []byte) []byte { return d[:4] },
+			wantErr: "truncated header",
+		},
+	}
+	for _, s := range secs {
+		s := s
+		name := sectionName(s.tag)
+		cases = append(cases,
+			tc{
+				name:    fmt.Sprintf("%s: flipped payload byte", name),
+				mutate:  func(d []byte) []byte { d[s.payloadStart] ^= 0x01; return d },
+				wantErr: name + " section: checksum mismatch",
+			},
+			tc{
+				name:    fmt.Sprintf("%s: flipped crc byte", name),
+				mutate:  func(d []byte) []byte { d[s.end-1] ^= 0x01; return d },
+				wantErr: name + " section: checksum mismatch",
+			},
+			tc{
+				name:    fmt.Sprintf("%s: wrong section tag", name),
+				mutate:  func(d []byte) []byte { d[s.start] = 'Z'; return d },
+				wantErr: fmt.Sprintf("expected %s section", name),
+			},
+			tc{
+				name:    fmt.Sprintf("%s: truncated before section", name),
+				mutate:  func(d []byte) []byte { return d[:s.start] },
+				wantErr: name + " section: truncated before section tag",
+			},
+			tc{
+				name:    fmt.Sprintf("%s: truncated mid-payload", name),
+				mutate:  func(d []byte) []byte { return d[:s.payloadStart] },
+				wantErr: name + " section: truncated",
+			},
+			tc{
+				name:    fmt.Sprintf("%s: truncated before checksum", name),
+				mutate:  func(d []byte) []byte { return d[:s.end-4] },
+				wantErr: name + " section: truncated checksum",
+			},
+		)
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := c.mutate(append([]byte(nil), pristine...))
+			_, err := Read(bytes.NewReader(data))
+			if err == nil {
+				t.Fatal("corrupted snapshot decoded without error")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeGraphRejectsWideArcTarget: an arc target wider than uint32
+// (or merely beyond the node count) must fail before the NodeID cast can
+// wrap it into some valid node.
+func TestDecodeGraphRejectsWideArcTarget(t *testing.T) {
+	for _, target := range []uint64{2, 1 << 33, (1 << 32) + 1} {
+		var p payload
+		p.uvarint(2)      // two nodes
+		p.byte(0)         // kinds: article, article
+		p.byte(0)         //
+		p.uvarint(1)      // node 0: one arc
+		p.uvarint(target) //   to an out-of-range node
+		p.byte(0)         //   link
+		p.uvarint(0)      // node 1: no arcs
+		if _, err := decodeGraph(p.b); err == nil || !strings.Contains(err.Error(), "beyond 2 nodes") {
+			t.Errorf("arc target %d: got %v, want out-of-range error", target, err)
+		}
+	}
+}
+
+// TestDecodeIndexRejectsOverflowingGaps: 64-bit doc and position gaps must
+// be rejected before delta arithmetic can overflow into plausible values.
+func TestDecodeIndexRejectsOverflowingGaps(t *testing.T) {
+	strs := []string{"term"}
+	indexPayload := func(docGap, posGap uint64) []byte {
+		var p payload
+		p.uvarint(1)      // one document
+		p.uvarint(5)      // its length
+		p.uvarint(1)      // one term
+		p.uvarint(0)      // term ref
+		p.uvarint(1)      // one posting
+		p.uvarint(docGap) // doc gap
+		p.uvarint(1)      // one position
+		p.uvarint(posGap) // position gap
+		return p.b
+	}
+	if _, err := decodeIndex(indexPayload(1<<40, 0), strs); err == nil ||
+		!strings.Contains(err.Error(), "doc gap") {
+		t.Errorf("huge doc gap: got %v, want overflow error", err)
+	}
+	if _, err := decodeIndex(indexPayload(0, 1<<63), strs); err == nil ||
+		!strings.Contains(err.Error(), "position gap") {
+		t.Errorf("huge position gap: got %v, want overflow error", err)
+	}
+	if _, err := decodeIndex(indexPayload(0, 0), strs); err != nil {
+		t.Errorf("well-formed payload rejected: %v", err)
+	}
+}
+
+// TestDecodeRejectsDanglingStringRef corrupts a names payload ref beyond
+// the string table and fixes up the CRC, proving the semantic validation
+// fires even when the checksum passes.
+func TestDecodeRejectsDanglingStringRef(t *testing.T) {
+	a := testArchive(t)
+	in := newInterner()
+	in.ref("only one string")
+	sections := map[byte][]byte{
+		secMeta:    encodeMeta(a),
+		secGraph:   encodeGraph(a.Snapshot.Graph()),
+		secNames:   encodeNames(in, a), // refs beyond the truncated table below
+		secCorpus:  encodeCorpus(in, a.Collection),
+		secIndex:   encodeIndex(in, a.Index),
+		secQueries: encodeQueries(in, a.Queries),
+	}
+	in.strs = in.strs[:1] // drop every interned string but the first
+	sections[secStrings] = encodeStrings(in)
+
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	var ver [2]byte
+	binary.LittleEndian.PutUint16(ver[:], Version)
+	buf.Write(ver[:])
+	bw := bufio.NewWriter(&buf)
+	for _, tag := range sectionOrder {
+		if err := writeSection(bw, tag, sections[tag]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Read(bytes.NewReader(buf.Bytes()))
+	if err == nil || !strings.Contains(err.Error(), "string ref") {
+		t.Fatalf("dangling string ref not caught: %v", err)
+	}
+}

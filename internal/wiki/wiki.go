@@ -17,6 +17,7 @@ package wiki
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/querygraph/querygraph/internal/graph"
 	"github.com/querygraph/querygraph/internal/text"
@@ -160,6 +161,55 @@ func (s *Snapshot) Stats() Stats {
 	return st
 }
 
+// Load reassembles a Snapshot from a decoded graph and its node names,
+// deriving the title dictionary, redirect table and inbound-alias lists in
+// one pass instead of replaying the Builder. This is the decode path of
+// the binary snapshot subsystem (internal/store): the input is trusted to
+// originate from a valid Snapshot (it is checksummed on disk), so the
+// global schema validation of Builder.Build is not repeated — only shape
+// checks that later lookups depend on run. The graph and names are owned
+// by the snapshot afterwards.
+func Load(g *graph.Graph, names []string) (*Snapshot, error) {
+	if g == nil {
+		return nil, fmt.Errorf("wiki: load: nil graph")
+	}
+	if len(names) != g.NumNodes() {
+		return nil, fmt.Errorf("wiki: load: %d names for %d nodes", len(names), g.NumNodes())
+	}
+	byTitle := make(map[string]graph.NodeID, len(names))
+	for i, name := range names {
+		norm := text.Normalize(name)
+		if norm == "" {
+			return nil, fmt.Errorf("wiki: load: node %d has an empty name", i)
+		}
+		if prev, ok := byTitle[norm]; ok {
+			return nil, fmt.Errorf("wiki: load: node %d (%q) collides with node %d (%q)",
+				i, name, prev, names[prev])
+		}
+		byTitle[norm] = graph.NodeID(i)
+	}
+	redirect := make(map[graph.NodeID]graph.NodeID)
+	inbound := make(map[graph.NodeID][]graph.NodeID)
+	// Ascending node scan, so every inbound list comes out sorted — the
+	// same order Build produces.
+	for i := 0; i < g.NumNodes(); i++ {
+		id := graph.NodeID(i)
+		for _, arc := range g.Out(id) {
+			if arc.Kind == graph.Redirect {
+				redirect[id] = arc.To
+				inbound[arc.To] = append(inbound[arc.To], id)
+			}
+		}
+	}
+	return &Snapshot{
+		g:        g,
+		names:    names,
+		byTitle:  byTitle,
+		redirect: redirect,
+		inbound:  inbound,
+	}, nil
+}
+
 // Builder assembles a Snapshot. Methods return errors immediately for local
 // violations (duplicate titles, wrong node kinds); Build performs the global
 // schema validation.
@@ -284,6 +334,12 @@ func (b *Builder) Build() (*Snapshot, error) {
 	inbound := make(map[graph.NodeID][]graph.NodeID)
 	for redir, main := range b.redirect {
 		inbound[main] = append(inbound[main], redir)
+	}
+	// Sort each alias list: b.redirect is a map, so append order above is
+	// nondeterministic, and RedirectsTo order is visible (redirect-alias
+	// expansion features, snapshot encoding).
+	for _, ins := range inbound {
+		sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
 	}
 	for _, id := range b.g.NodesOfKind(graph.Article) {
 		if _, isRedir := b.redirect[id]; isRedir {
