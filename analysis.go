@@ -1,0 +1,195 @@
+package querygraph
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/cycles"
+	"github.com/querygraph/querygraph/internal/eval"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/groundtruth"
+)
+
+func newRelevance(docs []int32) eval.Relevance { return eval.NewRelevance(docs) }
+
+// GroundTruthOptions controls the Section 2 ground-truth construction.
+// The zero value is valid: seed 0, default search budgets, GOMAXPROCS
+// workers.
+type GroundTruthOptions struct {
+	// Seed drives the ADD/REMOVE/SWAP local search; the effective
+	// per-query seed is Seed + the query id, so queries are independent
+	// and the whole build is reproducible.
+	Seed int64
+	// MaxIterations caps improvement rounds (<= 0 means the default 64).
+	MaxIterations int
+	// MaxEvaluations caps objective calls (<= 0 means the default 20000).
+	MaxEvaluations int
+	// Workers bounds the parallel fan-out over queries; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (o GroundTruthOptions) coreConfig() core.GroundTruthConfig {
+	return core.GroundTruthConfig{
+		Search: groundtruth.Config{
+			Seed:           o.Seed,
+			MaxIterations:  o.MaxIterations,
+			MaxEvaluations: o.MaxEvaluations,
+		},
+		Workers: o.Workers,
+	}
+}
+
+// GroundTruth runs the full Section 2 pipeline for one query: entity-link
+// the keywords and the relevant documents, search for X(q), and assemble
+// the query graph. A done ctx returns ctx.Err() before any work.
+func (c *Client) GroundTruth(ctx context.Context, q Query, opts GroundTruthOptions) (*GroundTruth, error) {
+	return c.sys.BuildGroundTruth(ctx, q, opts.coreConfig())
+}
+
+// GroundTruths fans the per-query pipeline out over a bounded worker pool
+// and returns the artifacts in query order. Cancelling ctx stops
+// scheduling and returns ctx.Err().
+func (c *Client) GroundTruths(ctx context.Context, qs []Query, opts GroundTruthOptions) ([]*GroundTruth, error) {
+	return c.sys.BuildAllGroundTruths(ctx, qs, opts.coreConfig())
+}
+
+// AnalyzeOptions controls Analyze. The zero value reproduces the paper's
+// configuration over the loaded benchmark.
+type AnalyzeOptions struct {
+	// GroundTruth configures the Section 2 construction the analysis is
+	// built on.
+	GroundTruth GroundTruthOptions
+	// MaxCycleLen caps cycle enumeration (<= 0 means 5, the paper's
+	// bound).
+	MaxCycleLen int
+	// Fig9Bins is the bucket count of the density/contribution scatter
+	// (<= 0 means 10).
+	Fig9Bins int
+	// Workers bounds the per-query fan-out; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Analyze reproduces the paper's complete evaluation — every measurement
+// behind Tables 2-4 and Figures 5, 6, 7a, 7b and 9 — over the client's
+// loaded query benchmark: it builds the per-query ground truths, then runs
+// the cycle analysis. Returns ErrNoBenchmark when the client has no
+// benchmark queries; cancelling ctx stops the per-query fan-out and
+// returns ctx.Err().
+func (c *Client) Analyze(ctx context.Context, opts AnalyzeOptions) (*Analysis, error) {
+	if len(c.queries) == 0 {
+		return nil, ErrNoBenchmark
+	}
+	gtOpts := opts.GroundTruth
+	if gtOpts.Workers <= 0 {
+		gtOpts.Workers = opts.Workers
+	}
+	gts, err := c.GroundTruths(ctx, c.queries, gtOpts)
+	if err != nil {
+		return nil, err
+	}
+	return c.sys.Analyze(ctx, gts, core.AnalysisConfig{
+		MaxCycleLen: opts.MaxCycleLen,
+		Fig9Bins:    opts.Fig9Bins,
+		Workers:     opts.Workers,
+	})
+}
+
+// AblationOptions controls CompareExpanders.
+type AblationOptions struct {
+	// MaxFeatures caps every strategy's feature count for a fair fight
+	// (<= 0 means 10).
+	MaxFeatures int
+	// Workers bounds the per-query fan-out; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// CompareExpanders measures the expansion strategies of the design
+// document's ablations over the loaded benchmark: no expansion, naive
+// 1-hop links, the paper-tuned cycle expander, the expander with filters
+// off, frequency ranking and redirect aliases. Returns ErrNoBenchmark when
+// the client has no benchmark queries.
+func (c *Client) CompareExpanders(ctx context.Context, opts AblationOptions) ([]AblationRow, error) {
+	if len(c.queries) == 0 {
+		return nil, ErrNoBenchmark
+	}
+	return c.sys.CompareExpanders(ctx, c.queries, core.AblationConfig{
+		MaxFeatures: opts.MaxFeatures,
+		Workers:     opts.Workers,
+	})
+}
+
+// Cycle is one mined cycle of a query graph, in the paper's Section 3
+// vocabulary.
+type Cycle struct {
+	// Length is the number of edges (== nodes) of the cycle.
+	Length int
+	// Titles are the node titles in cycle order; IsCategory flags which
+	// of them are categories.
+	Titles     []string
+	IsCategory []bool
+	// Articles are the knowledge-base ids of the cycle's article nodes —
+	// the candidate expansion features it proposes.
+	Articles []NodeID
+	// CategoryRatio is the fraction of category nodes; ExtraEdgeDensity
+	// is the density of edges beyond the cycle itself.
+	CategoryRatio    float64
+	ExtraEdgeDensity float64
+}
+
+// MineCycles enumerates the cycles of a ground truth's query graph that
+// contain a query article (up to maxLen edges; <= 0 means 5, the paper's
+// bound) and measures each one. A done ctx returns ctx.Err() before any
+// work.
+func (c *Client) MineCycles(ctx context.Context, gt *GroundTruth, maxLen int) ([]Cycle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if maxLen <= 0 {
+		maxLen = 5
+	}
+	sub := gt.Graph.Sub
+	var seeds []NodeID
+	for _, qa := range gt.QueryArticles {
+		if sid, ok := sub.ToSub[qa]; ok {
+			seeds = append(seeds, sid)
+		}
+	}
+	cs, err := cycles.Enumerate(sub.Graph, seeds, maxLen, graph.ExcludeRedirects)
+	if err != nil {
+		return nil, fmt.Errorf("querygraph: mine cycles: %w", err)
+	}
+	out := make([]Cycle, 0, len(cs))
+	for _, cy := range cs {
+		m, err := cycles.Measure(sub.Graph, cy, graph.ExcludeRedirects)
+		if err != nil {
+			return nil, fmt.Errorf("querygraph: mine cycles: %w", err)
+		}
+		info := Cycle{
+			Length:           m.Length,
+			Titles:           make([]string, len(cy.Nodes)),
+			IsCategory:       make([]bool, len(cy.Nodes)),
+			CategoryRatio:    m.CategoryRatio,
+			ExtraEdgeDensity: m.ExtraEdgeDensity,
+		}
+		for i, n := range cy.Nodes {
+			info.Titles[i] = c.sys.Snapshot.Name(sub.ToParent[n])
+			info.IsCategory[i] = sub.Kind(n) == graph.Category
+		}
+		for _, n := range cycles.ArticlesOf(sub.Graph, cy) {
+			info.Articles = append(info.Articles, sub.ToParent[n])
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// WriteQueryGraphDOT renders a ground truth's query graph G(q) in Graphviz
+// DOT format with article titles as labels.
+func (c *Client) WriteQueryGraphDOT(w io.Writer, gt *GroundTruth, name string) error {
+	sub := gt.Graph.Sub
+	label := func(n NodeID) string { return c.sys.Snapshot.Name(sub.ToParent[n]) }
+	return sub.Graph.WriteDOT(w, name, label)
+}

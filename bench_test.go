@@ -12,6 +12,7 @@ package querygraph_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
@@ -55,13 +56,13 @@ func benchSetup(b *testing.B) *benchEnv {
 			panic(err)
 		}
 		qs := core.QueriesFromWorld(w)
-		gts, err := s.BuildAllGroundTruths(qs, core.GroundTruthConfig{
+		gts, err := s.BuildAllGroundTruths(context.Background(), qs, core.GroundTruthConfig{
 			Search: groundtruth.Config{Seed: 1},
 		})
 		if err != nil {
 			panic(err)
 		}
-		a, err := s.Analyze(gts, core.AnalysisConfig{})
+		a, err := s.Analyze(context.Background(), gts, core.AnalysisConfig{})
 		if err != nil {
 			panic(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkTable2GroundTruthPrecision(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := e.queries[i%len(e.queries)]
-		if _, err := e.system.BuildGroundTruth(q, core.GroundTruthConfig{
+		if _, err := e.system.BuildGroundTruth(context.Background(), q, core.GroundTruthConfig{
 			Search: groundtruth.Config{Seed: 1},
 		}); err != nil {
 			b.Fatal(err)
@@ -121,7 +122,7 @@ func BenchmarkTable4CycleLengthConfigs(b *testing.B) {
 	}()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.system.Analyze(e.gts, core.AnalysisConfig{}); err != nil {
+		if _, err := e.system.Analyze(context.Background(), e.gts, core.AnalysisConfig{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -143,7 +144,7 @@ func reportLengthMetric(b *testing.B, m map[int]float64, suffix string) {
 func analyzeBody(b *testing.B, e *benchEnv) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.system.Analyze(e.gts, core.AnalysisConfig{}); err != nil {
+		if _, err := e.system.Analyze(context.Background(), e.gts, core.AnalysisConfig{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -221,7 +222,7 @@ func BenchmarkText3StructuralFacts(b *testing.B) {
 // against the naive 1-hop link baseline (ablation A1 of DESIGN.md).
 func BenchmarkAblationExpanderVsNaive(b *testing.B) {
 	e := benchSetup(b)
-	rows, err := e.system.CompareExpanders(e.queries, core.AblationConfig{})
+	rows, err := e.system.CompareExpanders(context.Background(), e.queries, core.AblationConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -240,10 +241,10 @@ func BenchmarkAblationExpanderVsNaive(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := e.queries[i%len(e.queries)]
-		if _, err := e.system.Expand(q.Keywords, core.DefaultExpanderOptions()); err != nil {
+		if _, err := e.system.Expand(context.Background(), q.Keywords, core.DefaultExpanderOptions()); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := e.system.ExpandNaive(q.Keywords, 10); err != nil {
+		if _, err := e.system.ExpandNaive(context.Background(), q.Keywords, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -253,7 +254,7 @@ func BenchmarkAblationExpanderVsNaive(b *testing.B) {
 // filter (ablation A2): the expander with and without structural filters.
 func BenchmarkAblationCategoryRatioFilter(b *testing.B) {
 	e := benchSetup(b)
-	rows, err := e.system.CompareExpanders(e.queries, core.AblationConfig{})
+	rows, err := e.system.CompareExpanders(context.Background(), e.queries, core.AblationConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -274,7 +275,7 @@ func BenchmarkAblationCategoryRatioFilter(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := e.queries[i%len(e.queries)]
-		if _, err := e.system.Expand(q.Keywords, noFilter); err != nil {
+		if _, err := e.system.Expand(context.Background(), q.Keywords, noFilter); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -335,7 +336,7 @@ func BenchmarkSearchAll(b *testing.B) {
 	nodes := benchQueryNodes(b, e)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.system.SearchAll(nodes, core.MaxRank, core.BatchOptions{}); err != nil {
+		if _, err := e.system.SearchAll(context.Background(), nodes, core.MaxRank, core.BatchOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -359,7 +360,7 @@ func BenchmarkExpandAll(b *testing.B) {
 	opts := core.DefaultExpanderOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.ExpandAll(keywords, opts, core.BatchOptions{}); err != nil {
+		if _, err := s.ExpandAll(context.Background(), keywords, opts, core.BatchOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -442,7 +443,7 @@ func BenchmarkExpandOnline(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := e.queries[i%len(e.queries)]
-		if _, err := s.Expand(q.Keywords, opts); err != nil {
+		if _, err := s.Expand(context.Background(), q.Keywords, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

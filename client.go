@@ -1,0 +1,283 @@
+package querygraph
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/search"
+)
+
+// Client is the serving handle of the reproduction: one loaded (or built)
+// knowledge base, document collection, search engine and entity linker,
+// safe for concurrent use. Every query-path method takes a
+// context.Context; a context that is already done returns ctx.Err()
+// without running any pipeline, and cancelling mid-call stops batch
+// scheduling and abandons cache waits as documented per method.
+type Client struct {
+	sys     *core.System
+	queries []Query
+}
+
+// Open loads a .qgs snapshot file written by Save (or qgen -out FILE.qgs)
+// and assembles a serving Client around it. Startup is a decode, not a
+// rebuild. File-system errors are returned as-is; a file that cannot be
+// decoded returns an error wrapping ErrBadSnapshot.
+func Open(path string, opts ...Option) (*Client, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return OpenReader(f, opts...)
+}
+
+// OpenReader is Open over an arbitrary reader of snapshot bytes. Any
+// decode failure — wrong magic, version, checksum, truncation, or a
+// failing reader — returns an error wrapping ErrBadSnapshot.
+func OpenReader(r io.Reader, opts ...Option) (*Client, error) {
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	sys, qs, err := core.LoadSystem(r, cfg.sys...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return &Client{sys: sys, queries: qs}, nil
+}
+
+// Build assembles a Client directly from a generated world: it indexes the
+// collection, builds the engine and the entity linker, and adopts the
+// world's query benchmark. See GenerateWorld.
+func Build(world *World, opts ...Option) (*Client, error) {
+	if world == nil {
+		return nil, fmt.Errorf("%w: nil world", ErrInvalidOptions)
+	}
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	sys, err := core.FromWorld(world, cfg.sys...)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{sys: sys, queries: core.QueriesFromWorld(world)}, nil
+}
+
+// Save writes the client's complete serving state plus its query benchmark
+// as a versioned, checksummed binary snapshot; Open on the written bytes
+// serves bit-identical results.
+func (c *Client) Save(w io.Writer) error {
+	return c.sys.Save(w, c.queries)
+}
+
+// Queries returns the loaded query benchmark (empty when the snapshot
+// carried none).
+func (c *Client) Queries() []Query {
+	out := make([]Query, len(c.queries))
+	copy(out, c.queries)
+	return out
+}
+
+// Stats summarizes the serving state: knowledge-base shape, corpus size,
+// benchmark size and the expansion cache counters.
+type Stats struct {
+	Articles   int `json:"articles"`
+	Redirects  int `json:"redirects"`
+	Categories int `json:"categories"`
+	Links      int `json:"links"`
+
+	Documents        int `json:"documents"`
+	BenchmarkQueries int `json:"benchmark_queries"`
+
+	Cache CacheStats `json:"cache"`
+}
+
+// Stats reports the client's serving-state summary.
+func (c *Client) Stats() Stats {
+	st := c.sys.Snapshot.Stats()
+	return Stats{
+		Articles:         st.Articles,
+		Redirects:        st.Redirects,
+		Categories:       st.Categories,
+		Links:            st.Links,
+		Documents:        c.sys.Collection.Len(),
+		BenchmarkQueries: len(c.queries),
+		Cache:            c.sys.ExpandCacheStats(),
+	}
+}
+
+// CacheStats reports the expansion cache's hit/miss/single-flight counters
+// and occupancy (all zero when the cache is disabled).
+func (c *Client) CacheStats() CacheStats { return c.sys.ExpandCacheStats() }
+
+// parse turns raw query text into an AST, wrapping failures in
+// ErrInvalidQuery.
+func (c *Client) parse(query string) (search.Node, error) {
+	node, err := c.sys.Engine.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	return node, nil
+}
+
+// Search parses the INDRI-style query text (bare keywords, #combine,
+// #weight, #1 exact phrases) and returns the top k documents by descending
+// Dirichlet-smoothed query likelihood (ties broken by ascending doc id;
+// k <= 0 ranks every candidate; no match returns an empty non-nil slice).
+// A done ctx returns ctx.Err() without searching.
+func (c *Client) Search(ctx context.Context, query string, k int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	node, err := c.parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return c.sys.Engine.Search(node, k)
+}
+
+// SearchAll evaluates a batch of query texts on a bounded worker pool and
+// returns the per-query rankings in input order. All queries are parsed up
+// front (the first syntax error aborts the batch with ErrInvalidQuery);
+// cancelling ctx stops scheduling the remaining queries and returns
+// ctx.Err().
+func (c *Client) SearchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	nodes := make([]search.Node, len(queries))
+	for i, q := range queries {
+		node, err := c.parse(q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		nodes[i] = node
+	}
+	return c.sys.SearchAll(ctx, nodes, k, opts)
+}
+
+// Expand runs the online cycle-based expansion pipeline of the paper's
+// conclusions for one keyword query: entity-link the keywords, induce the
+// Wikipedia neighborhood, mine cycles, keep the structurally promising
+// ones (dense, category ratio around 30% by default) and rank the articles
+// they introduce. Options override the paper-tuned defaults; invalid
+// values return an error wrapping ErrInvalidOptions.
+//
+// Results are memoized in a sharded single-flight LRU cache shared by the
+// whole Client; the returned Expansion may be shared with other callers
+// and must be treated as read-only. A done ctx returns ctx.Err() without
+// touching pipeline or cache; a ctx that dies while another caller's
+// identical call is in flight abandons the wait (that caller still
+// completes and populates the cache).
+func (c *Client) Expand(ctx context.Context, keywords string, opts ...ExpandOption) (*Expansion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eopts, err := normalizeExpandOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.sys.Expand(ctx, keywords, eopts)
+}
+
+// ExpandAll runs Expand for every keyword query on a bounded worker pool
+// and returns the expansions in input order. Repeated keywords are served
+// from the expansion cache and concurrent duplicates are single-flighted.
+// Cancelling ctx stops scheduling and returns ctx.Err().
+func (c *Client) ExpandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts ...ExpandOption) ([]*Expansion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eopts, err := normalizeExpandOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.sys.ExpandAll(ctx, keywords, eopts, bopts)
+}
+
+// SearchExpansion evaluates an expansion end to end: it writes the
+// expanded title query (exact phrases for the query entities and every
+// feature) and returns the top k documents. ok reports whether the
+// expansion had anything to search for (entities, features or keywords);
+// it stays true when the search itself fails, so err alone signals
+// failure.
+func (c *Client) SearchExpansion(ctx context.Context, exp *Expansion, k int) (results []Result, ok bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	node, ok := exp.Query(c.sys)
+	if !ok {
+		return nil, false, nil
+	}
+	rs, err := c.sys.Engine.Search(node, k)
+	return rs, true, err
+}
+
+// SearchExpansions evaluates a batch of expansions on a bounded worker
+// pool, returning the per-expansion rankings in input order. Expansions
+// with nothing to search for yield a nil ranking. Cancelling ctx stops
+// scheduling and returns ctx.Err().
+func (c *Client) SearchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	type job struct {
+		idx  int
+		node search.Node
+	}
+	jobs := make([]job, 0, len(exps))
+	for i, exp := range exps {
+		if node, ok := exp.Query(c.sys); ok {
+			jobs = append(jobs, job{idx: i, node: node})
+		}
+	}
+	out := make([][]Result, len(exps))
+	nodes := make([]search.Node, len(jobs))
+	for i, j := range jobs {
+		nodes[i] = j.node
+	}
+	rs, err := c.sys.SearchAll(ctx, nodes, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, j := range jobs {
+		out[j.idx] = rs[i]
+	}
+	return out, nil
+}
+
+// Entity is one knowledge-base article a query mentions.
+type Entity struct {
+	ID    NodeID `json:"id"`
+	Title string `json:"title"`
+}
+
+// Link computes L(q.k): the main articles the keywords mention, by
+// largest-substring entity linking with redirect synonyms.
+func (c *Client) Link(keywords string) []Entity {
+	ids := c.sys.LinkKeywords(keywords)
+	out := make([]Entity, len(ids))
+	for i, id := range ids {
+		out[i] = Entity{ID: id, Title: c.sys.Snapshot.Name(id)}
+	}
+	return out
+}
+
+// Title returns the display title of a knowledge-base node.
+func (c *Client) Title(id NodeID) string { return c.sys.Snapshot.Name(id) }
+
+// Evaluate writes the paper's title query for the given articles (exact
+// phrases; the raw keywords back the query off when no article has a
+// usable title) and scores the retrieval against the relevant documents:
+// it returns the objective O (precision averaged over the paper's rank
+// cutoffs) and the ranked top-15 document ids.
+func (c *Client) Evaluate(ctx context.Context, keywords string, articles []NodeID, relevant []int32) (float64, []int32, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	return c.sys.EvaluateArticles(keywords, articles, newRelevance(relevant))
+}

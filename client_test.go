@@ -1,0 +1,372 @@
+package querygraph
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testClient builds one small world per test binary; the client is
+// read-only afterwards (except for its internal cache, which is safe for
+// concurrent use).
+var (
+	clientOnce sync.Once
+	testC      *Client
+)
+
+func client(t *testing.T) *Client {
+	t.Helper()
+	clientOnce.Do(func() {
+		cfg := DefaultWorldConfig()
+		cfg.Topics = 8
+		cfg.ArticlesPerTopic = 12
+		cfg.DocsPerTopic = 20
+		cfg.Queries = 10
+		cfg.NoiseVocab = 80
+		w, err := GenerateWorld(cfg)
+		if err != nil {
+			panic(err)
+		}
+		c, err := Build(w)
+		if err != nil {
+			panic(err)
+		}
+		testC = c
+	})
+	return testC
+}
+
+func TestOpenReaderBadSnapshot(t *testing.T) {
+	_, err := OpenReader(strings.NewReader("definitely not a snapshot"))
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("err = %v, want ErrBadSnapshot", err)
+	}
+	// Truncated but correctly-prefixed bytes are also a bad snapshot.
+	c := client(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenReader(bytes.NewReader(buf.Bytes()[:buf.Len()/2]))
+	if !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("truncated snapshot err = %v, want ErrBadSnapshot", err)
+	}
+}
+
+func TestOpenMissingFilePassesThroughOSError(t *testing.T) {
+	_, err := Open("/definitely/not/a/real/path.qgs")
+	if err == nil || errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("err = %v, want a plain file-system error", err)
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	c := client(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(loaded.Queries()), len(c.Queries()); got != want {
+		t.Fatalf("loaded %d benchmark queries, want %d", got, want)
+	}
+	q := c.Queries()[0]
+	r1, err := c.Search(ctx, q.Keywords, MaxRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := loaded.Search(ctx, q.Keywords, MaxRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("loaded client ranks differently:\nbuilt:  %v\nloaded: %v", r1, r2)
+	}
+}
+
+// TestPreCancelledContext is the acceptance contract: a Client call with
+// an already-cancelled context returns ctx.Err() without running the
+// pipeline.
+func TestPreCancelledContext(t *testing.T) {
+	c := client(t)
+	q := c.Queries()[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	before := c.CacheStats()
+	calls := []struct {
+		name string
+		run  func() error
+	}{
+		{"Search", func() error { _, err := c.Search(ctx, q.Keywords, 5); return err }},
+		{"SearchAll", func() error { _, err := c.SearchAll(ctx, []string{q.Keywords}, 5, BatchOptions{}); return err }},
+		{"Expand", func() error { _, err := c.Expand(ctx, q.Keywords); return err }},
+		{"ExpandAll", func() error { _, err := c.ExpandAll(ctx, []string{q.Keywords}, BatchOptions{}); return err }},
+		{"SearchExpansion", func() error { _, _, err := c.SearchExpansion(ctx, &Expansion{Keywords: q.Keywords}, 5); return err }},
+		{"SearchExpansions", func() error { _, err := c.SearchExpansions(ctx, nil, 5, BatchOptions{}); return err }},
+		{"Evaluate", func() error { _, _, err := c.Evaluate(ctx, q.Keywords, nil, q.Relevant); return err }},
+		{"GroundTruth", func() error { _, err := c.GroundTruth(ctx, q, GroundTruthOptions{}); return err }},
+		{"GroundTruths", func() error { _, err := c.GroundTruths(ctx, c.Queries(), GroundTruthOptions{}); return err }},
+		{"Analyze", func() error { _, err := c.Analyze(ctx, AnalyzeOptions{}); return err }},
+		{"CompareExpanders", func() error { _, err := c.CompareExpanders(ctx, AblationOptions{}); return err }},
+		{"MineCycles", func() error { _, err := c.MineCycles(ctx, &GroundTruth{}, 5); return err }},
+	}
+	for _, call := range calls {
+		if err := call.run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", call.name, err)
+		}
+	}
+	after := c.CacheStats()
+	if before != after {
+		t.Errorf("pre-cancelled calls touched the expansion cache: %+v -> %+v", before, after)
+	}
+}
+
+func TestSearchInvalidQuery(t *testing.T) {
+	c := client(t)
+	ctx := context.Background()
+	for _, bad := range []string{"#combine(unclosed", "#1(", ""} {
+		if _, err := c.Search(ctx, bad, 5); !errors.Is(err, ErrInvalidQuery) {
+			t.Errorf("Search(%q): err = %v, want ErrInvalidQuery", bad, err)
+		}
+	}
+	if _, err := c.SearchAll(ctx, []string{"fine", "#combine("}, 5, BatchOptions{}); !errors.Is(err, ErrInvalidQuery) {
+		t.Errorf("SearchAll with one bad query: err = %v, want ErrInvalidQuery", err)
+	}
+}
+
+func TestExpandOptionValidation(t *testing.T) {
+	c := client(t)
+	ctx := context.Background()
+	kw := c.Queries()[0].Keywords
+	bad := []struct {
+		name string
+		opt  ExpandOption
+	}{
+		{"inverted band", WithCategoryRatioBand(0.6, 0.2)},
+		{"band above 1", WithCategoryRatioBand(0.2, 1.5)},
+		{"negative band", WithCategoryRatioBand(-0.1, 0.5)},
+		{"cycle len too small", WithMaxCycleLen(1)},
+		{"cycle len too large", WithMaxCycleLen(9)},
+		{"zero radius", WithRadius(0)},
+		{"zero neighborhood", WithMaxNeighborhood(0)},
+		{"density above 1", WithMinDensity(1.5)},
+		{"negative density", WithMinDensity(-0.5)},
+		{"zero features", WithMaxFeatures(0)},
+	}
+	for _, tc := range bad {
+		if _, err := c.Expand(ctx, kw, tc.opt); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s: err = %v, want ErrInvalidOptions", tc.name, err)
+		}
+		if _, err := c.ExpandAll(ctx, []string{kw}, BatchOptions{}, tc.opt); !errors.Is(err, ErrInvalidOptions) {
+			t.Errorf("%s (batch): err = %v, want ErrInvalidOptions", tc.name, err)
+		}
+	}
+}
+
+// TestExplicitBandSurvivesNormalization pins the satellite fix: an
+// explicit all-zero category-ratio band used to be indistinguishable from
+// "unset" and was silently replaced by the paper band; through the public
+// options it survives as given.
+func TestExplicitBandSurvivesNormalization(t *testing.T) {
+	got, err := normalizeExpandOptions([]ExpandOption{WithCategoryRatioBand(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinCategoryRatio != 0 || got.MaxCategoryRatio != 0 || !got.ExplicitBand {
+		t.Fatalf("band = [%g, %g] (explicit=%v), want explicit [0, 0]",
+			got.MinCategoryRatio, got.MaxCategoryRatio, got.ExplicitBand)
+	}
+	// [0, 0.5] — the half-explicit case — also survives.
+	got, err = normalizeExpandOptions([]ExpandOption{WithCategoryRatioBand(0, 0.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinCategoryRatio != 0 || got.MaxCategoryRatio != 0.5 {
+		t.Fatalf("band = [%g, %g], want [0, 0.5]", got.MinCategoryRatio, got.MaxCategoryRatio)
+	}
+	// No options at all resolve to the paper defaults, two-cycles kept.
+	got, err = normalizeExpandOptions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinCategoryRatio != 0.2 || got.MaxCategoryRatio != 0.5 || !got.KeepTwoCycles {
+		t.Fatalf("defaults = %+v, want the paper band [0.2, 0.5] with two-cycles kept", got)
+	}
+	// WithMinDensity(0) disables the filter rather than re-enabling the
+	// internal 0.25 default.
+	got, err = normalizeExpandOptions([]ExpandOption{WithMinDensity(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinDensity > 0 {
+		t.Fatalf("MinDensity = %g after WithMinDensity(0), want the filter disabled", got.MinDensity)
+	}
+}
+
+func TestExpandAndSearchExpansion(t *testing.T) {
+	c := client(t)
+	ctx := context.Background()
+	for _, q := range c.Queries() {
+		exp, err := c.Expand(ctx, q.Keywords)
+		if err != nil {
+			t.Fatalf("Expand(%q): %v", q.Keywords, err)
+		}
+		if exp.Keywords != q.Keywords {
+			t.Fatalf("expansion echoes %q, want %q", exp.Keywords, q.Keywords)
+		}
+		rs, ok, err := c.SearchExpansion(ctx, exp, MaxRank)
+		if err != nil {
+			t.Fatalf("SearchExpansion(%q): %v", q.Keywords, err)
+		}
+		if ok && len(rs) == 0 {
+			t.Errorf("SearchExpansion(%q): ok with zero results", q.Keywords)
+		}
+	}
+}
+
+func TestExpandAllMatchesExpand(t *testing.T) {
+	c := client(t)
+	ctx := context.Background()
+	keywords := make([]string, 0, len(c.Queries()))
+	for _, q := range c.Queries() {
+		keywords = append(keywords, q.Keywords)
+	}
+	batch, err := c.ExpandAll(ctx, keywords, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, kw := range keywords {
+		one, err := c.Expand(ctx, kw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i].FeatureTitles(), one.FeatureTitles()) {
+			t.Errorf("batch[%d] features diverge from single expand", i)
+		}
+	}
+}
+
+func TestSearchExpansionsAlignment(t *testing.T) {
+	c := client(t)
+	ctx := context.Background()
+	qs := c.Queries()
+	exps := make([]*Expansion, 0, len(qs)+1)
+	for _, q := range qs[:3] {
+		exp, err := c.Expand(ctx, q.Keywords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exps = append(exps, exp)
+	}
+	// An unexpandable entry must keep its slot (nil ranking), not shift
+	// the batch.
+	exps = append(exps, &Expansion{Keywords: ""})
+	rs, err := c.SearchExpansions(ctx, exps, MaxRank, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(exps) {
+		t.Fatalf("got %d rankings for %d expansions", len(rs), len(exps))
+	}
+	if rs[len(rs)-1] != nil {
+		t.Errorf("unexpandable entry got a ranking")
+	}
+	for i := range exps[:3] {
+		single, ok, err := c.SearchExpansion(ctx, exps[i], MaxRank)
+		if err != nil || !ok {
+			t.Fatalf("single search %d: ok=%v err=%v", i, ok, err)
+		}
+		if !reflect.DeepEqual(rs[i], single) {
+			t.Errorf("batch ranking %d diverges from single", i)
+		}
+	}
+}
+
+func TestAnalyzeNoBenchmark(t *testing.T) {
+	c := client(t)
+	bare := &Client{sys: c.sys} // a client whose snapshot carried no benchmark
+	ctx := context.Background()
+	if _, err := bare.Analyze(ctx, AnalyzeOptions{}); !errors.Is(err, ErrNoBenchmark) {
+		t.Errorf("Analyze err = %v, want ErrNoBenchmark", err)
+	}
+	if _, err := bare.CompareExpanders(ctx, AblationOptions{}); !errors.Is(err, ErrNoBenchmark) {
+		t.Errorf("CompareExpanders err = %v, want ErrNoBenchmark", err)
+	}
+}
+
+func TestGroundTruthAndCycles(t *testing.T) {
+	c := client(t)
+	ctx := context.Background()
+	gt, err := c.GroundTruth(ctx, c.Queries()[0], GroundTruthOptions{Seed: 1, MaxIterations: 8, MaxEvaluations: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Graph == nil || gt.Graph.Size() == 0 {
+		t.Fatal("ground truth carries no query graph")
+	}
+	cs, err := c.MineCycles(ctx, gt, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cy := range cs {
+		if cy.Length < 2 || cy.Length > 5 {
+			t.Errorf("cycle length %d outside [2, 5]", cy.Length)
+		}
+		if len(cy.Titles) != cy.Length || len(cy.IsCategory) != cy.Length {
+			t.Errorf("cycle metadata misaligned: %d titles / %d flags for length %d",
+				len(cy.Titles), len(cy.IsCategory), cy.Length)
+		}
+		for _, title := range cy.Titles {
+			if title == "" {
+				t.Error("cycle node with empty title")
+			}
+		}
+	}
+	var dot bytes.Buffer
+	if err := c.WriteQueryGraphDOT(&dot, gt, "q0"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot.String(), "q0") {
+		t.Error("DOT output misses the graph name")
+	}
+}
+
+func TestLinkAndEvaluate(t *testing.T) {
+	c := client(t)
+	ctx := context.Background()
+	q := c.Queries()[0]
+	ents := c.Link(q.Keywords)
+	if len(ents) == 0 {
+		t.Fatalf("Link(%q) found no entities", q.Keywords)
+	}
+	ids := make([]NodeID, len(ents))
+	for i, e := range ents {
+		ids[i] = e.ID
+		if e.Title == "" || c.Title(e.ID) != e.Title {
+			t.Errorf("entity %v title mismatch", e.ID)
+		}
+	}
+	score, ranked, err := c.Evaluate(ctx, q.Keywords, ids, q.Relevant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0 || score > 1 {
+		t.Errorf("objective %g outside [0, 1]", score)
+	}
+	if len(ranked) > MaxRank {
+		t.Errorf("ranked %d docs, want at most %d", len(ranked), MaxRank)
+	}
+}

@@ -1,6 +1,7 @@
 // Command qbench regenerates every table and figure of the paper's
 // evaluation on the synthetic benchmark and prints them side by side with
-// the paper's reported values.
+// the paper's reported values. It drives everything through the public
+// querygraph API — the same surface cmd/qserve serves over HTTP.
 //
 // Usage:
 //
@@ -8,8 +9,8 @@
 //	       [-seed N] [-queries N] [-workers N] [-load FILE.qgs]
 //
 // The batch experiment exercises the concurrent serving layer
-// (System.ExpandAll / System.SearchAll with the sharded expansion cache)
-// and reports queries/sec and the cache hit rate.
+// (Client.ExpandAll / Client.SearchExpansions with the sharded expansion
+// cache) and reports queries/sec and the cache hit rate.
 //
 // With -load, the world is decoded from a binary snapshot written by
 // qgen -out world.qgs instead of being regenerated and re-indexed, so
@@ -18,17 +19,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"github.com/querygraph/querygraph/internal/core"
-	"github.com/querygraph/querygraph/internal/groundtruth"
-	"github.com/querygraph/querygraph/internal/report"
-	"github.com/querygraph/querygraph/internal/search"
-	"github.com/querygraph/querygraph/internal/synth"
+	querygraph "github.com/querygraph/querygraph"
 )
 
 func main() {
@@ -42,35 +40,33 @@ func main() {
 		load    = flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	start := time.Now()
-	s, qs, fresh, err := buildWorld(*load, *seed, *queries)
+	client, fresh, err := buildWorld(*load, *seed, *queries)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := s.Snapshot.Stats()
+	qs := client.Queries()
+	st := client.Stats()
 	fmt.Printf("world: %s, %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (ready in %v)\n\n",
 		worldSource(*load, *seed), st.Articles, st.Redirects, st.Categories, st.Links,
-		s.Collection.Len(), len(qs), time.Since(start).Round(time.Millisecond))
+		st.Documents, len(qs), time.Since(start).Round(time.Millisecond))
 
 	needAnalysis := *exp != "ablation" && *exp != "batch"
-	var analysis *core.Analysis
+	var analysis *querygraph.Analysis
 	if needAnalysis {
-		gts, err := s.BuildAllGroundTruths(qs, core.GroundTruthConfig{
-			Search:  groundtruth.Config{Seed: 1},
-			Workers: *workers,
+		analysis, err = client.Analyze(ctx, querygraph.AnalyzeOptions{
+			GroundTruth: querygraph.GroundTruthOptions{Seed: 1},
+			Workers:     *workers,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		analysis, err = s.Analyze(gts, core.AnalysisConfig{Workers: *workers})
-		if err != nil {
-			log.Fatal(err)
-		}
 	}
-	var ablation []core.AblationRow
+	var ablation []querygraph.AblationRow
 	if *exp == "ablation" || *exp == "all" {
-		ablation, err = s.CompareExpanders(qs, core.AblationConfig{Workers: *workers})
+		ablation, err = client.CompareExpanders(ctx, querygraph.AblationOptions{Workers: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,39 +74,39 @@ func main() {
 
 	switch *exp {
 	case "all":
-		fmt.Println(report.All(analysis, ablation))
-		// The analysis and ablation passes above warmed s's expansion
-		// cache; measure batch serving on a fresh system so the cold
-		// throughput and cache counters are honest.
+		fmt.Println(querygraph.ReportAll(analysis, ablation))
+		// The analysis and ablation passes above warmed the client's
+		// expansion cache; measure batch serving on a fresh client so the
+		// cold throughput and cache counters are honest.
 		cold, err := fresh()
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := runBatch(cold, qs, *workers); err != nil {
+		if err := runBatch(ctx, cold, qs, *workers); err != nil {
 			log.Fatal(err)
 		}
 	case "table2":
-		fmt.Println(report.Table2(analysis))
+		fmt.Println(querygraph.ReportTable2(analysis))
 	case "table3":
-		fmt.Println(report.Table3(analysis))
+		fmt.Println(querygraph.ReportTable3(analysis))
 	case "table4":
-		fmt.Println(report.Table4(analysis))
+		fmt.Println(querygraph.ReportTable4(analysis))
 	case "fig5":
-		fmt.Println(report.Fig5(analysis))
+		fmt.Println(querygraph.ReportFig5(analysis))
 	case "fig6":
-		fmt.Println(report.Fig6(analysis))
+		fmt.Println(querygraph.ReportFig6(analysis))
 	case "fig7a":
-		fmt.Println(report.Fig7a(analysis))
+		fmt.Println(querygraph.ReportFig7a(analysis))
 	case "fig7b":
-		fmt.Println(report.Fig7b(analysis))
+		fmt.Println(querygraph.ReportFig7b(analysis))
 	case "fig9":
-		fmt.Println(report.Fig9(analysis))
+		fmt.Println(querygraph.ReportFig9(analysis))
 	case "text3":
-		fmt.Println(report.Text3(analysis))
+		fmt.Println(querygraph.ReportText3(analysis))
 	case "ablation":
-		fmt.Println(report.Ablation(ablation))
+		fmt.Println(querygraph.ReportAblation(ablation))
 	case "batch":
-		if err := runBatch(s, qs, *workers); err != nil {
+		if err := runBatch(ctx, client, qs, *workers); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -121,43 +117,40 @@ func main() {
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-// buildWorld assembles the serving system and query set, either by
-// decoding a binary snapshot (path != "") or by generating and indexing
-// the synthetic world. fresh re-creates an identical cold system — by
-// re-decoding the snapshot or re-assembling from the generated world —
-// for experiments that need untouched caches.
-func buildWorld(path string, seed int64, queries int) (*core.System, []core.Query, func() (*core.System, error), error) {
+// buildWorld assembles the serving client, either by decoding a binary
+// snapshot (path != "") or by generating and indexing the synthetic world.
+// fresh re-creates an identical cold client — by re-decoding the snapshot
+// or re-assembling from the generated world — for experiments that need
+// untouched caches.
+func buildWorld(path string, seed int64, queries int) (*querygraph.Client, func() (*querygraph.Client, error), error) {
 	if path != "" {
-		s, qs, err := core.LoadSystemFile(path)
+		client, err := querygraph.Open(path)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
-		if len(qs) == 0 {
-			return nil, nil, nil, fmt.Errorf("snapshot %s carries no query benchmark", path)
+		if len(client.Queries()) == 0 {
+			return nil, nil, fmt.Errorf("snapshot %s carries no query benchmark", path)
 		}
-		fresh := func() (*core.System, error) {
-			s, _, err := core.LoadSystemFile(path)
-			return s, err
-		}
-		return s, qs, fresh, nil
+		fresh := func() (*querygraph.Client, error) { return querygraph.Open(path) }
+		return client, fresh, nil
 	}
-	cfg := synth.Default()
+	cfg := querygraph.DefaultWorldConfig()
 	if seed != 0 {
 		cfg.Seed = seed
 	}
 	if queries > 0 {
 		cfg.Queries = queries
 	}
-	w, err := synth.Generate(cfg)
+	w, err := querygraph.GenerateWorld(cfg)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	s, err := core.FromWorld(w)
+	client, err := querygraph.Build(w)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
-	fresh := func() (*core.System, error) { return core.FromWorld(w) }
-	return s, core.QueriesFromWorld(w), fresh, nil
+	fresh := func() (*querygraph.Client, error) { return querygraph.Build(w) }
+	return client, fresh, nil
 }
 
 func worldSource(path string, seed int64) string {
@@ -165,15 +158,15 @@ func worldSource(path string, seed int64) string {
 		return fmt.Sprintf("snapshot %s", path)
 	}
 	if seed == 0 {
-		seed = synth.Default().Seed
+		seed = querygraph.DefaultWorldConfig().Seed
 	}
 	return fmt.Sprintf("seed %d", seed)
 }
 
 // runBatch drives the concurrent serving layer over the benchmark queries:
 // one cold ExpandAll pass, several warm passes that hit the expansion
-// cache, and repeated SearchAll passes over the expanded queries.
-func runBatch(s *core.System, qs []core.Query, workers int) error {
+// cache, and repeated batch retrieval passes over the expanded queries.
+func runBatch(ctx context.Context, client *querygraph.Client, qs []querygraph.Query, workers int) error {
 	const (
 		warmPasses   = 3
 		searchPasses = 10
@@ -182,11 +175,10 @@ func runBatch(s *core.System, qs []core.Query, workers int) error {
 	for i, q := range qs {
 		keywords[i] = q.Keywords
 	}
-	eopts := core.DefaultExpanderOptions()
-	bopts := core.BatchOptions{Workers: workers}
+	bopts := querygraph.BatchOptions{Workers: workers}
 
 	start := time.Now()
-	exps, err := s.ExpandAll(keywords, eopts, bopts)
+	exps, err := client.ExpandAll(ctx, keywords, bopts)
 	if err != nil {
 		return err
 	}
@@ -194,22 +186,27 @@ func runBatch(s *core.System, qs []core.Query, workers int) error {
 
 	start = time.Now()
 	for p := 0; p < warmPasses; p++ {
-		if _, err := s.ExpandAll(keywords, eopts, bopts); err != nil {
+		if _, err := client.ExpandAll(ctx, keywords, bopts); err != nil {
 			return err
 		}
 	}
 	warm := time.Since(start)
 
-	nodes := make([]search.Node, 0, len(exps))
-	for _, exp := range exps {
-		if node, ok := exp.Query(s); ok {
-			nodes = append(nodes, node)
-		}
-	}
 	start = time.Now()
+	searchable := 0
 	for p := 0; p < searchPasses; p++ {
-		if _, err := s.SearchAll(nodes, core.MaxRank, bopts); err != nil {
+		rss, err := client.SearchExpansions(ctx, exps, querygraph.MaxRank, bopts)
+		if err != nil {
 			return err
+		}
+		if p == 0 {
+			// Unexpandable entries keep their slot as a nil ranking; only
+			// the searched ones count toward throughput.
+			for _, rs := range rss {
+				if rs != nil {
+					searchable++
+				}
+			}
 		}
 	}
 	searched := time.Since(start)
@@ -220,15 +217,15 @@ func runBatch(s *core.System, qs []core.Query, workers int) error {
 		}
 		return float64(n) / d.Seconds()
 	}
-	st := s.ExpandCacheStats()
+	st := client.CacheStats()
 	fmt.Printf("batch serving (%d queries, workers=%d means GOMAXPROCS when 0):\n", len(qs), workers)
-	fmt.Printf("  ExpandAll cold: %10.0f queries/sec  (%v)\n",
+	fmt.Printf("  ExpandAll cold:    %10.0f queries/sec  (%v)\n",
 		qps(len(keywords), cold), cold.Round(time.Microsecond))
-	fmt.Printf("  ExpandAll warm: %10.0f queries/sec  (%v over %d passes)\n",
+	fmt.Printf("  ExpandAll warm:    %10.0f queries/sec  (%v over %d passes)\n",
 		qps(warmPasses*len(keywords), warm), warm.Round(time.Microsecond), warmPasses)
-	fmt.Printf("  SearchAll:      %10.0f queries/sec  (%v over %d passes, k=%d)\n",
-		qps(searchPasses*len(nodes), searched), searched.Round(time.Microsecond), searchPasses, core.MaxRank)
-	fmt.Printf("  expand cache:   %d/%d entries, %.1f%% hit rate (%d hits, %d misses, %d deduped in flight)\n",
+	fmt.Printf("  SearchExpansions:  %10.0f queries/sec  (%v over %d passes, k=%d)\n",
+		qps(searchPasses*searchable, searched), searched.Round(time.Microsecond), searchPasses, querygraph.MaxRank)
+	fmt.Printf("  expand cache:      %d/%d entries, %.1f%% hit rate (%d hits, %d misses, %d deduped in flight)\n",
 		st.Entries, st.Capacity, 100*st.HitRate(), st.Hits, st.Misses, st.Deduped)
 	return nil
 }

@@ -25,7 +25,7 @@ import (
 	"path/filepath"
 	"strings"
 
-	"github.com/querygraph/querygraph/internal/core"
+	querygraph "github.com/querygraph/querygraph"
 	"github.com/querygraph/querygraph/internal/corpus"
 	"github.com/querygraph/querygraph/internal/graph"
 	"github.com/querygraph/querygraph/internal/synth"
@@ -79,10 +79,10 @@ func main() {
 		*out, st.Articles, st.Redirects, st.Categories, w.Collection.Len(), len(w.Queries))
 }
 
-// writeSnapshot assembles the serving system (indexing the collection)
+// writeSnapshot assembles the serving client (indexing the collection)
 // and writes the binary snapshot with the query benchmark attached.
 func writeSnapshot(path string, w *synth.World) error {
-	s, err := core.FromWorld(w)
+	client, err := querygraph.Build(w)
 	if err != nil {
 		return err
 	}
@@ -91,7 +91,7 @@ func writeSnapshot(path string, w *synth.World) error {
 		return err
 	}
 	defer f.Close()
-	if err := s.Save(f, core.QueriesFromWorld(w)); err != nil {
+	if err := client.Save(f); err != nil {
 		return err
 	}
 	if err := f.Close(); err != nil {

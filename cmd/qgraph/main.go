@@ -1,7 +1,7 @@
 // Command qgraph builds the ground truth and query graph for one benchmark
 // query and prints a structural report — the per-query view behind the
 // paper's Figures 3 and 4. With -dot it also writes the query graph in
-// Graphviz format.
+// Graphviz format. Everything goes through the public querygraph API.
 //
 // Usage: qgraph [-seed N] [-query N] [-dot FILE] [-load FILE.qgs]
 //
@@ -11,17 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"sort"
+	"strings"
 
-	"github.com/querygraph/querygraph/internal/core"
-	"github.com/querygraph/querygraph/internal/cycles"
-	"github.com/querygraph/querygraph/internal/graph"
-	"github.com/querygraph/querygraph/internal/groundtruth"
-	"github.com/querygraph/querygraph/internal/synth"
+	querygraph "github.com/querygraph/querygraph"
 )
 
 func main() {
@@ -34,36 +32,36 @@ func main() {
 		load    = flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
 	)
 	flag.Parse()
+	ctx := context.Background()
 
 	var (
-		s   *core.System
-		qs  []core.Query
-		err error
+		client *querygraph.Client
+		err    error
 	)
 	if *load != "" {
-		if s, qs, err = core.LoadSystemFile(*load); err != nil {
+		if client, err = querygraph.Open(*load); err != nil {
 			log.Fatal(err)
 		}
 	} else {
-		cfg := synth.Default()
+		cfg := querygraph.DefaultWorldConfig()
 		if *seed != 0 {
 			cfg.Seed = *seed
 		}
-		w, gerr := synth.Generate(cfg)
+		w, gerr := querygraph.GenerateWorld(cfg)
 		if gerr != nil {
 			log.Fatal(gerr)
 		}
-		if s, err = core.FromWorld(w); err != nil {
+		if client, err = querygraph.Build(w); err != nil {
 			log.Fatal(err)
 		}
-		qs = core.QueriesFromWorld(w)
 	}
+	qs := client.Queries()
 	if *queryID < 0 || *queryID >= len(qs) {
 		log.Fatalf("query %d out of range [0, %d)", *queryID, len(qs))
 	}
 	q := qs[*queryID]
 
-	gt, err := s.BuildGroundTruth(q, core.GroundTruthConfig{Search: groundtruth.Config{Seed: 1}})
+	gt, err := client.GroundTruth(ctx, q, querygraph.GroundTruthOptions{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,11 +69,11 @@ func main() {
 	fmt.Printf("query #%d: %q  (%d relevant documents)\n\n", q.ID, q.Keywords, len(q.Relevant))
 	fmt.Printf("L(q.k) — query articles:\n")
 	for _, a := range gt.QueryArticles {
-		fmt.Printf("  - %s\n", s.Snapshot.Name(a))
+		fmt.Printf("  - %s\n", client.Title(a))
 	}
 	fmt.Printf("\nA' — expansion features (X(q) = L(q.k) ∪ A'):\n")
 	for _, a := range gt.Expansion {
-		fmt.Printf("  - %s\n", s.Snapshot.Name(a))
+		fmt.Printf("  - %s\n", client.Title(a))
 	}
 	fmt.Printf("\nobjective: baseline O = %.3f  →  X(q) O = %.3f\n", gt.Baseline, gt.Score)
 	fmt.Printf("precision: P@1 %.2f  P@5 %.2f  P@10 %.2f  P@15 %.2f\n",
@@ -89,20 +87,13 @@ func main() {
 	fmt.Printf("largest component: %d nodes (%.0f%% of G(q)), %.0f%% categories, TPR %.2f, expansion ratio %.2f\n\n",
 		st.Size, 100*st.RelSize, 100*st.CategoryFrac, st.TPR, st.ExpansionRatio)
 
-	sub := qg.Sub
-	var seeds []graph.NodeID
-	for _, qa := range gt.QueryArticles {
-		if sid, ok := sub.ToSub[qa]; ok {
-			seeds = append(seeds, sid)
-		}
-	}
-	cs, err := cycles.Enumerate(sub.Graph, seeds, 5, graph.ExcludeRedirects)
+	cs, err := client.MineCycles(ctx, gt, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	byLen := map[int][]cycles.Cycle{}
+	byLen := map[int][]querygraph.Cycle{}
 	for _, c := range cs {
-		byLen[c.Len()] = append(byLen[c.Len()], c)
+		byLen[c.Length] = append(byLen[c.Length], c)
 	}
 	lengths := make([]int, 0, len(byLen))
 	for l := range byLen {
@@ -117,15 +108,8 @@ func main() {
 				fmt.Printf("    ...\n")
 				break
 			}
-			m, err := cycles.Measure(sub.Graph, c, graph.ExcludeRedirects)
-			if err != nil {
-				log.Fatal(err)
-			}
-			names := make([]string, len(c.Nodes))
-			for j, n := range c.Nodes {
-				names[j] = s.Snapshot.Name(sub.ToParent[n])
-			}
-			fmt.Printf("    %v  (cat ratio %.2f, density %.2f)\n", names, m.CategoryRatio, m.ExtraEdgeDensity)
+			fmt.Printf("    [%s]  (cat ratio %.2f, density %.2f)\n",
+				strings.Join(c.Titles, " "), c.CategoryRatio, c.ExtraEdgeDensity)
 		}
 	}
 
@@ -135,8 +119,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		label := func(n graph.NodeID) string { return s.Snapshot.Name(sub.ToParent[n]) }
-		if err := sub.Graph.WriteDOT(f, fmt.Sprintf("query_%d", q.ID), label); err != nil {
+		if err := client.WriteQueryGraphDOT(f, gt, fmt.Sprintf("query_%d", q.ID)); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *dotFile)

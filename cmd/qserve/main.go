@@ -1,0 +1,92 @@
+// Command qserve is the HTTP front end of the reproduction: it loads a
+// binary serving snapshot (qgen -out world.qgs) at boot and serves search
+// and cycle-based query expansion as a JSON API — the online half of the
+// paper's offline-mine / online-serve split.
+//
+// Usage:
+//
+//	qserve -load world.qgs [-addr :8080] [-timeout 5s] [-cache N]
+//
+// Endpoints:
+//
+//	POST /v1/search        {"query": "...", "k": 15, "timeout_ms": 500}
+//	POST /v1/search/batch  {"queries": ["...", ...], "k": 15, "workers": 0}
+//	POST /v1/expand        {"keywords": "...", "k": 15, "max_features": 10, ...}
+//	POST /v1/expand/batch  {"keywords": ["...", ...], "workers": 0}
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//
+// Every request runs under a deadline — the -timeout default, lowered per
+// request via timeout_ms — and timeouts surface as 408 JSON errors (499
+// when the client itself went away). SIGINT/SIGTERM drain in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	querygraph "github.com/querygraph/querygraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qserve: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		load    = flag.String("load", "", "binary world snapshot to serve (qgen -out FILE.qgs); required")
+		timeout = flag.Duration("timeout", 5*time.Second, "default per-request timeout (requests may lower it via timeout_ms)")
+		cache   = flag.Int("cache", 0, "expansion cache capacity (0 = default 1024, negative disables)")
+	)
+	flag.Parse()
+	if *load == "" {
+		log.Fatal("-load FILE.qgs is required: build one with qgen -out world.qgs")
+	}
+
+	var opts []querygraph.Option
+	if *cache != 0 {
+		opts = append(opts, querygraph.WithExpandCache(*cache))
+	}
+	start := time.Now()
+	client, err := querygraph.Open(*load, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := client.Stats()
+	log.Printf("loaded %s in %v: %d articles, %d documents, %d benchmark queries",
+		*load, time.Since(start).Round(time.Millisecond), st.Articles, st.Documents, st.BenchmarkQueries)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(client, *timeout),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving on %s (per-request timeout %v)", *addr, *timeout)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("bye")
+}

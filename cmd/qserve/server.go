@@ -1,0 +1,475 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	querygraph "github.com/querygraph/querygraph"
+)
+
+// statusClientClosedRequest is the nginx-convention status for a request
+// whose client went away before the response was ready; there is no
+// standard-library constant for it.
+const statusClientClosedRequest = 499
+
+// maxRequestBody bounds request JSON; expansion batches are lists of short
+// keyword strings, so 1 MiB is generous.
+const maxRequestBody = 1 << 20
+
+// server is the HTTP front end over one serving Client.
+type server struct {
+	client *querygraph.Client
+	// timeout bounds each request's context unless the request asks for
+	// less via timeout_ms.
+	timeout time.Duration
+	started time.Time
+	mux     *http.ServeMux
+}
+
+func newServer(client *querygraph.Client, timeout time.Duration) *server {
+	s := &server{
+		client:  client,
+		timeout: timeout,
+		started: time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
+	s.mux.HandleFunc("POST /v1/expand", s.handleExpand)
+	s.mux.HandleFunc("POST /v1/expand/batch", s.handleExpandBatch)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// requestContext derives the per-request deadline: the server default,
+// lowered (never raised) by an explicit timeout_ms.
+func (s *server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.timeout
+	if timeoutMS > 0 {
+		if req := time.Duration(timeoutMS) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// --- wire types --------------------------------------------------------
+
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	Error errorBody `json:"error"`
+}
+
+type resultJSON struct {
+	Doc   int32   `json:"doc"`
+	Score float64 `json:"score"`
+}
+
+func resultsJSON(rs []querygraph.Result) []resultJSON {
+	out := make([]resultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = resultJSON{Doc: r.Doc, Score: r.Score}
+	}
+	return out
+}
+
+type searchRequest struct {
+	Query string `json:"query"`
+	K     int    `json:"k"`
+	// TimeoutMS lowers the server's per-request timeout for this call.
+	TimeoutMS int64 `json:"timeout_ms"`
+}
+
+type searchResponse struct {
+	Results []resultJSON `json:"results"`
+	TookMS  float64      `json:"took_ms"`
+}
+
+type searchBatchRequest struct {
+	Queries   []string `json:"queries"`
+	K         int      `json:"k"`
+	Workers   int      `json:"workers"`
+	TimeoutMS int64    `json:"timeout_ms"`
+}
+
+type searchBatchResponse struct {
+	Results [][]resultJSON `json:"results"`
+	TookMS  float64        `json:"took_ms"`
+}
+
+// expandParams are the optional expansion knobs; pointers distinguish
+// "absent, use the paper default" from an explicit zero — the same
+// contract the functional options give Go callers.
+type expandParams struct {
+	MaxCycleLen      *int     `json:"max_cycle_len"`
+	Radius           *int     `json:"radius"`
+	MaxNeighborhood  *int     `json:"max_neighborhood"`
+	MinCategoryRatio *float64 `json:"min_category_ratio"`
+	MaxCategoryRatio *float64 `json:"max_category_ratio"`
+	MinDensity       *float64 `json:"min_density"`
+	MaxFeatures      *int     `json:"max_features"`
+	TwoCycles        *bool    `json:"two_cycles"`
+	FrequencyRank    *bool    `json:"frequency_rank"`
+	RedirectAliases  *bool    `json:"redirect_aliases"`
+}
+
+func (p expandParams) options() ([]querygraph.ExpandOption, error) {
+	var opts []querygraph.ExpandOption
+	if p.MaxCycleLen != nil {
+		opts = append(opts, querygraph.WithMaxCycleLen(*p.MaxCycleLen))
+	}
+	if p.Radius != nil {
+		opts = append(opts, querygraph.WithRadius(*p.Radius))
+	}
+	if p.MaxNeighborhood != nil {
+		opts = append(opts, querygraph.WithMaxNeighborhood(*p.MaxNeighborhood))
+	}
+	if (p.MinCategoryRatio == nil) != (p.MaxCategoryRatio == nil) {
+		return nil, fmt.Errorf("%w: min_category_ratio and max_category_ratio must be set together",
+			querygraph.ErrInvalidOptions)
+	}
+	if p.MinCategoryRatio != nil {
+		opts = append(opts, querygraph.WithCategoryRatioBand(*p.MinCategoryRatio, *p.MaxCategoryRatio))
+	}
+	if p.MinDensity != nil {
+		opts = append(opts, querygraph.WithMinDensity(*p.MinDensity))
+	}
+	if p.MaxFeatures != nil {
+		opts = append(opts, querygraph.WithMaxFeatures(*p.MaxFeatures))
+	}
+	if p.TwoCycles != nil {
+		opts = append(opts, querygraph.WithTwoCycles(*p.TwoCycles))
+	}
+	if p.FrequencyRank != nil {
+		opts = append(opts, querygraph.WithFrequencyRank(*p.FrequencyRank))
+	}
+	if p.RedirectAliases != nil {
+		opts = append(opts, querygraph.WithRedirectAliases(*p.RedirectAliases))
+	}
+	return opts, nil
+}
+
+type expandRequest struct {
+	Keywords string `json:"keywords"`
+	// K > 0 additionally runs the expanded retrieval and returns the top
+	// K documents alongside the features.
+	K         int   `json:"k"`
+	TimeoutMS int64 `json:"timeout_ms"`
+	expandParams
+}
+
+type entityJSON struct {
+	ID    int64  `json:"id"`
+	Title string `json:"title"`
+}
+
+type featureJSON struct {
+	Title         string  `json:"title"`
+	CycleLen      int     `json:"cycle_len"`
+	Density       float64 `json:"density"`
+	CategoryRatio float64 `json:"category_ratio"`
+}
+
+type expansionJSON struct {
+	Keywords         string        `json:"keywords"`
+	Entities         []entityJSON  `json:"entities"`
+	Features         []featureJSON `json:"features"`
+	CyclesConsidered int           `json:"cycles_considered"`
+	CyclesAccepted   int           `json:"cycles_accepted"`
+	Results          []resultJSON  `json:"results,omitempty"`
+}
+
+func (s *server) expansionJSON(exp *querygraph.Expansion, results []querygraph.Result) expansionJSON {
+	out := expansionJSON{
+		Keywords:         exp.Keywords,
+		Entities:         make([]entityJSON, len(exp.QueryArticles)),
+		Features:         make([]featureJSON, len(exp.Features)),
+		CyclesConsidered: exp.CyclesConsidered,
+		CyclesAccepted:   exp.CyclesAccepted,
+	}
+	for i, id := range exp.QueryArticles {
+		out.Entities[i] = entityJSON{ID: int64(id), Title: s.client.Title(id)}
+	}
+	for i, f := range exp.Features {
+		out.Features[i] = featureJSON{
+			Title:         f.Title,
+			CycleLen:      f.CycleLen,
+			Density:       f.Density,
+			CategoryRatio: f.CategoryRatio,
+		}
+	}
+	if results != nil {
+		out.Results = resultsJSON(results)
+	}
+	return out
+}
+
+type expandResponse struct {
+	expansionJSON
+	TookMS float64 `json:"took_ms"`
+}
+
+type expandBatchRequest struct {
+	Keywords []string `json:"keywords"`
+	// K > 0 additionally runs the expanded retrieval for every entry and
+	// attaches the top K documents to each expansion.
+	K         int   `json:"k"`
+	Workers   int   `json:"workers"`
+	TimeoutMS int64 `json:"timeout_ms"`
+	expandParams
+}
+
+type expandBatchResponse struct {
+	Expansions []expansionJSON `json:"expansions"`
+	TookMS     float64         `json:"took_ms"`
+}
+
+// --- handlers ----------------------------------------------------------
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	rs, err := s.client.Search(ctx, req.Query, s.rank(req.K))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, searchResponse{
+		Results: resultsJSON(rs),
+		TookMS:  ms(start),
+	})
+}
+
+func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req searchBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	rss, err := s.client.SearchAll(ctx, req.Queries, s.rank(req.K),
+		querygraph.BatchOptions{Workers: req.Workers})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := make([][]resultJSON, len(rss))
+	for i, rs := range rss {
+		out[i] = resultsJSON(rs)
+	}
+	s.writeJSON(w, http.StatusOK, searchBatchResponse{Results: out, TookMS: ms(start)})
+}
+
+func (s *server) handleExpand(w http.ResponseWriter, r *http.Request) {
+	var req expandRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	exp, err := s.client.Expand(ctx, req.Keywords, opts...)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var results []querygraph.Result
+	if req.K > 0 {
+		rs, ok, err := s.client.SearchExpansion(ctx, exp, s.rank(req.K))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if ok {
+			results = rs
+		} else {
+			results = []querygraph.Result{}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, expandResponse{
+		expansionJSON: s.expansionJSON(exp, results),
+		TookMS:        ms(start),
+	})
+}
+
+func (s *server) handleExpandBatch(w http.ResponseWriter, r *http.Request) {
+	var req expandBatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	opts, err := req.options()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	exps, err := s.client.ExpandAll(ctx, req.Keywords,
+		querygraph.BatchOptions{Workers: req.Workers}, opts...)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var rankings [][]querygraph.Result
+	if req.K > 0 {
+		rankings, err = s.client.SearchExpansions(ctx, exps, s.rank(req.K),
+			querygraph.BatchOptions{Workers: req.Workers})
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+	out := make([]expansionJSON, len(exps))
+	for i, exp := range exps {
+		var rs []querygraph.Result
+		if rankings != nil && rankings[i] != nil {
+			rs = rankings[i]
+		}
+		out[i] = s.expansionJSON(exp, rs)
+	}
+	s.writeJSON(w, http.StatusOK, expandBatchResponse{Expansions: out, TookMS: ms(start)})
+}
+
+type healthzResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Articles      int     `json:"articles"`
+	Documents     int     `json:"documents"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.client.Stats()
+	s.writeJSON(w, http.StatusOK, healthzResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Articles:      st.Articles,
+		Documents:     st.Documents,
+	})
+}
+
+type cacheStatsJSON struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	Deduped  uint64  `json:"deduped"`
+	Entries  int     `json:"entries"`
+	Capacity int     `json:"capacity"`
+	HitRate  float64 `json:"hit_rate"`
+}
+
+type statsResponse struct {
+	Articles         int            `json:"articles"`
+	Redirects        int            `json:"redirects"`
+	Categories       int            `json:"categories"`
+	Links            int            `json:"links"`
+	Documents        int            `json:"documents"`
+	BenchmarkQueries int            `json:"benchmark_queries"`
+	ExpandCache      cacheStatsJSON `json:"expand_cache"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.client.Stats()
+	s.writeJSON(w, http.StatusOK, statsResponse{
+		Articles:         st.Articles,
+		Redirects:        st.Redirects,
+		Categories:       st.Categories,
+		Links:            st.Links,
+		Documents:        st.Documents,
+		BenchmarkQueries: st.BenchmarkQueries,
+		ExpandCache: cacheStatsJSON{
+			Hits:     st.Cache.Hits,
+			Misses:   st.Cache.Misses,
+			Deduped:  st.Cache.Deduped,
+			Entries:  st.Cache.Entries,
+			Capacity: st.Cache.Capacity,
+			HitRate:  st.Cache.HitRate(),
+		},
+	})
+}
+
+// --- plumbing ----------------------------------------------------------
+
+// rank clamps the requested depth: 0 means the paper's top-15, and the
+// depth is capped so one request cannot ask the engine to rank the whole
+// collection.
+func (s *server) rank(k int) int {
+	const maxK = 1000
+	switch {
+	case k <= 0:
+		return querygraph.MaxRank
+	case k > maxK:
+		return maxK
+	default:
+		return k
+	}
+}
+
+func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: errorBody{
+			Code:    "invalid_body",
+			Message: "bad request body: " + err.Error(),
+		}})
+		return false
+	}
+	return true
+}
+
+// writeError maps an error from the serving API onto the HTTP error
+// model: 408 for a deadline the request ran into, 499 (nginx convention)
+// for a client that went away, 400 for invalid queries or options, 500
+// for everything else. The body is always an errorResponse.
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	var status int
+	var code string
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status, code = http.StatusRequestTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		status, code = statusClientClosedRequest, "client_closed_request"
+	case errors.Is(err, querygraph.ErrInvalidQuery):
+		status, code = http.StatusBadRequest, "invalid_query"
+	case errors.Is(err, querygraph.ErrInvalidOptions):
+		status, code = http.StatusBadRequest, "invalid_options"
+	default:
+		status, code = http.StatusInternalServerError, "internal"
+	}
+	s.writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: err.Error()}})
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func ms(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}

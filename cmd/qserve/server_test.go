@@ -1,0 +1,386 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	querygraph "github.com/querygraph/querygraph"
+)
+
+var (
+	clientOnce sync.Once
+	testClient *querygraph.Client
+)
+
+func serveClient(t *testing.T) *querygraph.Client {
+	t.Helper()
+	clientOnce.Do(func() {
+		cfg := querygraph.DefaultWorldConfig()
+		cfg.Topics = 8
+		cfg.ArticlesPerTopic = 12
+		cfg.DocsPerTopic = 20
+		cfg.Queries = 10
+		cfg.NoiseVocab = 80
+		w, err := querygraph.GenerateWorld(cfg)
+		if err != nil {
+			panic(err)
+		}
+		c, err := querygraph.Build(w)
+		if err != nil {
+			panic(err)
+		}
+		testClient = c
+	})
+	return testClient
+}
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	return newServer(serveClient(t), 5*time.Second)
+}
+
+// do posts body (JSON-encoded if non-nil) and returns the recorder.
+func do(t *testing.T, s *server, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeInto(t *testing.T, rec *httptest.ResponseRecorder, into any) {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+		t.Fatalf("bad response JSON %q: %v", rec.Body.String(), err)
+	}
+}
+
+func errorCode(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var resp errorResponse
+	decodeInto(t, rec, &resp)
+	if resp.Error.Message == "" {
+		t.Errorf("error response without message: %q", rec.Body.String())
+	}
+	return resp.Error.Code
+}
+
+func TestHealthz(t *testing.T) {
+	rec := do(t, testServer(t), http.MethodGet, "/v1/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	var resp healthzResponse
+	decodeInto(t, rec, &resp)
+	if resp.Status != "ok" || resp.Articles <= 0 || resp.Documents <= 0 {
+		t.Errorf("healthz = %+v, want ok with a loaded world", resp)
+	}
+}
+
+func TestStats(t *testing.T) {
+	rec := do(t, testServer(t), http.MethodGet, "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	var resp statsResponse
+	decodeInto(t, rec, &resp)
+	if resp.Articles <= 0 || resp.Documents <= 0 || resp.BenchmarkQueries <= 0 {
+		t.Errorf("stats = %+v, want a loaded world with a benchmark", resp)
+	}
+	if resp.ExpandCache.Capacity <= 0 {
+		t.Errorf("stats report a disabled cache: %+v", resp.ExpandCache)
+	}
+}
+
+func TestSearchMatchesClient(t *testing.T) {
+	s := testServer(t)
+	q := serveClient(t).Queries()[0]
+	rec := do(t, s, http.MethodPost, "/v1/search", searchRequest{Query: q.Keywords, K: 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+	var resp searchResponse
+	decodeInto(t, rec, &resp)
+
+	want, err := serveClient(t).Search(context.Background(), q.Keywords, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(want) {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(want))
+	}
+	for i, r := range resp.Results {
+		if r.Doc != want[i].Doc {
+			t.Errorf("rank %d: doc %d, want %d", i, r.Doc, want[i].Doc)
+		}
+	}
+}
+
+func TestSearchBatchAlignment(t *testing.T) {
+	s := testServer(t)
+	qs := serveClient(t).Queries()
+	queries := []string{qs[0].Keywords, qs[1].Keywords, qs[2].Keywords}
+	rec := do(t, s, http.MethodPost, "/v1/search/batch", searchBatchRequest{Queries: queries, K: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+	var resp searchBatchResponse
+	decodeInto(t, rec, &resp)
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("got %d rankings for %d queries", len(resp.Results), len(queries))
+	}
+	for i, q := range queries {
+		want, err := serveClient(t).Search(context.Background(), q, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Results[i]) != len(want) {
+			t.Errorf("query %d: %d results, want %d", i, len(resp.Results[i]), len(want))
+		}
+	}
+}
+
+func TestExpandWithRetrieval(t *testing.T) {
+	s := testServer(t)
+	q := serveClient(t).Queries()[0]
+	max := 5
+	rec := do(t, s, http.MethodPost, "/v1/expand", expandRequest{
+		Keywords:     q.Keywords,
+		K:            10,
+		expandParams: expandParams{MaxFeatures: &max},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+	var resp expandResponse
+	decodeInto(t, rec, &resp)
+	if resp.Keywords != q.Keywords {
+		t.Errorf("echoed keywords %q, want %q", resp.Keywords, q.Keywords)
+	}
+	if len(resp.Entities) == 0 {
+		t.Error("no entities linked")
+	}
+	if len(resp.Features) > max {
+		t.Errorf("%d features, want at most %d", len(resp.Features), max)
+	}
+	if resp.Results == nil {
+		t.Error("k > 0 should attach retrieval results")
+	}
+
+	// An absurd k is clamped, not handed to the engine verbatim.
+	rec = do(t, s, http.MethodPost, "/v1/expand", expandRequest{Keywords: q.Keywords, K: 100000000})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("huge-k status = %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+	var clamped expandResponse
+	decodeInto(t, rec, &clamped)
+	if len(clamped.Results) > 1000 {
+		t.Errorf("huge k returned %d results, want the clamp at 1000", len(clamped.Results))
+	}
+}
+
+func TestExpandBatchAttachesRetrieval(t *testing.T) {
+	s := testServer(t)
+	qs := serveClient(t).Queries()
+	rec := do(t, s, http.MethodPost, "/v1/expand/batch", expandBatchRequest{
+		Keywords: []string{qs[5].Keywords, qs[6].Keywords},
+		K:        4,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+	var resp expandBatchResponse
+	decodeInto(t, rec, &resp)
+	if len(resp.Expansions) != 2 {
+		t.Fatalf("got %d expansions, want 2", len(resp.Expansions))
+	}
+	for i, exp := range resp.Expansions {
+		if len(exp.Results) == 0 {
+			t.Errorf("expansion %d: k > 0 should attach retrieval results", i)
+		}
+		if len(exp.Results) > 4 {
+			t.Errorf("expansion %d: %d results, want at most k=4", i, len(exp.Results))
+		}
+	}
+}
+
+func TestExpandBatchWarmsCache(t *testing.T) {
+	s := testServer(t)
+	qs := serveClient(t).Queries()
+	keywords := []string{qs[3].Keywords, qs[3].Keywords, qs[4].Keywords}
+	rec := do(t, s, http.MethodPost, "/v1/expand/batch", expandBatchRequest{Keywords: keywords})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+	var resp expandBatchResponse
+	decodeInto(t, rec, &resp)
+	if len(resp.Expansions) != len(keywords) {
+		t.Fatalf("got %d expansions for %d keywords", len(resp.Expansions), len(keywords))
+	}
+	// A second pass over the same keywords is served from the cache.
+	before := serveClient(t).CacheStats().Hits
+	rec = do(t, s, http.MethodPost, "/v1/expand/batch", expandBatchRequest{Keywords: keywords})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm pass status = %d, want 200", rec.Code)
+	}
+	if after := serveClient(t).CacheStats().Hits; after < before+uint64(len(keywords)) {
+		t.Errorf("cache hits %d -> %d, want at least %d more", before, after, len(keywords))
+	}
+}
+
+func TestErrorModel(t *testing.T) {
+	s := testServer(t)
+	t.Run("malformed body", func(t *testing.T) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader("{not json"))
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", rec.Code)
+		}
+		if code := errorCode(t, rec); code != "invalid_body" {
+			t.Errorf("code = %q, want invalid_body", code)
+		}
+	})
+	t.Run("invalid query", func(t *testing.T) {
+		rec := do(t, s, http.MethodPost, "/v1/search", searchRequest{Query: "#combine(unclosed"})
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", rec.Code)
+		}
+		if code := errorCode(t, rec); code != "invalid_query" {
+			t.Errorf("code = %q, want invalid_query", code)
+		}
+	})
+	t.Run("invalid options", func(t *testing.T) {
+		lo, hi := 0.9, 0.1
+		rec := do(t, s, http.MethodPost, "/v1/expand", expandRequest{
+			Keywords:     "anything",
+			expandParams: expandParams{MinCategoryRatio: &lo, MaxCategoryRatio: &hi},
+		})
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", rec.Code)
+		}
+		if code := errorCode(t, rec); code != "invalid_options" {
+			t.Errorf("code = %q, want invalid_options", code)
+		}
+	})
+	t.Run("half-set band", func(t *testing.T) {
+		lo := 0.2
+		rec := do(t, s, http.MethodPost, "/v1/expand", expandRequest{
+			Keywords:     "anything",
+			expandParams: expandParams{MinCategoryRatio: &lo},
+		})
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("status = %d, want 400", rec.Code)
+		}
+	})
+	t.Run("method not allowed", func(t *testing.T) {
+		rec := do(t, s, http.MethodGet, "/v1/search", nil)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("status = %d, want 405", rec.Code)
+		}
+	})
+}
+
+// TestRequestTimeout pins the 408 contract: a request whose deadline has
+// passed before (or while) the pipeline runs gets a JSON timeout error,
+// for both single and batch endpoints.
+func TestRequestTimeout(t *testing.T) {
+	// A server whose per-request budget is one nanosecond times out
+	// deterministically at the first context check.
+	s := newServer(serveClient(t), time.Nanosecond)
+	q := serveClient(t).Queries()[0]
+
+	for _, tc := range []struct {
+		name, path string
+		body       any
+	}{
+		{"search", "/v1/search", searchRequest{Query: q.Keywords, K: 5}},
+		{"search batch", "/v1/search/batch", searchBatchRequest{Queries: []string{q.Keywords}}},
+		{"expand", "/v1/expand", expandRequest{Keywords: q.Keywords}},
+		{"expand batch", "/v1/expand/batch", expandBatchRequest{Keywords: []string{q.Keywords}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := do(t, s, http.MethodPost, tc.path, tc.body)
+			if rec.Code != http.StatusRequestTimeout {
+				t.Fatalf("status = %d (%s), want 408", rec.Code, rec.Body.String())
+			}
+			if code := errorCode(t, rec); code != "timeout" {
+				t.Errorf("code = %q, want timeout", code)
+			}
+		})
+	}
+
+	// timeout_ms can only lower the budget, and a 1 ms budget on a batch
+	// of many distinct cold expansions runs out mid-batch.
+	big := newServer(serveClient(t), 5*time.Second)
+	keywords := make([]string, 500)
+	for i := range keywords {
+		keywords[i] = q.Keywords + " uncached variant " + strings.Repeat("x", i%7+1) + string(rune('a'+i%26))
+	}
+	rec := do(t, big, http.MethodPost, "/v1/expand/batch", expandBatchRequest{Keywords: keywords, TimeoutMS: 1})
+	if rec.Code != http.StatusRequestTimeout {
+		t.Fatalf("mid-batch status = %d (%s), want 408", rec.Code, rec.Body.String())
+	}
+}
+
+// TestClientClosedRequest pins the 499 contract: when the requester's own
+// context dies (the connection went away), the handler reports the
+// nginx-style 499 rather than a timeout.
+func TestClientClosedRequest(t *testing.T) {
+	s := testServer(t)
+	q := serveClient(t).Queries()[0]
+	body, err := json.Marshal(searchRequest{Query: q.Keywords, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status = %d (%s), want 499", rec.Code, rec.Body.String())
+	}
+	if code := errorCode(t, rec); code != "client_closed_request" {
+		t.Errorf("code = %q, want client_closed_request", code)
+	}
+}
+
+// TestGracefulShutdown drives the real http.Server wiring: an in-flight
+// request is drained before Shutdown returns.
+func TestGracefulShutdown(t *testing.T) {
+	s := testServer(t)
+	srv := httptest.NewServer(s)
+	q := serveClient(t).Queries()[0]
+	body, _ := json.Marshal(searchRequest{Query: q.Keywords, K: 5})
+
+	resp, err := http.Post(srv.URL+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	srv.Close() // drains like Shutdown; a hang here fails the test by timeout
+}

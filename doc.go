@@ -1,35 +1,86 @@
 // Package querygraph reproduces "Understanding Graph Structure of Wikipedia
 // for Query Expansion" (Guisado-Gámez & Prat-Pérez, 2015) as a complete,
-// self-contained Go system.
+// self-contained Go system, and exposes it as a context-aware serving API.
 //
-// The repository contains every substrate the paper depends on, implemented
-// from scratch on the standard library:
+// # The client
 //
-//   - internal/graph: a typed property graph with the operations the analysis
-//     needs (components, triangles, induced subgraphs, cycle support).
-//   - internal/wiki: the Wikipedia schema of the paper's Figure 1 (articles,
-//     categories, links, belongs, inside, redirects_to) with validation.
-//   - internal/synth: a deterministic generator for a synthetic Wikipedia,
-//     an ImageCLEF-shaped document collection and a query benchmark.
-//   - internal/corpus: the ImageCLEF XML document model, parser and the
-//     relevant-text extraction of the paper's Figure 2.
-//   - internal/index, internal/search: a positional inverted index and an
-//     INDRI-like engine (#combine / #1 exact phrases, Dirichlet-smoothed
-//     query likelihood).
-//   - internal/linking: the largest-substring entity linker with redirect
-//     synonyms.
-//   - internal/eval, internal/groundtruth: top-r precision, the O(A,D)
-//     objective and the ADD/REMOVE/SWAP local search that builds X(q).
-//   - internal/querygraph, internal/cycles: query-graph assembly and the
-//     cycle analysis of Section 3 (category ratio, density of extra edges,
-//     contribution).
-//   - internal/core: the public facade tying everything together, including
-//     an online Expander that applies the paper's findings (dense cycles
-//     with a ~30% category ratio) as a practical query-expansion technique,
-//     plus the batch serving layer (SearchAll / ExpandAll on bounded worker
-//     pools with a sharded LRU expansion cache).
+// Everything is served through a Client — one loaded knowledge base,
+// document collection, search engine and entity linker, safe for
+// concurrent use:
 //
-// See DESIGN.md for the system inventory, the retrieval hot-path and batch
-// serving architecture, and the per-experiment benchmark index; cmd/qbench
-// prints paper-vs-measured results for every table and figure.
+//	client, err := querygraph.Open("world.qgs")   // decode a snapshot: serve instantly
+//	client, err := querygraph.OpenReader(r)       // the same over any reader
+//	client, err := querygraph.Build(world)        // index a generated world: build once
+//
+// Snapshots are written by Client.Save (or cmd/qgen with -out world.qgs)
+// and decoded, not rebuilt, at Open time. Worlds come from GenerateWorld,
+// which deterministically produces a Wikipedia-shaped knowledge base, an
+// ImageCLEF-shaped collection and a query benchmark from one seed.
+//
+// The serving surface:
+//
+//	results, err := client.Search(ctx, "venice #1(grand canal)", 15)
+//	exp, err := client.Expand(ctx, "doge palace venice")
+//	results, ok, err := client.SearchExpansion(ctx, exp, 15)
+//	batch, err := client.ExpandAll(ctx, keywords, querygraph.BatchOptions{})
+//	analysis, err := client.Analyze(ctx, querygraph.AnalyzeOptions{})
+//
+// Expand implements the paper's conclusions as an online engine: it
+// entity-links the keywords, mines cycles of length <= 5 in the Wikipedia
+// neighborhood of the entities, keeps the structurally promising cycles
+// (dense, category ratio around 30%) and proposes the articles they
+// introduce as expansion features. Results are memoized in a sharded
+// single-flight LRU cache, so heavy traffic with repeated queries is
+// served from memory.
+//
+// # Contexts and cancellation
+//
+// Every query-path method takes a context.Context. A context that is
+// already done returns ctx.Err() without running any pipeline. Cancelling
+// mid-call stops batch fan-out from scheduling further queries, and a
+// caller waiting on another caller's identical in-flight expansion
+// abandons the wait (the in-flight run still completes and populates the
+// cache). Per-request deadlines therefore bound every call, which is what
+// cmd/qserve builds its HTTP timeouts on.
+//
+// # Errors
+//
+// Failures are classified by sentinel, tested with errors.Is:
+// ErrBadSnapshot (undecodable snapshot bytes), ErrInvalidOptions (rejected
+// option values), ErrInvalidQuery (query-text parse failures) and
+// ErrNoBenchmark (benchmark-driven calls on a benchmark-less snapshot).
+// Context failures surface as context.Canceled / context.DeadlineExceeded;
+// file-system errors pass through unchanged.
+//
+// # Options
+//
+// Expansion knobs are functional options validated at the call site —
+// WithCategoryRatioBand(0.2, 0.5), WithMaxFeatures(10), WithTwoCycles(true)
+// and friends; see DefaultExpandOptions for the paper-tuned defaults. An
+// explicit value can never be mistaken for "unset", and invalid values
+// fail loudly with ErrInvalidOptions instead of falling back silently.
+//
+// # Command line and HTTP
+//
+// cmd/qserve serves Search and Expand over HTTP JSON (POST /v1/search,
+// POST /v1/expand, batch variants, GET /v1/healthz, GET /v1/stats) from a
+// snapshot loaded at boot, with per-request timeouts and graceful
+// shutdown. cmd/qgen generates worlds and snapshots, cmd/qbench
+// reproduces every table and figure of the paper next to the reported
+// values, and cmd/qgraph inspects one query's ground truth and graph.
+//
+// # Under the hood
+//
+// The substrates live under internal/ and are implemented from scratch on
+// the standard library: a typed property graph (internal/graph), the
+// Wikipedia schema of the paper's Figure 1 (internal/wiki), the synthetic
+// world generator (internal/synth), the ImageCLEF document model
+// (internal/corpus), a positional inverted index and an INDRI-like engine
+// with Dirichlet smoothing (internal/index, internal/search), the
+// largest-substring entity linker (internal/linking), the evaluation and
+// ground-truth machinery of Section 2 (internal/eval, internal/groundtruth,
+// internal/querygraph), cycle mining and its structural metrics
+// (internal/cycles), the versioned binary snapshot store (internal/store)
+// and the assembled pipeline (internal/core). See DESIGN.md for the
+// system inventory, hot paths and the per-experiment benchmark index.
 package querygraph

@@ -1,0 +1,29 @@
+package querygraph
+
+import "errors"
+
+// Sentinel errors of the public API. Every error returned by the package
+// either is one of these (test with errors.Is), wraps a context error
+// (context.Canceled / context.DeadlineExceeded from a dead ctx), or is an
+// I/O error passed through from the operating system (e.g. from Open on a
+// missing file).
+var (
+	// ErrBadSnapshot wraps every failure to decode a .qgs snapshot:
+	// wrong magic, unsupported version, checksum mismatch, truncation,
+	// or a short/failing reader.
+	ErrBadSnapshot = errors.New("querygraph: bad snapshot")
+
+	// ErrInvalidOptions wraps rejected option values — an inverted or
+	// out-of-range category-ratio band, a non-positive feature budget,
+	// and friends. The message names the offending option.
+	ErrInvalidOptions = errors.New("querygraph: invalid options")
+
+	// ErrInvalidQuery wraps query-text parse failures (unbalanced
+	// #combine/#1 operators, empty query).
+	ErrInvalidQuery = errors.New("querygraph: invalid query")
+
+	// ErrNoBenchmark is returned by benchmark-driven calls (Analyze,
+	// CompareExpanders, Queries-dependent helpers) when the client was
+	// opened from a snapshot that carries no query benchmark.
+	ErrNoBenchmark = errors.New("querygraph: no query benchmark loaded")
+)

@@ -2,29 +2,27 @@
 // the query graph, enumerate its cycles, and print the per-cycle
 // characteristics (length, category ratio, density of extra edges,
 // contribution), in the spirit of the paper's Figures 3, 4 and 8.
+// Everything runs through the public querygraph API.
 //
 // Run: go run ./examples/cycleanalysis [-load world.qgs] [query-id]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strconv"
 	"strings"
 
-	"github.com/querygraph/querygraph/internal/core"
-	"github.com/querygraph/querygraph/internal/cycles"
-	"github.com/querygraph/querygraph/internal/eval"
-	"github.com/querygraph/querygraph/internal/graph"
-	"github.com/querygraph/querygraph/internal/groundtruth"
-	"github.com/querygraph/querygraph/internal/synth"
+	querygraph "github.com/querygraph/querygraph"
 )
 
 func main() {
 	log.SetFlags(0)
 	loadPath := flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
 	flag.Parse()
+	ctx := context.Background()
 	queryID := 3
 	if flag.NArg() > 0 {
 		id, err := strconv.Atoi(flag.Arg(0))
@@ -34,18 +32,17 @@ func main() {
 		queryID = id
 	}
 
-	system, queries, err := buildOrLoad(*loadPath)
+	client, err := buildOrLoad(*loadPath)
 	if err != nil {
 		log.Fatal(err)
 	}
+	queries := client.Queries()
 	if queryID < 0 || queryID >= len(queries) {
 		log.Fatalf("query id out of range [0, %d)", len(queries))
 	}
 	q := queries[queryID]
 
-	gt, err := system.BuildGroundTruth(q, core.GroundTruthConfig{
-		Search: groundtruth.Config{Seed: 1},
-	})
+	gt, err := client.GroundTruth(ctx, q, querygraph.GroundTruthOptions{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,68 +50,52 @@ func main() {
 	fmt.Printf("G(q): %d nodes in %d components; baseline O = %.3f\n\n",
 		gt.Graph.Size(), gt.Graph.NumComponents(), gt.Baseline)
 
-	sub := gt.Graph.Sub
-	var seeds []graph.NodeID
-	for _, qa := range gt.QueryArticles {
-		if sid, ok := sub.ToSub[qa]; ok {
-			seeds = append(seeds, sid)
-		}
-	}
-	cs, err := cycles.Enumerate(sub.Graph, seeds, 5, graph.ExcludeRedirects)
+	cycles, err := client.MineCycles(ctx, gt, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	relevant := eval.NewRelevance(q.Relevant)
 	fmt.Printf("%-5s  %-55s  %5s  %7s  %8s\n", "len", "cycle", "cats", "density", "contrib")
-	for _, c := range cs {
-		m, err := cycles.Measure(sub.Graph, c, graph.ExcludeRedirects)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, c := range cycles {
 		// Contribution: add the cycle's articles (ignoring categories, as
 		// the paper does) to L(q.k) and re-evaluate.
-		arts := append([]graph.NodeID{}, gt.QueryArticles...)
-		for _, n := range cycles.ArticlesOf(sub.Graph, c) {
-			arts = append(arts, sub.ToParent[n])
-		}
-		after, _, err := system.EvaluateArticles(q.Keywords, arts, relevant)
+		arts := append([]querygraph.NodeID{}, gt.QueryArticles...)
+		arts = append(arts, c.Articles...)
+		after, _, err := client.Evaluate(ctx, q.Keywords, arts, q.Relevant)
 		if err != nil {
 			log.Fatal(err)
 		}
-		names := make([]string, len(c.Nodes))
-		for i, n := range c.Nodes {
-			name := system.Snapshot.Name(sub.ToParent[n])
-			if sub.Kind(n) == graph.Category {
-				name = "[" + name + "]"
+		names := make([]string, len(c.Titles))
+		cats := 0
+		for i, title := range c.Titles {
+			if c.IsCategory[i] {
+				names[i] = "[" + title + "]"
+				cats++
+			} else {
+				names[i] = title
 			}
-			names[i] = name
 		}
 		desc := strings.Join(names, " — ")
 		if len(desc) > 55 {
 			desc = desc[:52] + "..."
 		}
 		fmt.Printf("%-5d  %-55s  %5d  %7.2f  %+7.1f%%\n",
-			m.Length, desc, m.Categories, m.ExtraEdgeDensity,
-			eval.Contribution(gt.Baseline, after))
+			c.Length, desc, cats, c.ExtraEdgeDensity,
+			querygraph.Contribution(gt.Baseline, after))
 	}
-	if len(cs) == 0 {
+	if len(cycles) == 0 {
 		fmt.Println("(no cycles around the query articles — try another query)")
 	}
 }
 
-// buildOrLoad assembles the serving system and queries, decoding a binary
-// snapshot when path is given and generating the default world otherwise.
-func buildOrLoad(path string) (*core.System, []core.Query, error) {
+// buildOrLoad assembles the serving client, decoding a binary snapshot
+// when path is given and generating the default world otherwise.
+func buildOrLoad(path string) (*querygraph.Client, error) {
 	if path != "" {
-		return core.LoadSystemFile(path)
+		return querygraph.Open(path)
 	}
-	world, err := synth.Generate(synth.Default())
+	world, err := querygraph.GenerateWorld(querygraph.DefaultWorldConfig())
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	system, err := core.FromWorld(world)
-	if err != nil {
-		return nil, nil, err
-	}
-	return system, core.QueriesFromWorld(world), nil
+	return querygraph.Build(world)
 }

@@ -1,56 +1,52 @@
 // Groundtruthlab: the Section 2 pipeline end to end — build X(q) for every
 // benchmark query via the ADD/REMOVE/SWAP local search and print the
 // Table 2-style precision statistics of the resulting ground truth.
+// Everything runs through the public querygraph API.
 //
 // Run: go run ./examples/groundtruthlab [-load world.qgs]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"github.com/querygraph/querygraph/internal/core"
-	"github.com/querygraph/querygraph/internal/eval"
-	"github.com/querygraph/querygraph/internal/groundtruth"
-	"github.com/querygraph/querygraph/internal/stats"
-	"github.com/querygraph/querygraph/internal/synth"
+	querygraph "github.com/querygraph/querygraph"
 )
 
 func main() {
 	log.SetFlags(0)
 	loadPath := flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
 	flag.Parse()
+	ctx := context.Background()
 
 	var (
-		system  *core.System
-		queries []core.Query
+		client *querygraph.Client
+		err    error
 	)
 	if *loadPath != "" {
-		var err error
-		system, queries, err = core.LoadSystemFile(*loadPath)
+		client, err = querygraph.Open(*loadPath)
 		if err != nil {
 			log.Fatal(err)
-		}
-		if len(queries) > 20 {
-			queries = queries[:20] // a fast subset; cmd/qbench runs the full set
 		}
 	} else {
-		cfg := synth.Default()
+		cfg := querygraph.DefaultWorldConfig()
 		cfg.Queries = 20 // a fast subset; cmd/qbench runs the full set
-		world, err := synth.Generate(cfg)
-		if err != nil {
+		world, gerr := querygraph.GenerateWorld(cfg)
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
+		if client, err = querygraph.Build(world); err != nil {
 			log.Fatal(err)
 		}
-		if system, err = core.FromWorld(world); err != nil {
-			log.Fatal(err)
-		}
-		queries = core.QueriesFromWorld(world)
+	}
+	queries := client.Queries()
+	if len(queries) > 20 {
+		queries = queries[:20] // a fast subset; cmd/qbench runs the full set
 	}
 
-	gts, err := system.BuildAllGroundTruths(queries, core.GroundTruthConfig{
-		Search: groundtruth.Config{Seed: 1},
-	})
+	gts, err := client.GroundTruths(ctx, queries, querygraph.GroundTruthOptions{Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,12 +65,12 @@ func main() {
 
 	fmt.Println("\nground-truth precision (Table 2 of the paper):")
 	fmt.Printf("%-7s  %6s  %6s  %6s  %6s  %6s\n", "top-r", "min", "25%", "50%", "75%", "max")
-	for _, r := range eval.DefaultRanks {
+	for _, r := range querygraph.DefaultRanks() {
 		vals := make([]float64, len(gts))
 		for i, gt := range gts {
 			vals[i] = gt.PrecisionAt[r]
 		}
-		s, err := stats.Summarize(vals)
+		s, err := querygraph.Summarize(vals)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,71 +1,71 @@
 // Imagesearch: the paper's motivating scenario — retrieval quality over an
 // ImageCLEF-style image-metadata collection, with and without cycle-based
-// query expansion, for every benchmark query.
+// query expansion, for every benchmark query. Everything runs through the
+// public querygraph API.
 //
 // Run: go run ./examples/imagesearch [-load world.qgs]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
-	"github.com/querygraph/querygraph/internal/core"
-	"github.com/querygraph/querygraph/internal/eval"
-	"github.com/querygraph/querygraph/internal/graph"
-	"github.com/querygraph/querygraph/internal/synth"
+	querygraph "github.com/querygraph/querygraph"
 )
 
 func main() {
 	log.SetFlags(0)
 	loadPath := flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
 	flag.Parse()
+	ctx := context.Background()
 
 	var (
-		system  *core.System
-		queries []core.Query
+		client *querygraph.Client
+		err    error
 	)
 	if *loadPath != "" {
-		var err error
-		system, queries, err = core.LoadSystemFile(*loadPath)
+		client, err = querygraph.Open(*loadPath)
 		if err != nil {
 			log.Fatal(err)
 		}
 	} else {
-		world, err := synth.Generate(synth.Default())
-		if err != nil {
+		world, gerr := querygraph.GenerateWorld(querygraph.DefaultWorldConfig())
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
+		if client, err = querygraph.Build(world); err != nil {
 			log.Fatal(err)
 		}
-		if system, err = core.FromWorld(world); err != nil {
-			log.Fatal(err)
-		}
-		queries = core.QueriesFromWorld(world)
 	}
 
 	fmt.Printf("%-4s  %-34s  %8s  %8s  %8s\n", "q", "keywords", "baseline", "expanded", "gain")
 	var baseSum, expSum float64
 	n := 0
-	for _, q := range queries {
-		relevant := eval.NewRelevance(q.Relevant)
-		queryArts := system.LinkKeywords(q.Keywords)
-
+	for _, q := range client.Queries() {
 		// Unexpanded: exact phrases for the linked entities only.
-		baseline, _, err := system.EvaluateArticles(q.Keywords, queryArts, relevant)
+		entities := client.Link(q.Keywords)
+		articles := make([]querygraph.NodeID, len(entities))
+		for i, e := range entities {
+			articles[i] = e.ID
+		}
+		baseline, _, err := client.Evaluate(ctx, q.Keywords, articles, q.Relevant)
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		// Expanded: add the features mined from dense, category-balanced
 		// cycles around the entities.
-		expansion, err := system.Expand(q.Keywords, core.DefaultExpanderOptions())
+		expansion, err := client.Expand(ctx, q.Keywords)
 		if err != nil {
 			log.Fatal(err)
 		}
-		arts := append([]graph.NodeID{}, queryArts...)
+		expandedArts := append([]querygraph.NodeID{}, articles...)
 		for _, f := range expansion.Features {
-			arts = append(arts, f.Node)
+			expandedArts = append(expandedArts, f.Node)
 		}
-		expanded, _, err := system.EvaluateArticles(q.Keywords, arts, relevant)
+		expanded, _, err := client.Evaluate(ctx, q.Keywords, expandedArts, q.Relevant)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -75,12 +75,12 @@ func main() {
 			kw = kw[:31] + "..."
 		}
 		fmt.Printf("%-4d  %-34s  %8.3f  %8.3f  %+7.1f%%\n",
-			q.ID, kw, baseline, expanded, eval.Contribution(baseline, expanded))
+			q.ID, kw, baseline, expanded, querygraph.Contribution(baseline, expanded))
 		baseSum += baseline
 		expSum += expanded
 		n++
 	}
 	fmt.Printf("\nmean objective O over %d queries: baseline %.3f, expanded %.3f (%+.1f%%)\n",
 		n, baseSum/float64(n), expSum/float64(n),
-		eval.Contribution(baseSum/float64(n), expSum/float64(n)))
+		querygraph.Contribution(baseSum/float64(n), expSum/float64(n)))
 }

@@ -1,25 +1,25 @@
-// Quickstart: build (or load) a small synthetic world, expand one query
-// with the cycle-based expander, and inspect the proposed expansion
-// features.
+// Quickstart: build (or load) a small synthetic world through the public
+// querygraph API, expand one query with the cycle-based expander, and
+// inspect the proposed expansion features.
 //
 // Run: go run ./examples/quickstart
 //
 // The serving state can be persisted and restored through the binary
-// snapshot subsystem (internal/store):
+// snapshot subsystem:
 //
 //	go run ./examples/quickstart -save world.qgs   # build once
 //	go run ./examples/quickstart -load world.qgs   # serve instantly
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
-	"github.com/querygraph/querygraph/internal/core"
-	"github.com/querygraph/querygraph/internal/synth"
+	querygraph "github.com/querygraph/querygraph"
 )
 
 func main() {
@@ -27,18 +27,16 @@ func main() {
 	loadPath := flag.String("load", "", "load a binary world snapshot (.qgs) instead of generating")
 	savePath := flag.String("save", "", "after generating, save the serving state to this .qgs file")
 	flag.Parse()
+	ctx := context.Background()
 
-	var (
-		system  *core.System
-		queries []core.Query
-	)
+	var client *querygraph.Client
 	if *loadPath != "" {
 		// 1b. Load a previously saved serving state: the knowledge base,
 		//     collection, index and benchmark decode directly — nothing is
 		//     regenerated or re-indexed.
 		start := time.Now()
 		var err error
-		system, queries, err = core.LoadSystemFile(*loadPath)
+		client, err = querygraph.Open(*loadPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,28 +44,27 @@ func main() {
 	} else {
 		// 1. A deterministic world: Wikipedia-shaped knowledge base, an
 		//    ImageCLEF-shaped document collection and a query benchmark.
-		cfg := synth.Default()
+		cfg := querygraph.DefaultWorldConfig()
 		cfg.Topics = 10
 		cfg.DocsPerTopic = 30
 		cfg.Queries = 10
-		world, err := synth.Generate(cfg)
+		world, err := querygraph.GenerateWorld(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		// 2. Assemble the system: index the collection, build the engine
+		// 2. Assemble the client: index the collection, build the engine
 		//    and the entity linker.
-		system, err = core.FromWorld(world)
+		client, err = querygraph.Build(world)
 		if err != nil {
 			log.Fatal(err)
 		}
-		queries = core.QueriesFromWorld(world)
 		if *savePath != "" {
 			f, err := os.Create(*savePath)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if err := system.Save(f, queries); err != nil {
+			if err := client.Save(f); err != nil {
 				log.Fatal(err)
 			}
 			if err := f.Close(); err != nil {
@@ -76,27 +73,28 @@ func main() {
 			fmt.Printf("saved serving state to %s\n", *savePath)
 		}
 	}
-	stats := system.Snapshot.Stats()
+	stats := client.Stats()
 	fmt.Printf("knowledge base: %d articles, %d redirects, %d categories\n",
 		stats.Articles, stats.Redirects, stats.Categories)
-	fmt.Printf("collection: %d documents\n\n", system.Collection.Len())
+	fmt.Printf("collection: %d documents\n\n", stats.Documents)
+	queries := client.Queries()
 	if len(queries) == 0 {
 		log.Fatal("no benchmark queries available")
 	}
 
 	// 3. Expand a benchmark query with the paper's findings: mine cycles of
 	//    length <= 5 around the query entities and keep the dense ones with
-	//    a category ratio around 30%.
+	//    a category ratio around 30% (the zero-option defaults).
 	query := queries[0]
 	fmt.Printf("query: %q\n", query.Keywords)
 
-	expansion, err := system.Expand(query.Keywords, core.DefaultExpanderOptions())
+	expansion, err := client.Expand(ctx, query.Keywords)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("linked entities:\n")
 	for _, id := range expansion.QueryArticles {
-		fmt.Printf("  - %s\n", system.Snapshot.Name(id))
+		fmt.Printf("  - %s\n", client.Title(id))
 	}
 	fmt.Printf("cycles: %d considered, %d accepted by the structural filters\n",
 		expansion.CyclesConsidered, expansion.CyclesAccepted)
@@ -107,13 +105,12 @@ func main() {
 	}
 
 	// 4. Run the expanded query.
-	node, ok := expansion.Query(system)
-	if !ok {
-		log.Fatal("query not expandable")
-	}
-	results, err := system.Engine.Search(node, 10)
+	results, ok, err := client.SearchExpansion(ctx, expansion, 10)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatal("query not expandable")
 	}
 	fmt.Printf("\ntop results (doc id, score):\n")
 	for i, r := range results {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/querygraph/querygraph/internal/eval"
@@ -40,7 +41,7 @@ type AblationConfig struct {
 //	                      accepted cycles (the paper's §4 open question);
 //	cycles + aliases    — adding redirect titles of selected features (the
 //	                      paper's §4 redirect proposal).
-func (s *System) CompareExpanders(queries []Query, cfg AblationConfig) ([]AblationRow, error) {
+func (s *System) CompareExpanders(ctx context.Context, queries []Query, cfg AblationConfig) ([]AblationRow, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("core: no queries for ablation")
 	}
@@ -66,35 +67,35 @@ func (s *System) CompareExpanders(queries []Query, cfg AblationConfig) ([]Ablati
 	}{
 		{"baseline (no expansion)", func(Query) ([]graph.NodeID, error) { return nil, nil }},
 		{"naive 1-hop links", func(q Query) ([]graph.NodeID, error) {
-			exp, err := s.ExpandNaive(q.Keywords, cfg.MaxFeatures)
+			exp, err := s.ExpandNaive(ctx, q.Keywords, cfg.MaxFeatures)
 			if err != nil {
 				return nil, err
 			}
 			return featureNodes(exp), nil
 		}},
 		{"dense cycles (paper)", func(q Query) ([]graph.NodeID, error) {
-			exp, err := s.Expand(q.Keywords, tuned)
+			exp, err := s.Expand(ctx, q.Keywords, tuned)
 			if err != nil {
 				return nil, err
 			}
 			return featureNodes(exp), nil
 		}},
 		{"cycles, filters off", func(q Query) ([]graph.NodeID, error) {
-			exp, err := s.Expand(q.Keywords, noFilter)
+			exp, err := s.Expand(ctx, q.Keywords, noFilter)
 			if err != nil {
 				return nil, err
 			}
 			return featureNodes(exp), nil
 		}},
 		{"cycles + frequency rank (§4)", func(q Query) ([]graph.NodeID, error) {
-			exp, err := s.Expand(q.Keywords, byFreq)
+			exp, err := s.Expand(ctx, q.Keywords, byFreq)
 			if err != nil {
 				return nil, err
 			}
 			return featureNodes(exp), nil
 		}},
 		{"cycles + redirect aliases (§4)", func(q Query) ([]graph.NodeID, error) {
-			exp, err := s.Expand(q.Keywords, withAliases)
+			exp, err := s.Expand(ctx, q.Keywords, withAliases)
 			if err != nil {
 				return nil, err
 			}
@@ -110,7 +111,7 @@ func (s *System) CompareExpanders(queries []Query, cfg AblationConfig) ([]Ablati
 		for _, r := range eval.DefaultRanks {
 			precs[r] = make([]float64, len(queries))
 		}
-		err := forEachQuery(len(queries), cfg.Workers, func(i int) error {
+		err := forEachQuery(ctx, len(queries), cfg.Workers, func(i int) error {
 			q := queries[i]
 			relevant := eval.NewRelevance(q.Relevant)
 			features, err := strat.expand(q)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -188,8 +189,9 @@ func (s *System) analyzeQueryCycles(gt *GroundTruth, maxLen int) (*queryCycles, 
 }
 
 // Analyze reproduces the paper's full evaluation over the per-query ground
-// truths.
-func (s *System) Analyze(gts []*GroundTruth, cfg AnalysisConfig) (*Analysis, error) {
+// truths. Cancelling ctx stops scheduling the per-query cycle analysis and
+// returns ctx.Err().
+func (s *System) Analyze(ctx context.Context, gts []*GroundTruth, cfg AnalysisConfig) (*Analysis, error) {
 	if len(gts) == 0 {
 		return nil, fmt.Errorf("core: no ground truths to analyze")
 	}
@@ -198,7 +200,7 @@ func (s *System) Analyze(gts []*GroundTruth, cfg AnalysisConfig) (*Analysis, err
 	// Per-query cycle analysis, fanned out.
 	perQuery := make([]*queryCycles, len(gts))
 	compStats := make([]querygraph.ComponentStats, len(gts))
-	err := forEachQuery(len(gts), cfg.Workers, func(i int) error {
+	err := forEachQuery(ctx, len(gts), cfg.Workers, func(i int) error {
 		qc, err := s.analyzeQueryCycles(gts[i], cfg.MaxCycleLen)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/querygraph/querygraph/internal/search"
@@ -17,10 +18,11 @@ type BatchOptions struct {
 // worker pool and returns the per-query rankings in input order. Each
 // ranking follows the Engine.Search contract (top k by descending score,
 // empty non-nil slice when nothing matches). The first error stops
-// scheduling of the remaining queries and is returned.
-func (s *System) SearchAll(queries []search.Node, k int, opts BatchOptions) ([][]search.Result, error) {
+// scheduling of the remaining queries and is returned; cancelling ctx
+// stops scheduling the same way and returns ctx.Err().
+func (s *System) SearchAll(ctx context.Context, queries []search.Node, k int, opts BatchOptions) ([][]search.Result, error) {
 	out := make([][]search.Result, len(queries))
-	err := forEachQuery(len(queries), opts.Workers, func(i int) error {
+	err := forEachQuery(ctx, len(queries), opts.Workers, func(i int) error {
 		rs, err := s.Engine.Search(queries[i], k)
 		if err != nil {
 			return fmt.Errorf("core: search %d: %w", i, err)
@@ -39,11 +41,12 @@ func (s *System) SearchAll(queries []search.Node, k int, opts BatchOptions) ([][
 // go through the system's expansion cache, so batches with repeated
 // keywords (the heavy-traffic case) are served from memory; returned
 // Expansions may be shared and must be treated as read-only. The first
-// error stops scheduling of the remaining queries and is returned.
-func (s *System) ExpandAll(keywords []string, eopts ExpanderOptions, opts BatchOptions) ([]*Expansion, error) {
+// error stops scheduling of the remaining queries and is returned;
+// cancelling ctx stops scheduling the same way and returns ctx.Err().
+func (s *System) ExpandAll(ctx context.Context, keywords []string, eopts ExpanderOptions, opts BatchOptions) ([]*Expansion, error) {
 	out := make([]*Expansion, len(keywords))
-	err := forEachQuery(len(keywords), opts.Workers, func(i int) error {
-		exp, err := s.Expand(keywords[i], eopts)
+	err := forEachQuery(ctx, len(keywords), opts.Workers, func(i int) error {
+		exp, err := s.Expand(ctx, keywords[i], eopts)
 		if err != nil {
 			return fmt.Errorf("core: expand %q: %w", keywords[i], err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -27,7 +28,7 @@ func TestSearchAllMatchesSequentialOrder(t *testing.T) {
 		want[i] = rs
 	}
 	for _, workers := range []int{0, 1, 3} {
-		got, err := s.SearchAll(nodes, MaxRank, BatchOptions{Workers: workers})
+		got, err := s.SearchAll(context.Background(), nodes, MaxRank, BatchOptions{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -36,7 +37,7 @@ func TestSearchAllMatchesSequentialOrder(t *testing.T) {
 		}
 	}
 	// Empty batch is a no-op, not an error.
-	if out, err := s.SearchAll(nil, MaxRank, BatchOptions{}); err != nil || len(out) != 0 {
+	if out, err := s.SearchAll(context.Background(), nil, MaxRank, BatchOptions{}); err != nil || len(out) != 0 {
 		t.Fatalf("empty batch = %v, %v", out, err)
 	}
 }
@@ -47,7 +48,7 @@ func TestSearchAllEmptyResultContract(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.SearchAll([]search.Node{node}, MaxRank, BatchOptions{})
+	out, err := s.SearchAll(context.Background(), []search.Node{node}, MaxRank, BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestSearchAllErrorPropagation(t *testing.T) {
 	}
 	// An empty #combine node fails flatten inside the engine.
 	nodes := []search.Node{good, search.Combine{}, good}
-	if _, err := s.SearchAll(nodes, MaxRank, BatchOptions{Workers: 2}); err == nil {
+	if _, err := s.SearchAll(context.Background(), nodes, MaxRank, BatchOptions{Workers: 2}); err == nil {
 		t.Fatal("batch with a broken query should fail")
 	}
 }
@@ -78,7 +79,7 @@ func TestExpandAllOrderingAndCacheHits(t *testing.T) {
 	}
 	before := s.ExpandCacheStats()
 
-	cold, err := s.ExpandAll(keywords, opts, BatchOptions{Workers: 3})
+	cold, err := s.ExpandAll(context.Background(), keywords, opts, BatchOptions{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestExpandAllOrderingAndCacheHits(t *testing.T) {
 			t.Fatalf("entry %d out of order: %+v", i, exp)
 		}
 	}
-	warm, err := s.ExpandAll(keywords, opts, BatchOptions{Workers: 3})
+	warm, err := s.ExpandAll(context.Background(), keywords, opts, BatchOptions{Workers: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestExpandAllOrderingAndCacheHits(t *testing.T) {
 	// Different options must not alias cached entries.
 	other := opts
 	other.MaxFeatures = 1
-	capped, err := s.ExpandAll(keywords[:1], other, BatchOptions{})
+	capped, err := s.ExpandAll(context.Background(), keywords[:1], other, BatchOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestExpandAllErrorPropagation(t *testing.T) {
 	bad := DefaultExpanderOptions()
 	bad.MinCategoryRatio = 0.9
 	bad.MaxCategoryRatio = 0.1
-	if _, err := s.ExpandAll([]string{w.Queries[0].Keywords}, bad, BatchOptions{}); err == nil {
+	if _, err := s.ExpandAll(context.Background(), []string{w.Queries[0].Keywords}, bad, BatchOptions{}); err == nil {
 		t.Fatal("invalid options should fail the batch")
 	}
 }
@@ -138,7 +139,7 @@ func TestExpandCacheDisabled(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Expand(w.Queries[0].Keywords, DefaultExpanderOptions()); err != nil {
+	if _, err := s.Expand(context.Background(), w.Queries[0].Keywords, DefaultExpanderOptions()); err != nil {
 		t.Fatal(err)
 	}
 	if st := s.ExpandCacheStats(); st != (CacheStats{}) {
@@ -193,7 +194,7 @@ func TestExpandCacheLRU(t *testing.T) {
 // stop the producer after at most one already-scheduled index.
 func TestForEachQueryStopsSchedulingAfterError(t *testing.T) {
 	var calls atomic.Int64
-	err := forEachQuery(100, 1, func(i int) error {
+	err := forEachQuery(context.Background(), 100, 1, func(i int) error {
 		calls.Add(1)
 		if i == 0 {
 			return errTest

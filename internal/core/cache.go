@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -132,7 +133,12 @@ func (c *expandCache) put(k expandKey, exp *Expansion) {
 // fn runs outside the shard lock, so slow pipelines only serialize callers
 // of the same key, never the shard. Errors are returned to every waiter
 // but never cached: the next lookup after a failure leads a fresh run.
-func (c *expandCache) getOrDo(k expandKey, fn func() (*Expansion, error)) (*Expansion, error) {
+//
+// ctx bounds only the wait: a follower whose context dies abandons the
+// flight and returns ctx.Err(), while the leader always runs fn to
+// completion and publishes the result, so a slow pipeline started for an
+// impatient caller still warms the cache for everyone after it.
+func (c *expandCache) getOrDo(ctx context.Context, k expandKey, fn func() (*Expansion, error)) (*Expansion, error) {
 	if c == nil {
 		return fn()
 	}
@@ -148,8 +154,12 @@ func (c *expandCache) getOrDo(k expandKey, fn func() (*Expansion, error)) (*Expa
 	if fl, ok := s.flight[k]; ok {
 		s.mu.Unlock()
 		c.deduped.Add(1)
-		<-fl.done
-		return fl.exp, fl.err
+		select {
+		case <-fl.done:
+			return fl.exp, fl.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	fl := &flightCall{done: make(chan struct{})}
 	if s.flight == nil {

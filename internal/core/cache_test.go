@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -85,7 +86,7 @@ func TestExpandCacheDisabledRunsPipelineEveryTime(t *testing.T) {
 	}
 	kw := w.Queries[0].Keywords
 	for i := 0; i < 3; i++ {
-		if _, err := s.Expand(kw, DefaultExpanderOptions()); err != nil {
+		if _, err := s.Expand(context.Background(), kw, DefaultExpanderOptions()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -111,11 +112,11 @@ func TestExpandOptionsKeyDiscrimination(t *testing.T) {
 	o2 := DefaultExpanderOptions()
 	o2.MaxFeatures = 3
 
-	e1, err := s.Expand(kw, o1)
+	e1, err := s.Expand(context.Background(), kw, o1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e2, err := s.Expand(kw, o2)
+	e2, err := s.Expand(context.Background(), kw, o2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,11 +124,11 @@ func TestExpandOptionsKeyDiscrimination(t *testing.T) {
 		t.Fatalf("pipeline ran %d times, want 2 (distinct options)", got)
 	}
 	// Both variants are now cached: repeats must not run the pipeline.
-	r1, err := s.Expand(kw, o1)
+	r1, err := s.Expand(context.Background(), kw, o1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := s.Expand(kw, o2)
+	r2, err := s.Expand(context.Background(), kw, o2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestSingleFlightDedupesConcurrentMisses(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			exps[i], errs[i] = c.getOrDo(k, fn)
+			exps[i], errs[i] = c.getOrDo(context.Background(), k, fn)
 		}(i)
 	}
 	wg.Wait()
@@ -224,7 +225,7 @@ func TestSingleFlightErrorsSharedNotCached(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = c.getOrDo(k, fn)
+			_, errs[i] = c.getOrDo(context.Background(), k, fn)
 		}(i)
 	}
 	wg.Wait()
@@ -240,7 +241,7 @@ func TestSingleFlightErrorsSharedNotCached(t *testing.T) {
 		t.Fatal("error result was cached")
 	}
 	// Errors are not cached: the next lookup runs the pipeline again.
-	if _, err := c.getOrDo(k, func() (*Expansion, error) { calls.Add(1); return &Expansion{}, nil }); err != nil {
+	if _, err := c.getOrDo(context.Background(), k, func() (*Expansion, error) { calls.Add(1); return &Expansion{}, nil }); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != 2 {
@@ -264,7 +265,7 @@ func TestExpandAllSingleFlightAcrossWorkers(t *testing.T) {
 	for i := 0; i < copies; i++ {
 		batch = append(batch, unique[i%len(unique)])
 	}
-	exps, err := s.ExpandAll(batch, DefaultExpanderOptions(), BatchOptions{Workers: 8})
+	exps, err := s.ExpandAll(context.Background(), batch, DefaultExpanderOptions(), BatchOptions{Workers: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestCacheStatsConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
 				k := expandKey{keywords: fmt.Sprintf("key-%d", (w+i)%keys)}
-				if _, err := c.getOrDo(k, func() (*Expansion, error) {
+				if _, err := c.getOrDo(context.Background(), k, func() (*Expansion, error) {
 					return &Expansion{Keywords: k.keywords}, nil
 				}); err != nil {
 					t.Error(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -125,7 +126,7 @@ func TestEvaluateArticlesBaseline(t *testing.T) {
 func TestBuildGroundTruth(t *testing.T) {
 	s, w := testSystem(t)
 	q := QueriesFromWorld(w)[0]
-	gt, err := s.BuildGroundTruth(q, gtConfig())
+	gt, err := s.BuildGroundTruth(context.Background(), q, gtConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,11 +162,11 @@ func TestBuildGroundTruth(t *testing.T) {
 func TestBuildAllGroundTruthsDeterministicAndOrdered(t *testing.T) {
 	s, w := testSystem(t)
 	queries := QueriesFromWorld(w)[:4]
-	a, err := s.BuildAllGroundTruths(queries, gtConfig())
+	a, err := s.BuildAllGroundTruths(context.Background(), queries, gtConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.BuildAllGroundTruths(queries, gtConfig())
+	b, err := s.BuildAllGroundTruths(context.Background(), queries, gtConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,11 +190,11 @@ func TestBuildAllGroundTruthsDeterministicAndOrdered(t *testing.T) {
 func TestAnalyzeProducesAllExperiments(t *testing.T) {
 	s, w := testSystem(t)
 	queries := QueriesFromWorld(w)[:6]
-	gts, err := s.BuildAllGroundTruths(queries, gtConfig())
+	gts, err := s.BuildAllGroundTruths(context.Background(), queries, gtConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := s.Analyze(gts, AnalysisConfig{})
+	a, err := s.Analyze(context.Background(), gts, AnalysisConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestAnalyzeProducesAllExperiments(t *testing.T) {
 
 func TestAnalyzeEmpty(t *testing.T) {
 	s, _ := testSystem(t)
-	if _, err := s.Analyze(nil, AnalysisConfig{}); err == nil {
+	if _, err := s.Analyze(context.Background(), nil, AnalysisConfig{}); err == nil {
 		t.Error("empty analysis should fail")
 	}
 }
@@ -264,7 +265,7 @@ func TestAnalyzeEmpty(t *testing.T) {
 func TestExpand(t *testing.T) {
 	s, w := testSystem(t)
 	q := w.Queries[0]
-	exp, err := s.Expand(q.Keywords, DefaultExpanderOptions())
+	exp, err := s.Expand(context.Background(), q.Keywords, DefaultExpanderOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestExpand(t *testing.T) {
 		}
 	}
 	// Determinism.
-	exp2, err := s.Expand(q.Keywords, DefaultExpanderOptions())
+	exp2, err := s.Expand(context.Background(), q.Keywords, DefaultExpanderOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestExpandRespectsMaxFeatures(t *testing.T) {
 	s, w := testSystem(t)
 	opts := DefaultExpanderOptions()
 	opts.MaxFeatures = 2
-	exp, err := s.Expand(w.Queries[1].Keywords, opts)
+	exp, err := s.Expand(context.Background(), w.Queries[1].Keywords, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestExpandRespectsMaxFeatures(t *testing.T) {
 
 func TestExpandUnknownKeywords(t *testing.T) {
 	s, _ := testSystem(t)
-	exp, err := s.Expand("completely unknown gibberish terms", DefaultExpanderOptions())
+	exp, err := s.Expand(context.Background(), "completely unknown gibberish terms", DefaultExpanderOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestExpandInvalidOptions(t *testing.T) {
 	opts := DefaultExpanderOptions()
 	opts.MinCategoryRatio = 0.9
 	opts.MaxCategoryRatio = 0.1
-	if _, err := s.Expand(w.Queries[0].Keywords, opts); err == nil {
+	if _, err := s.Expand(context.Background(), w.Queries[0].Keywords, opts); err == nil {
 		t.Error("inverted ratio band should fail")
 	}
 }
@@ -349,7 +350,7 @@ func TestExpandImprovesRetrieval(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exp, err := s.Expand(q.Keywords, DefaultExpanderOptions())
+		exp, err := s.Expand(context.Background(), q.Keywords, DefaultExpanderOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -375,7 +376,7 @@ func TestExpandImprovesRetrieval(t *testing.T) {
 
 func TestExpandNaive(t *testing.T) {
 	s, w := testSystem(t)
-	exp, err := s.ExpandNaive(w.Queries[0].Keywords, 5)
+	exp, err := s.ExpandNaive(context.Background(), w.Queries[0].Keywords, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +387,7 @@ func TestExpandNaive(t *testing.T) {
 		t.Error("cap ignored")
 	}
 	// Default cap applies for non-positive maxFeatures.
-	exp, err = s.ExpandNaive(w.Queries[0].Keywords, 0)
+	exp, err = s.ExpandNaive(context.Background(), w.Queries[0].Keywords, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -397,7 +398,7 @@ func TestExpandNaive(t *testing.T) {
 
 func TestExpansionQueryBuild(t *testing.T) {
 	s, w := testSystem(t)
-	exp, err := s.Expand(w.Queries[0].Keywords, DefaultExpanderOptions())
+	exp, err := s.Expand(context.Background(), w.Queries[0].Keywords, DefaultExpanderOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -415,7 +416,7 @@ func TestExpansionQueryBuild(t *testing.T) {
 }
 
 func TestForEachQueryErrorPropagation(t *testing.T) {
-	err := forEachQuery(10, 3, func(i int) error {
+	err := forEachQuery(context.Background(), 10, 3, func(i int) error {
 		if i == 7 {
 			return errTest
 		}
@@ -424,7 +425,7 @@ func TestForEachQueryErrorPropagation(t *testing.T) {
 	if err != errTest {
 		t.Errorf("err = %v, want errTest", err)
 	}
-	if err := forEachQuery(0, 3, func(int) error { return errTest }); err != nil {
+	if err := forEachQuery(context.Background(), 0, 3, func(int) error { return errTest }); err != nil {
 		t.Error("zero tasks should not run fn")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -28,7 +29,17 @@ type ExpanderOptions struct {
 	// accepted cycles of length >= 3 (defaults 0.2 and 0.5: "around the
 	// 30%"). Category-free cycles such as the paper's sheep–quarantine–
 	// anthrax triangle are rejected by the lower bound.
+	//
+	// Historical footgun: when both are zero AND ExplicitBand is false,
+	// withDefaults treats the pair as "unset" and substitutes the paper
+	// band, which makes an explicit all-zero band unexpressible. The
+	// public querygraph package always normalizes options itself and sets
+	// ExplicitBand, so the sentinel only ever fires for legacy zero-value
+	// callers inside this module.
 	MinCategoryRatio, MaxCategoryRatio float64
+	// ExplicitBand marks the category-ratio band as deliberately set,
+	// disabling the dual-zero default substitution above.
+	ExplicitBand bool
 	// MinDensity is the minimum density of extra edges for cycles of
 	// length >= 4 (default 0.25; length-3 cycles have little room for
 	// extra edges, so the category-ratio filter does the work there).
@@ -63,9 +74,10 @@ func (o ExpanderOptions) withDefaults() ExpanderOptions {
 	if o.MaxNeighborhood <= 0 {
 		o.MaxNeighborhood = 400
 	}
-	if o.MinCategoryRatio == 0 && o.MaxCategoryRatio == 0 {
+	if !o.ExplicitBand && o.MinCategoryRatio == 0 && o.MaxCategoryRatio == 0 {
 		o.MinCategoryRatio, o.MaxCategoryRatio = 0.2, 0.5
 	}
+	o.ExplicitBand = true
 	if o.MinDensity == 0 {
 		o.MinDensity = 0.25
 	}
@@ -134,14 +146,22 @@ func (e *Expansion) Query(s *System) (search.Node, bool) {
 // runs the pipeline, the others wait and share its result. The returned
 // Expansion may be shared with the cache and other callers and must be
 // treated as read-only.
-func (s *System) Expand(keywords string, opts ExpanderOptions) (*Expansion, error) {
+//
+// A ctx that is already done returns ctx.Err() without touching the
+// pipeline or the cache; a ctx that dies while another caller's pipeline
+// run is in flight abandons the wait (the leader still completes and
+// populates the cache).
+func (s *System) Expand(ctx context.Context, keywords string, opts ExpanderOptions) (*Expansion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts = opts.withDefaults()
 	if opts.MinCategoryRatio > opts.MaxCategoryRatio {
 		return nil, fmt.Errorf("core: invalid category ratio band [%g, %g]",
 			opts.MinCategoryRatio, opts.MaxCategoryRatio)
 	}
 	key := expandKey{keywords: keywords, opts: opts}
-	return s.expandCache.getOrDo(key, func() (*Expansion, error) {
+	return s.expandCache.getOrDo(ctx, key, func() (*Expansion, error) {
 		return s.expand(keywords, opts)
 	})
 }
@@ -303,8 +323,11 @@ func (s *System) expand(keywords string, opts ExpanderOptions) (*Expansion, erro
 // approaches the paper contrasts with ([1, 2, 3] in its related work): the
 // features are simply the articles directly linked from or to the query
 // entities, ranked by how many query entities they touch, without any
-// structural analysis.
-func (s *System) ExpandNaive(keywords string, maxFeatures int) (*Expansion, error) {
+// structural analysis. A done ctx returns ctx.Err() before any work.
+func (s *System) ExpandNaive(ctx context.Context, keywords string, maxFeatures int) (*Expansion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if maxFeatures <= 0 {
 		maxFeatures = 10
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/querygraph/querygraph/internal/graph"
@@ -15,11 +16,11 @@ func TestExpandRankByFrequency(t *testing.T) {
 	freq.RankByFrequency = true
 	q := w.Queries[2]
 
-	e1, err := s.Expand(q.Keywords, base)
+	e1, err := s.Expand(context.Background(), q.Keywords, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e2, err := s.Expand(q.Keywords, freq)
+	e2, err := s.Expand(context.Background(), q.Keywords, freq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestExpandRankByFrequency(t *testing.T) {
 		t.Fatalf("expansions empty: %d / %d", len(e1.Features), len(e2.Features))
 	}
 	// Determinism of the frequency ranking.
-	e3, err := s.Expand(q.Keywords, freq)
+	e3, err := s.Expand(context.Background(), q.Keywords, freq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestExpandIncludeRedirectAliases(t *testing.T) {
 	// Find a query whose expansion includes an article with redirects.
 	found := false
 	for _, q := range w.Queries {
-		exp, err := s.Expand(q.Keywords, opts)
+		exp, err := s.Expand(context.Background(), q.Keywords, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func TestExpandAliasesRespectCap(t *testing.T) {
 	opts.IncludeRedirectAliases = true
 	opts.MaxFeatures = 3
 	for _, q := range w.Queries[:4] {
-		exp, err := s.Expand(q.Keywords, opts)
+		exp, err := s.Expand(context.Background(), q.Keywords, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +105,7 @@ func TestExpandFrequencyPrefersRecurringArticles(t *testing.T) {
 	// at least as many accepted cycles as any other candidate. Verify by
 	// re-running with a large cap and counting.
 	q := w.Queries[0]
-	top, err := s.Expand(q.Keywords, opts)
+	top, err := s.Expand(context.Background(), q.Keywords, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestExpandFrequencyPrefersRecurringArticles(t *testing.T) {
 	// without the flag must still contain it somewhere in a larger budget:
 	wide := DefaultExpanderOptions()
 	wide.MaxFeatures = 1000
-	all, err := s.Expand(q.Keywords, wide)
+	all, err := s.Expand(context.Background(), q.Keywords, wide)
 	if err != nil {
 		t.Fatal(err)
 	}

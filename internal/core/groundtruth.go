@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/querygraph/querygraph/internal/eval"
@@ -45,8 +46,11 @@ type GroundTruthConfig struct {
 
 // BuildGroundTruth runs the full Section 2 pipeline for one query:
 // entity-link the keywords and the relevant documents, search for X(q), and
-// assemble the query graph.
-func (s *System) BuildGroundTruth(q Query, cfg GroundTruthConfig) (*GroundTruth, error) {
+// assemble the query graph. A done ctx returns ctx.Err() before any work.
+func (s *System) BuildGroundTruth(ctx context.Context, q Query, cfg GroundTruthConfig) (*GroundTruth, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	relevant := eval.NewRelevance(q.Relevant)
 	queryArts := s.LinkKeywords(q.Keywords)
 	candidates, err := s.LinkDocuments(q.Relevant)
@@ -116,11 +120,12 @@ func (s *System) BuildGroundTruth(q Query, cfg GroundTruthConfig) (*GroundTruth,
 }
 
 // BuildAllGroundTruths fans the per-query pipeline out over a bounded
-// worker pool and returns the artifacts in query order.
-func (s *System) BuildAllGroundTruths(queries []Query, cfg GroundTruthConfig) ([]*GroundTruth, error) {
+// worker pool and returns the artifacts in query order. Cancelling ctx
+// stops scheduling further queries and returns ctx.Err().
+func (s *System) BuildAllGroundTruths(ctx context.Context, queries []Query, cfg GroundTruthConfig) ([]*GroundTruth, error) {
 	out := make([]*GroundTruth, len(queries))
-	err := forEachQuery(len(queries), cfg.Workers, func(i int) error {
-		gt, err := s.BuildGroundTruth(queries[i], cfg)
+	err := forEachQuery(ctx, len(queries), cfg.Workers, func(i int) error {
+		gt, err := s.BuildGroundTruth(ctx, queries[i], cfg)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -52,11 +53,11 @@ func TestSaveLoadRoundTripIdentical(t *testing.T) {
 			// Expand and Search parity per benchmark query.
 			opts := DefaultExpanderOptions()
 			for _, q := range qs {
-				e1, err := fresh.Expand(q.Keywords, opts)
+				e1, err := fresh.Expand(context.Background(), q.Keywords, opts)
 				if err != nil {
 					t.Fatal(err)
 				}
-				e2, err := loaded.Expand(q.Keywords, opts)
+				e2, err := loaded.Expand(context.Background(), q.Keywords, opts)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -85,19 +86,19 @@ func TestSaveLoadRoundTripIdentical(t *testing.T) {
 			}
 
 			// Analyze parity: the full Tables 2-4 / Figures 5-9 pipeline.
-			gts1, err := fresh.BuildAllGroundTruths(qs, gtConfig())
+			gts1, err := fresh.BuildAllGroundTruths(context.Background(), qs, gtConfig())
 			if err != nil {
 				t.Fatal(err)
 			}
-			gts2, err := loaded.BuildAllGroundTruths(qs, gtConfig())
+			gts2, err := loaded.BuildAllGroundTruths(context.Background(), qs, gtConfig())
 			if err != nil {
 				t.Fatal(err)
 			}
-			a1, err := fresh.Analyze(gts1, AnalysisConfig{})
+			a1, err := fresh.Analyze(context.Background(), gts1, AnalysisConfig{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			a2, err := loaded.Analyze(gts2, AnalysisConfig{})
+			a2, err := loaded.Analyze(context.Background(), gts2, AnalysisConfig{})
 			if err != nil {
 				t.Fatal(err)
 			}

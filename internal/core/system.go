@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -205,12 +206,13 @@ func (s *System) EvaluateArticles(keywords string, articles []graph.NodeID, rele
 	return eval.O(ranked, relevant), ranked, nil
 }
 
-// parallelism returns the worker count for per-query fan-out.
+// parallelism returns the worker count for per-query fan-out; <= 0 means
+// GOMAXPROCS, matching the documented BatchOptions.Workers contract.
 func parallelism(requested int) int {
 	if requested > 0 {
 		return requested
 	}
-	n := runtime.NumCPU()
+	n := runtime.GOMAXPROCS(0)
 	if n < 1 {
 		n = 1
 	}
@@ -218,12 +220,14 @@ func parallelism(requested int) int {
 }
 
 // forEachQuery runs fn over the indices [0, n) on a bounded worker pool,
-// returning the first recorded error. Once any worker reports an error the
-// producer stops scheduling new indices, so a failing batch ends after at
-// most the work already in flight rather than grinding through the rest.
-func forEachQuery(n, workers int, fn func(i int) error) error {
+// returning the first recorded error. Once any worker reports an error —
+// or ctx is cancelled — the producer stops scheduling new indices, so a
+// failing or abandoned batch ends after at most the work already in flight
+// rather than grinding through the rest. A cancelled ctx is reported as
+// ctx.Err() unless a worker error was recorded first.
+func forEachQuery(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	workers = parallelism(workers)
 	if workers > n {
@@ -241,6 +245,11 @@ func forEachQuery(n, workers int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				// A cancelled batch still drains the channel so the
+				// producer never blocks, but runs no further queries.
+				if ctx.Err() != nil {
+					continue
+				}
 				if err := fn(i); err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -252,10 +261,21 @@ func forEachQuery(n, workers int, fn func(i int) error) error {
 			}
 		}()
 	}
+	done := ctx.Done()
+produce:
 	for i := 0; i < n && !failed.Load(); i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break produce
+		}
 	}
 	close(idx)
 	wg.Wait()
-	return firstErr
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -33,17 +34,17 @@ func setup(t *testing.T) (*core.Analysis, []core.AblationRow) {
 			panic(err)
 		}
 		qs := core.QueriesFromWorld(w)
-		gts, err := s.BuildAllGroundTruths(qs, core.GroundTruthConfig{
+		gts, err := s.BuildAllGroundTruths(context.Background(), qs, core.GroundTruthConfig{
 			Search: groundtruth.Config{Seed: 1, MaxIterations: 8, MaxEvaluations: 800},
 		})
 		if err != nil {
 			panic(err)
 		}
-		analysis, err = s.Analyze(gts, core.AnalysisConfig{})
+		analysis, err = s.Analyze(context.Background(), gts, core.AnalysisConfig{})
 		if err != nil {
 			panic(err)
 		}
-		ablation, err = s.CompareExpanders(qs, core.AblationConfig{MaxFeatures: 5})
+		ablation, err = s.CompareExpanders(context.Background(), qs, core.AblationConfig{MaxFeatures: 5})
 		if err != nil {
 			panic(err)
 		}

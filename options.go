@@ -1,0 +1,190 @@
+package querygraph
+
+import (
+	"fmt"
+
+	"github.com/querygraph/querygraph/internal/core"
+)
+
+// Option configures a Client at construction (Open / OpenReader / Build).
+type Option func(*clientConfig)
+
+type clientConfig struct {
+	sys []core.SystemOption
+}
+
+// WithExpandCache overrides the expansion cache capacity (default 1024
+// entries, sharded 16 ways — the enforced total rounds up to a multiple of
+// 16). capacity <= 0 disables caching entirely.
+func WithExpandCache(capacity int) Option {
+	return func(c *clientConfig) { c.sys = append(c.sys, core.WithExpandCache(capacity)) }
+}
+
+// WithMu overrides the engine's Dirichlet smoothing parameter (default
+// 2500, the INDRI default the paper uses).
+func WithMu(mu float64) Option {
+	return func(c *clientConfig) { c.sys = append(c.sys, core.WithMu(mu)) }
+}
+
+// WithKeywordTerms includes the raw query keywords as bare terms in the
+// title queries the evaluation writes (an ablation; the paper uses entity
+// titles only).
+func WithKeywordTerms(on bool) Option {
+	return func(c *clientConfig) { c.sys = append(c.sys, core.WithKeywordTerms(on)) }
+}
+
+// ExpandOption tunes one Expand / ExpandAll call. The zero-argument call
+// uses the paper-tuned defaults (DefaultExpandOptions); every option
+// overrides exactly the named knob and nothing else, so — unlike a bare
+// options struct — an explicit value can never be mistaken for "unset".
+// Invalid values surface as an error wrapping ErrInvalidOptions from the
+// Expand call itself, never as a silent fallback.
+type ExpandOption func(*expandConfig)
+
+type expandConfig struct {
+	opts core.ExpanderOptions
+	err  error
+}
+
+func (c *expandConfig) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// DefaultExpandOptions describes the paper-tuned expansion defaults that a
+// zero-option Expand call uses: cycles up to length 5, BFS radius 2,
+// neighborhood cap 400, category-ratio band [0.2, 0.5], minimum extra-edge
+// density 0.25 for cycles of length >= 4, at most 10 features, and
+// reciprocal 2-cycles kept. The values are returned as a fresh option list
+// so callers can log or extend them.
+func DefaultExpandOptions() []ExpandOption {
+	d := core.DefaultExpanderOptions()
+	return []ExpandOption{
+		WithMaxCycleLen(d.MaxCycleLen),
+		WithRadius(d.Radius),
+		WithMaxNeighborhood(d.MaxNeighborhood),
+		WithCategoryRatioBand(d.MinCategoryRatio, d.MaxCategoryRatio),
+		WithMinDensity(d.MinDensity),
+		WithMaxFeatures(d.MaxFeatures),
+		WithTwoCycles(d.KeepTwoCycles),
+	}
+}
+
+// normalizeExpandOptions resolves the option list against the defaults and
+// validates the result — the single place expansion options are normalized,
+// so the internal zero-value sentinels can never fire on the public path.
+func normalizeExpandOptions(opts []ExpandOption) (core.ExpanderOptions, error) {
+	cfg := expandConfig{opts: core.DefaultExpanderOptions()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.err != nil {
+		return core.ExpanderOptions{}, fmt.Errorf("%w: %v", ErrInvalidOptions, cfg.err)
+	}
+	return cfg.opts, nil
+}
+
+// WithMaxCycleLen caps cycle enumeration at n edges (default 5, the
+// paper's bound; valid range 2..8 — enumeration cost grows steeply with
+// the bound, and the paper finds nothing beyond 5).
+func WithMaxCycleLen(n int) ExpandOption {
+	return func(c *expandConfig) {
+		if n < 2 || n > 8 {
+			c.fail(fmt.Errorf("max cycle length %d outside [2, 8]", n))
+			return
+		}
+		c.opts.MaxCycleLen = n
+	}
+}
+
+// WithRadius sets the BFS neighborhood radius around the query entities
+// (default 2; must be >= 1).
+func WithRadius(r int) ExpandOption {
+	return func(c *expandConfig) {
+		if r < 1 {
+			c.fail(fmt.Errorf("radius %d must be >= 1", r))
+			return
+		}
+		c.opts.Radius = r
+	}
+}
+
+// WithMaxNeighborhood caps the candidate graph's node count (default 400;
+// must be >= 1).
+func WithMaxNeighborhood(n int) ExpandOption {
+	return func(c *expandConfig) {
+		if n < 1 {
+			c.fail(fmt.Errorf("max neighborhood %d must be >= 1", n))
+			return
+		}
+		c.opts.MaxNeighborhood = n
+	}
+}
+
+// WithCategoryRatioBand bounds the category ratio of accepted cycles of
+// length >= 3 to [min, max] (default [0.2, 0.5]: "around the 30%").
+// Requires 0 <= min <= max <= 1. Every band in that range is expressible —
+// including [0, 0], which accepts only category-free cycles, and [0, 1],
+// which disables the filter.
+func WithCategoryRatioBand(min, max float64) ExpandOption {
+	return func(c *expandConfig) {
+		if min < 0 || max > 1 || min > max {
+			c.fail(fmt.Errorf("category ratio band [%g, %g] must satisfy 0 <= min <= max <= 1", min, max))
+			return
+		}
+		c.opts.MinCategoryRatio, c.opts.MaxCategoryRatio = min, max
+		c.opts.ExplicitBand = true
+	}
+}
+
+// WithMinDensity sets the minimum density of extra edges for cycles of
+// length >= 4 (default 0.25). d must be in [0, 1]; 0 disables the filter.
+func WithMinDensity(d float64) ExpandOption {
+	return func(c *expandConfig) {
+		if d < 0 || d > 1 {
+			c.fail(fmt.Errorf("min density %g outside [0, 1]", d))
+			return
+		}
+		if d == 0 {
+			// Store the internal "accept everything" form: the density of
+			// extra edges is never negative, so -1 and 0 admit the same
+			// cycles, and -1 is inert to the internal zero-value default.
+			d = -1
+		}
+		c.opts.MinDensity = d
+	}
+}
+
+// WithMaxFeatures caps the returned expansion features (default 10; must
+// be >= 1).
+func WithMaxFeatures(n int) ExpandOption {
+	return func(c *expandConfig) {
+		if n < 1 {
+			c.fail(fmt.Errorf("max features %d must be >= 1", n))
+			return
+		}
+		c.opts.MaxFeatures = n
+	}
+}
+
+// WithTwoCycles keeps (true, the default) or drops (false) reciprocal-link
+// pairs regardless of the structural filters. The paper finds 2-cycles
+// scarce but highest-contributing.
+func WithTwoCycles(keep bool) ExpandOption {
+	return func(c *expandConfig) { c.opts.KeepTwoCycles = keep }
+}
+
+// WithFrequencyRank ranks candidate features by how many accepted cycles
+// contain them instead of purely by cycle order (the correlation the
+// paper's Section 4 leaves as future work). Default off.
+func WithFrequencyRank(on bool) ExpandOption {
+	return func(c *expandConfig) { c.opts.RankByFrequency = on }
+}
+
+// WithRedirectAliases additionally emits the redirect titles of each
+// selected feature as secondary features (the paper's Section 4 redirect
+// proposal). Default off.
+func WithRedirectAliases(on bool) ExpandOption {
+	return func(c *expandConfig) { c.opts.IncludeRedirectAliases = on }
+}

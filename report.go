@@ -1,0 +1,40 @@
+package querygraph
+
+import "github.com/querygraph/querygraph/internal/report"
+
+// The Report* helpers render an Analysis (and the ablation rows) as the
+// text tables cmd/qbench prints: every measured value side by side with
+// the paper's reported number.
+
+// ReportAll renders every table and figure plus the ablation comparison.
+func ReportAll(a *Analysis, ablation []AblationRow) string { return report.All(a, ablation) }
+
+// ReportTable2 renders the ground-truth precision summaries (Table 2).
+func ReportTable2(a *Analysis) string { return report.Table2(a) }
+
+// ReportTable3 renders the query-graph component statistics (Table 3).
+func ReportTable3(a *Analysis) string { return report.Table3(a) }
+
+// ReportTable4 renders precision per cycle-length configuration (Table 4).
+func ReportTable4(a *Analysis) string { return report.Table4(a) }
+
+// ReportFig5 renders average cycle contribution per length (Figure 5).
+func ReportFig5(a *Analysis) string { return report.Fig5(a) }
+
+// ReportFig6 renders average cycles per query per length (Figure 6).
+func ReportFig6(a *Analysis) string { return report.Fig6(a) }
+
+// ReportFig7a renders average category ratio per length (Figure 7a).
+func ReportFig7a(a *Analysis) string { return report.Fig7a(a) }
+
+// ReportFig7b renders average extra-edge density per length (Figure 7b).
+func ReportFig7b(a *Analysis) string { return report.Fig7b(a) }
+
+// ReportFig9 renders the density-vs-contribution trend (Figure 9).
+func ReportFig9(a *Analysis) string { return report.Fig9(a) }
+
+// ReportText3 renders the standalone Section 3 structural numbers.
+func ReportText3(a *Analysis) string { return report.Text3(a) }
+
+// ReportAblation renders the expander-strategy comparison.
+func ReportAblation(rows []AblationRow) string { return report.Ablation(rows) }

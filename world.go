@@ -1,0 +1,14 @@
+package querygraph
+
+import "github.com/querygraph/querygraph/internal/synth"
+
+// DefaultWorldConfig returns the benchmark world used by the experiments:
+// large enough to show the paper's effects, small enough for a laptop run.
+// One config (and in particular one Seed) reproduces one world bit-for-bit.
+func DefaultWorldConfig() WorldConfig { return synth.Default() }
+
+// GenerateWorld deterministically generates a synthetic benchmark world —
+// a Wikipedia-shaped knowledge base, an ImageCLEF-shaped document
+// collection and a query benchmark. Feed it to Build to obtain a serving
+// Client.
+func GenerateWorld(cfg WorldConfig) (*World, error) { return synth.Generate(cfg) }
