@@ -21,6 +21,7 @@ import (
 	"github.com/querygraph/querygraph/internal/graph"
 	"github.com/querygraph/querygraph/internal/groundtruth"
 	"github.com/querygraph/querygraph/internal/search"
+	"github.com/querygraph/querygraph/internal/shard"
 	"github.com/querygraph/querygraph/internal/synth"
 	"github.com/querygraph/querygraph/internal/text"
 )
@@ -341,6 +342,55 @@ func BenchmarkSearchAll(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N*len(nodes))/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// benchShardSet writes an n-shard partition of the benchmark world and
+// loads its scatter-gather runtime.
+func benchShardSet(b *testing.B, e *benchEnv, n int) *shard.Set {
+	b.Helper()
+	dir := b.TempDir()
+	if _, err := shard.WriteShards(dir, e.system.Archive(e.queries), n); err != nil {
+		b.Fatal(err)
+	}
+	set, err := shard.Load(dir + "/manifest.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return set
+}
+
+// BenchmarkPoolSearchAll measures the sharded batch retrieval layer on
+// the same expanded title queries as BenchmarkSearchAll, at 4 shards:
+// each worker scatters its query over the partitioned indexes and merges
+// under globally aggregated statistics. Compare queries/sec against
+// BenchmarkSearchAll for the sharding overhead/benefit on one machine.
+func BenchmarkPoolSearchAll(b *testing.B) {
+	e := benchSetup(b)
+	nodes := benchQueryNodes(b, e)
+	set := benchShardSet(b, e, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := set.SearchAll(context.Background(), nodes, core.MaxRank, core.BatchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*len(nodes))/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkPoolSearch measures single-query scatter-gather latency at 4
+// shards (per-shard planning and scoring run concurrently), against
+// BenchmarkSearch's single-index latency.
+func BenchmarkPoolSearch(b *testing.B) {
+	e := benchSetup(b)
+	nodes := benchQueryNodes(b, e)
+	set := benchShardSet(b, e, 4)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := set.Search(ctx, nodes[i%len(nodes)], core.MaxRank); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkExpandAll measures the batch expansion layer with the sharded

@@ -8,6 +8,7 @@ import (
 
 	"github.com/querygraph/querygraph/internal/core"
 	"github.com/querygraph/querygraph/internal/search"
+	"github.com/querygraph/querygraph/internal/shard"
 )
 
 // Client is the serving handle of the reproduction: one loaded (or built)
@@ -72,6 +73,22 @@ func Build(world *World, opts ...Option) (*Client, error) {
 // serves bit-identical results.
 func (c *Client) Save(w io.Writer) error {
 	return c.sys.Save(w, c.queries)
+}
+
+// SaveShards hash-partitions the client's serving state into shards
+// per-shard snapshots plus a manifest.json inside dir (created if
+// needed): the knowledge graph, engine configuration and query benchmark
+// are replicated into every shard, the corpus and index are partitioned
+// by document id, and the global collection statistics are recorded in
+// each shard so OpenPool on the manifest serves bit-identical results to
+// this client. The manifest is written last via an atomic rename, so a
+// concurrent Pool.Reload sees either the old generation or the new one.
+func (c *Client) SaveShards(dir string, shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("%w: shard count %d must be >= 1", ErrInvalidOptions, shards)
+	}
+	_, err := shard.WriteShards(dir, c.sys.Archive(c.queries), shards)
+	return err
 }
 
 // Queries returns the loaded query benchmark (empty when the snapshot

@@ -6,24 +6,33 @@
 // Usage:
 //
 //	qbench [-exp all|table2|table3|table4|fig5|fig6|fig7a|fig7b|fig9|text3|ablation|batch]
-//	       [-seed N] [-queries N] [-workers N] [-load FILE.qgs]
+//	       [-seed N] [-queries N] [-workers N] [-load FILE.qgs|DIR/manifest.json]
+//	       [-json FILE]
 //
 // The batch experiment exercises the concurrent serving layer
-// (Client.ExpandAll / Client.SearchExpansions with the sharded expansion
-// cache) and reports queries/sec and the cache hit rate.
+// (ExpandAll / SearchExpansions with the sharded expansion cache) and
+// reports queries/sec, retrieval latency quantiles and the cache hit
+// rate. With -json FILE (or "-" for stdout) the batch experiment also
+// emits a machine-readable summary — queries/sec, p50/p99 latency, cache
+// hit rate — for benchmark-trajectory tracking (BENCH_*.json).
 //
 // With -load, the world is decoded from a binary snapshot written by
-// qgen -out world.qgs instead of being regenerated and re-indexed, so
-// experiments across runs (and machines) share one artifact and startup
-// is near-instant; -seed and -queries are ignored in that mode.
+// qgen -out world.qgs — or, when the path ends in .json, from a sharded
+// snapshot manifest written by qgen -shards N (served through the
+// scatter-gather pool; batch experiment only) — instead of being
+// regenerated and re-indexed; -seed and -queries are ignored in that
+// mode.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	querygraph "github.com/querygraph/querygraph"
@@ -37,10 +46,23 @@ func main() {
 		seed    = flag.Int64("seed", 0, "world seed (0 = the default benchmark seed)")
 		queries = flag.Int("queries", 0, "number of benchmark queries (0 = default 50)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		load    = flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) instead of generating")
+		load    = flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) or a shard manifest (qgen -shards N -out DIR) instead of generating")
+		jsonOut = flag.String("json", "", "write a machine-readable batch summary to this file (\"-\" = stdout); requires the batch experiment")
 	)
 	flag.Parse()
 	ctx := context.Background()
+
+	if *jsonOut != "" && *exp != "batch" && *exp != "all" {
+		log.Fatalf("-json records the batch experiment; run with -exp batch (or all), not %q", *exp)
+	}
+
+	if strings.HasSuffix(*load, ".json") {
+		if *exp != "batch" {
+			log.Fatalf("a shard manifest serves the batch experiment only; run with -exp batch, not %q", *exp)
+		}
+		runPool(ctx, *load, *workers, *jsonOut)
+		return
+	}
 
 	start := time.Now()
 	client, fresh, err := buildWorld(*load, *seed, *queries)
@@ -82,7 +104,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := runBatch(ctx, cold, qs, *workers); err != nil {
+		if err := runBatch(ctx, cold, qs, *workers, worldSource(*load, *seed), 0, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 	case "table2":
@@ -106,13 +128,35 @@ func main() {
 	case "ablation":
 		fmt.Println(querygraph.ReportAblation(ablation))
 	case "batch":
-		if err := runBatch(ctx, client, qs, *workers); err != nil {
+		if err := runBatch(ctx, client, qs, *workers, worldSource(*load, *seed), 0, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runPool serves the batch experiment over a sharded snapshot manifest
+// through the scatter-gather pool.
+func runPool(ctx context.Context, manifest string, workers int, jsonOut string) {
+	start := time.Now()
+	pool, err := querygraph.OpenPool(manifest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs := pool.Queries()
+	if len(qs) == 0 {
+		log.Fatalf("manifest %s carries no query benchmark", manifest)
+	}
+	st := pool.Stats()
+	fmt.Printf("world: manifest %s (%d shards), %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (ready in %v)\n\n",
+		manifest, pool.NumShards(), st.Articles, st.Redirects, st.Categories, st.Links,
+		st.Documents, len(qs), time.Since(start).Round(time.Millisecond))
+	if err := runBatch(ctx, pool, qs, workers, "manifest "+manifest, pool.NumShards(), jsonOut); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }
@@ -163,14 +207,49 @@ func worldSource(path string, seed int64) string {
 	return fmt.Sprintf("seed %d", seed)
 }
 
+// serving is the slice of the public API the batch experiment drives —
+// satisfied by both *querygraph.Client and *querygraph.Pool.
+type serving interface {
+	ExpandAll(ctx context.Context, keywords []string, bopts querygraph.BatchOptions, opts ...querygraph.ExpandOption) ([]*querygraph.Expansion, error)
+	SearchExpansion(ctx context.Context, exp *querygraph.Expansion, k int) ([]querygraph.Result, bool, error)
+	SearchExpansions(ctx context.Context, exps []*querygraph.Expansion, k int, opts querygraph.BatchOptions) ([][]querygraph.Result, error)
+	CacheStats() querygraph.CacheStats
+}
+
+// benchSummary is the machine-readable batch report (-json): one schema,
+// one file per run, so BENCH_*.json files accumulate a comparable
+// trajectory across commits and machines.
+type benchSummary struct {
+	SchemaVersion int    `json:"schema_version"`
+	World         string `json:"world"`
+	Queries       int    `json:"queries"`
+	Shards        int    `json:"shards,omitempty"`
+	Workers       int    `json:"workers"`
+
+	ExpandColdQPS float64 `json:"expand_cold_qps"`
+	ExpandWarmQPS float64 `json:"expand_warm_qps"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+
+	SearchQPS      float64 `json:"search_qps"`
+	SearchK        int     `json:"search_k"`
+	LatencyP50MS   float64 `json:"latency_p50_ms"`
+	LatencyP99MS   float64 `json:"latency_p99_ms"`
+	LatencySamples int     `json:"latency_samples"`
+
+	WallTimeMS float64 `json:"wall_time_ms"`
+}
+
 // runBatch drives the concurrent serving layer over the benchmark queries:
 // one cold ExpandAll pass, several warm passes that hit the expansion
-// cache, and repeated batch retrieval passes over the expanded queries.
-func runBatch(ctx context.Context, client *querygraph.Client, qs []querygraph.Query, workers int) error {
+// cache, repeated batch retrieval passes over the expanded queries, and a
+// sequential latency sampling pass for the p50/p99 quantiles. With
+// jsonOut != "" the summary is also written as JSON.
+func runBatch(ctx context.Context, client serving, qs []querygraph.Query, workers int, world string, shards int, jsonOut string) error {
 	const (
 		warmPasses   = 3
 		searchPasses = 10
 	)
+	batchStart := time.Now()
 	keywords := make([]string, len(qs))
 	for i, q := range qs {
 		keywords[i] = q.Keywords
@@ -211,6 +290,30 @@ func runBatch(ctx context.Context, client *querygraph.Client, qs []querygraph.Qu
 	}
 	searched := time.Since(start)
 
+	// Latency quantiles: sequential single-request retrievals, the shape
+	// an online user sees (no batch amortization).
+	var samples []float64
+	for pass := 0; pass < searchPasses && len(samples) < 1000; pass++ {
+		for _, exp := range exps {
+			t0 := time.Now()
+			_, ok, err := client.SearchExpansion(ctx, exp, querygraph.MaxRank)
+			if err != nil {
+				return err
+			}
+			if ok {
+				samples = append(samples, float64(time.Since(t0).Microseconds())/1000)
+			}
+		}
+	}
+	sort.Float64s(samples)
+	quantile := func(q float64) float64 {
+		if len(samples) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(samples)-1))
+		return samples[i]
+	}
+
 	qps := func(n int, d time.Duration) float64 {
 		if d <= 0 {
 			return 0
@@ -225,7 +328,42 @@ func runBatch(ctx context.Context, client *querygraph.Client, qs []querygraph.Qu
 		qps(warmPasses*len(keywords), warm), warm.Round(time.Microsecond), warmPasses)
 	fmt.Printf("  SearchExpansions:  %10.0f queries/sec  (%v over %d passes, k=%d)\n",
 		qps(searchPasses*searchable, searched), searched.Round(time.Microsecond), searchPasses, querygraph.MaxRank)
+	fmt.Printf("  search latency:    p50 %.3f ms, p99 %.3f ms (%d sequential samples)\n",
+		quantile(0.50), quantile(0.99), len(samples))
 	fmt.Printf("  expand cache:      %d/%d entries, %.1f%% hit rate (%d hits, %d misses, %d deduped in flight)\n",
 		st.Entries, st.Capacity, 100*st.HitRate(), st.Hits, st.Misses, st.Deduped)
+
+	if jsonOut == "" {
+		return nil
+	}
+	summary := benchSummary{
+		SchemaVersion:  1,
+		World:          world,
+		Queries:        len(qs),
+		Shards:         shards,
+		Workers:        workers,
+		ExpandColdQPS:  qps(len(keywords), cold),
+		ExpandWarmQPS:  qps(warmPasses*len(keywords), warm),
+		CacheHitRate:   st.HitRate(),
+		SearchQPS:      qps(searchPasses*searchable, searched),
+		SearchK:        querygraph.MaxRank,
+		LatencyP50MS:   quantile(0.50),
+		LatencyP99MS:   quantile(0.99),
+		LatencySamples: len(samples),
+		WallTimeMS:     float64(time.Since(batchStart).Microseconds()) / 1000,
+	}
+	blob, err := json.MarshalIndent(summary, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if jsonOut == "-" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	if err := os.WriteFile(jsonOut, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote JSON summary to %s\n", jsonOut)
 	return nil
 }

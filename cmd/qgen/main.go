@@ -13,7 +13,14 @@
 // and the examples load that artifact with -load and start serving
 // without re-running generation or indexing.
 //
-// Usage: qgen [-seed N] [-out DIR|FILE.qgs] [-topics N] [-docs N]
+// With -shards N (N >= 1), the serving state is hash-partitioned into N
+// per-shard snapshots plus a manifest.json inside the -out directory: the
+// knowledge graph and query benchmark are replicated into every shard,
+// the corpus and index are partitioned by document id, and global
+// collection statistics are recorded so qserve -load DIR/manifest.json
+// serves bit-identical results through the sharded pool (with hot reload).
+//
+// Usage: qgen [-seed N] [-out DIR|FILE.qgs] [-shards N] [-topics N] [-docs N]
 package main
 
 import (
@@ -37,10 +44,17 @@ func main() {
 	var (
 		seed   = flag.Int64("seed", 0, "world seed (0 = default)")
 		out    = flag.String("out", "world", "output directory, or a .qgs file for a binary serving snapshot")
+		shards = flag.Int("shards", 0, "hash-partition the serving state into N shard snapshots plus a manifest.json in the -out directory (0 = single snapshot / text dumps)")
 		topics = flag.Int("topics", 0, "topic count (0 = default)")
 		docs   = flag.Int("docs", 0, "documents per topic (0 = default)")
 	)
 	flag.Parse()
+	if *shards < 0 {
+		log.Fatal("-shards must be >= 1 (or omitted)")
+	}
+	if *shards > 0 && strings.HasSuffix(*out, ".qgs") {
+		log.Fatal("-shards writes a directory of shard snapshots plus manifest.json; pass a directory -out, not a .qgs file")
+	}
 
 	cfg := synth.Default()
 	if *seed != 0 {
@@ -55,6 +69,12 @@ func main() {
 	w, err := synth.Generate(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *shards > 0 {
+		if err := writeShards(*out, w, *shards); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if strings.HasSuffix(*out, ".qgs") {
 		if err := writeSnapshot(*out, w); err != nil {
@@ -77,6 +97,30 @@ func main() {
 	st := w.Snapshot.Stats()
 	fmt.Printf("wrote %s: %d articles, %d redirects, %d categories, %d docs, %d queries\n",
 		*out, st.Articles, st.Redirects, st.Categories, w.Collection.Len(), len(w.Queries))
+}
+
+// writeShards assembles the serving client once and hash-partitions it
+// into shard snapshots plus a manifest.json inside dir.
+func writeShards(dir string, w *synth.World, shards int) error {
+	client, err := querygraph.Build(w)
+	if err != nil {
+		return err
+	}
+	if err := client.SaveShards(dir, shards); err != nil {
+		return err
+	}
+	var total int64
+	for s := 0; s < shards; s++ {
+		info, err := os.Stat(filepath.Join(dir, fmt.Sprintf("shard-%03d.qgs", s)))
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+	}
+	st := w.Snapshot.Stats()
+	fmt.Printf("wrote %s: %d shards + manifest.json, %d articles, %d docs, %d queries (%.1f MiB total)\n",
+		dir, shards, st.Articles, w.Collection.Len(), len(w.Queries), float64(total)/(1<<20))
+	return nil
 }
 
 // writeSnapshot assembles the serving client (indexing the collection)

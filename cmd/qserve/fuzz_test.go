@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	querygraph "github.com/querygraph/querygraph"
+)
+
+var (
+	fuzzOnce   sync.Once
+	fuzzServer *server
+)
+
+// fuzzTestServer builds one tiny world per process so each fuzz exec is
+// cheap; the 5s request budget means a pathological body can at worst
+// time out into a 408, never hang the target.
+func fuzzTestServer() *server {
+	fuzzOnce.Do(func() {
+		cfg := querygraph.DefaultWorldConfig()
+		cfg.Topics = 4
+		cfg.ArticlesPerTopic = 8
+		cfg.DocsPerTopic = 8
+		cfg.Queries = 4
+		cfg.NoiseVocab = 40
+		w, err := querygraph.GenerateWorld(cfg)
+		if err != nil {
+			panic(err)
+		}
+		c, err := querygraph.Build(w)
+		if err != nil {
+			panic(err)
+		}
+		fuzzServer = newServer(c, 5*time.Second)
+	})
+	return fuzzServer
+}
+
+// fuzzPaths are the POST endpoints whose JSON decoding the fuzzer drives.
+var fuzzPaths = []string{
+	"/v1/search",
+	"/v1/search/batch",
+	"/v1/expand",
+	"/v1/expand/batch",
+	"/v1/admin/reload",
+}
+
+// FuzzServerRequests throws arbitrary bodies at every POST endpoint: the
+// server must never panic, must always answer JSON, must keep the error
+// envelope on failures, and must stay inside the documented status set —
+// no request body may produce a 500.
+func FuzzServerRequests(f *testing.F) {
+	// Seeds: one well-formed body per endpoint, every expansion knob, the
+	// batch forms, and the classic malformed shapes.
+	f.Add(0, []byte(`{"query":"ciazia","k":5}`))
+	f.Add(0, []byte(`{"query":"#combine(#1(grand canal) venice)","k":15,"timeout_ms":100}`))
+	f.Add(1, []byte(`{"queries":["a","b","#1(c d)"],"k":3,"workers":2}`))
+	f.Add(2, []byte(`{"keywords":"ciazia","k":3,"max_features":5,"max_cycle_len":4,"radius":1,"max_neighborhood":50,"min_category_ratio":0.1,"max_category_ratio":0.6,"min_density":0.25,"two_cycles":true,"frequency_rank":true,"redirect_aliases":true}`))
+	f.Add(2, []byte(`{"keywords":"x","min_category_ratio":0.9,"max_category_ratio":0.1}`))
+	f.Add(2, []byte(`{"keywords":"x","max_cycle_len":99}`))
+	f.Add(3, []byte(`{"keywords":["ciazia","ciazia","other"],"k":2,"workers":0}`))
+	f.Add(3, []byte(`{"keywords":[],"k":-5}`))
+	f.Add(4, []byte(`{"manifest":"some/path.json"}`))
+	f.Add(4, []byte(``))
+	f.Add(0, []byte(`{not json`))
+	f.Add(0, []byte(`{"query":"a","unknown_field":1}`))
+	f.Add(1, []byte(`{"queries":"not a list"}`))
+	f.Add(2, []byte("{\"keywords\":\"\\u0000\\uffff\",\"radius\":-1}"))
+	f.Add(0, []byte(`null`))
+	f.Add(0, []byte(`[]`))
+
+	allowed := map[int]bool{
+		http.StatusOK:                    true,
+		http.StatusBadRequest:            true,
+		http.StatusRequestTimeout:        true,
+		http.StatusConflict:              true, // reload on a snapshot backend
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusUnsupportedMediaType:  true,
+		http.StatusUnprocessableEntity:   true,
+	}
+	f.Fuzz(func(t *testing.T, which int, body []byte) {
+		s := fuzzTestServer()
+		idx := which % len(fuzzPaths)
+		if idx < 0 {
+			idx += len(fuzzPaths) // negation would overflow on MinInt
+		}
+		path := fuzzPaths[idx]
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+
+		if !allowed[rec.Code] {
+			t.Fatalf("%s %q: status %d outside the documented set (%s)",
+				path, body, rec.Code, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s: response Content-Type %q", path, ct)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("%s: response is not valid JSON: %q", path, rec.Body.String())
+		}
+		if rec.Code != http.StatusOK {
+			var resp errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.Error.Code == "" {
+				t.Fatalf("%s: %d response without error envelope: %q", path, rec.Code, rec.Body.String())
+			}
+		}
+	})
+}

@@ -1,11 +1,13 @@
 // Command qserve is the HTTP front end of the reproduction: it loads a
-// binary serving snapshot (qgen -out world.qgs) at boot and serves search
-// and cycle-based query expansion as a JSON API — the online half of the
+// binary serving snapshot (qgen -out world.qgs) or a sharded snapshot
+// manifest (qgen -shards N -out DIR) at boot and serves search and
+// cycle-based query expansion as a JSON API — the online half of the
 // paper's offline-mine / online-serve split.
 //
 // Usage:
 //
-//	qserve -load world.qgs [-addr :8080] [-timeout 5s] [-cache N]
+//	qserve -load world.qgs           [-addr :8080] [-timeout 5s] [-cache N]
+//	qserve -load DIR/manifest.json   (sharded pool: scatter-gather + hot reload)
 //
 // Endpoints:
 //
@@ -13,13 +15,18 @@
 //	POST /v1/search/batch  {"queries": ["...", ...], "k": 15, "workers": 0}
 //	POST /v1/expand        {"keywords": "...", "k": 15, "max_features": 10, ...}
 //	POST /v1/expand/batch  {"keywords": ["...", ...], "workers": 0}
+//	POST /v1/admin/reload  {"manifest": "..."} (pool only; empty body = same path)
 //	GET  /v1/healthz
 //	GET  /v1/stats
 //
-// Every request runs under a deadline — the -timeout default, lowered per
-// request via timeout_ms — and timeouts surface as 408 JSON errors (499
-// when the client itself went away). SIGINT/SIGTERM drain in-flight
-// requests before exiting.
+// POST bodies must declare Content-Type: application/json and are capped
+// at 1 MiB (413 beyond). Every request runs under a deadline — the
+// -timeout default, lowered per request via timeout_ms — and timeouts
+// surface as 408 JSON errors (499 when the client itself went away).
+// When serving a sharded pool, SIGHUP hot-reloads the manifest with zero
+// downtime (in-flight requests finish on the old generation), like
+// POST /v1/admin/reload. SIGINT/SIGTERM drain in-flight requests before
+// exiting.
 package main
 
 import (
@@ -28,7 +35,9 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,13 +49,13 @@ func main() {
 	log.SetPrefix("qserve: ")
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		load    = flag.String("load", "", "binary world snapshot to serve (qgen -out FILE.qgs); required")
+		load    = flag.String("load", "", "serving state: a .qgs snapshot (qgen -out FILE.qgs) or a shard manifest .json (qgen -shards N -out DIR); required")
 		timeout = flag.Duration("timeout", 5*time.Second, "default per-request timeout (requests may lower it via timeout_ms)")
 		cache   = flag.Int("cache", 0, "expansion cache capacity (0 = default 1024, negative disables)")
 	)
 	flag.Parse()
 	if *load == "" {
-		log.Fatal("-load FILE.qgs is required: build one with qgen -out world.qgs")
+		log.Fatal("-load is required: a snapshot (qgen -out world.qgs) or a shard manifest (qgen -shards 4 -out worlddir)")
 	}
 
 	var opts []querygraph.Option
@@ -54,22 +63,54 @@ func main() {
 		opts = append(opts, querygraph.WithExpandCache(*cache))
 	}
 	start := time.Now()
-	client, err := querygraph.Open(*load, opts...)
+	var (
+		be   backend
+		pool *querygraph.Pool
+		err  error
+	)
+	if strings.HasSuffix(*load, ".json") {
+		pool, err = querygraph.OpenPool(*load, opts...)
+		be = pool
+	} else {
+		be, err = querygraph.Open(*load, opts...)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := client.Stats()
-	log.Printf("loaded %s in %v: %d articles, %d documents, %d benchmark queries",
-		*load, time.Since(start).Round(time.Millisecond), st.Articles, st.Documents, st.BenchmarkQueries)
+	st := be.Stats()
+	if pool != nil {
+		log.Printf("loaded %s in %v: %d shards, %d articles, %d documents, %d benchmark queries",
+			*load, time.Since(start).Round(time.Millisecond), pool.NumShards(),
+			st.Articles, st.Documents, st.BenchmarkQueries)
+	} else {
+		log.Printf("loaded %s in %v: %d articles, %d documents, %d benchmark queries",
+			*load, time.Since(start).Round(time.Millisecond), st.Articles, st.Documents, st.BenchmarkQueries)
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(client, *timeout),
+		Handler:           newServer(be, *timeout),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	if pool != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				t0 := time.Now()
+				if err := pool.Reload(""); err != nil {
+					log.Printf("SIGHUP reload failed (still serving generation %d): %v", pool.Generation(), err)
+					continue
+				}
+				log.Printf("SIGHUP reload: now serving generation %d (%d shards, %d documents) after %v",
+					pool.Generation(), pool.NumShards(), pool.Stats().Documents,
+					time.Since(t0).Round(time.Millisecond))
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("serving on %s (per-request timeout %v)", *addr, *timeout)

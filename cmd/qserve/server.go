@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"time"
 
@@ -20,9 +23,26 @@ const statusClientClosedRequest = 499
 // keyword strings, so 1 MiB is generous.
 const maxRequestBody = 1 << 20
 
-// server is the HTTP front end over one serving Client.
+// backend is the serving surface the handlers drive — satisfied by both
+// the single-snapshot *querygraph.Client and the sharded *querygraph.Pool,
+// so one front end serves either deployment shape.
+type backend interface {
+	Search(ctx context.Context, query string, k int) ([]querygraph.Result, error)
+	SearchAll(ctx context.Context, queries []string, k int, opts querygraph.BatchOptions) ([][]querygraph.Result, error)
+	Expand(ctx context.Context, keywords string, opts ...querygraph.ExpandOption) (*querygraph.Expansion, error)
+	ExpandAll(ctx context.Context, keywords []string, bopts querygraph.BatchOptions, opts ...querygraph.ExpandOption) ([]*querygraph.Expansion, error)
+	SearchExpansion(ctx context.Context, exp *querygraph.Expansion, k int) ([]querygraph.Result, bool, error)
+	SearchExpansions(ctx context.Context, exps []*querygraph.Expansion, k int, opts querygraph.BatchOptions) ([][]querygraph.Result, error)
+	Title(id querygraph.NodeID) string
+	Stats() querygraph.Stats
+}
+
+// server is the HTTP front end over one serving backend.
 type server struct {
-	client *querygraph.Client
+	client backend
+	// pool is non-nil when the backend is a sharded Pool: it unlocks
+	// /v1/admin/reload and the per-shard stats.
+	pool *querygraph.Pool
 	// timeout bounds each request's context unless the request asks for
 	// less via timeout_ms.
 	timeout time.Duration
@@ -30,17 +50,19 @@ type server struct {
 	mux     *http.ServeMux
 }
 
-func newServer(client *querygraph.Client, timeout time.Duration) *server {
+func newServer(client backend, timeout time.Duration) *server {
 	s := &server{
 		client:  client,
 		timeout: timeout,
 		started: time.Now(),
 		mux:     http.NewServeMux(),
 	}
+	s.pool, _ = client.(*querygraph.Pool)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("POST /v1/expand", s.handleExpand)
 	s.mux.HandleFunc("POST /v1/expand/batch", s.handleExpandBatch)
+	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	return s
@@ -355,21 +377,113 @@ func (s *server) handleExpandBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, expandBatchResponse{Expansions: out, TookMS: ms(start)})
 }
 
+// --- admin: hot reload --------------------------------------------------
+
+type reloadRequest struct {
+	// Manifest optionally switches the pool to a different manifest path;
+	// empty (or an empty body) re-reads the manifest the pool is on.
+	Manifest string `json:"manifest"`
+}
+
+type reloadResponse struct {
+	Status     string  `json:"status"`
+	Generation uint64  `json:"generation"`
+	Shards     int     `json:"shards"`
+	Documents  int     `json:"documents"`
+	TookMS     float64 `json:"took_ms"`
+}
+
+// handleReload swaps in the next snapshot generation with zero downtime
+// (Pool.Reload): in-flight requests finish on the old generation. An
+// empty body re-reads the current manifest; {"manifest": "..."} switches
+// paths. Only a pool-backed server (qserve -load manifest.json) can
+// reload; a single-snapshot server answers 409.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.pool == nil {
+		s.writeJSON(w, http.StatusConflict, errorResponse{Error: errorBody{
+			Code:    "not_reloadable",
+			Message: "server is backed by a single snapshot, not a sharded manifest; restart to change data",
+		}})
+		return
+	}
+	var req reloadRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: errorBody{
+				Code:    "request_too_large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			}})
+			return
+		}
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: errorBody{
+			Code:    "invalid_body",
+			Message: "bad request body: " + err.Error(),
+		}})
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		if !s.requireJSON(w, r) {
+			return
+		}
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: errorBody{
+				Code:    "invalid_body",
+				Message: "bad request body: " + err.Error(),
+			}})
+			return
+		}
+	}
+	start := time.Now()
+	if err := s.pool.Reload(req.Manifest); err != nil {
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: errorBody{
+			Code:    "invalid_manifest",
+			Message: err.Error(),
+		}})
+		return
+	}
+	st := s.pool.PoolStats()
+	s.writeJSON(w, http.StatusOK, reloadResponse{
+		Status:     "ok",
+		Generation: st.Generation,
+		Shards:     len(st.Shards),
+		Documents:  st.Documents,
+		TookMS:     ms(start),
+	})
+}
+
 type healthzResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Articles      int     `json:"articles"`
 	Documents     int     `json:"documents"`
+	// Shards and Generation are present when serving a sharded pool.
+	Shards     int    `json:"shards,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	st := s.client.Stats()
-	s.writeJSON(w, http.StatusOK, healthzResponse{
+	resp := healthzResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		Articles:      st.Articles,
-		Documents:     st.Documents,
-	})
+	}
+	// One stats snapshot per response: a reload landing mid-handler must
+	// not mix two generations' numbers.
+	if s.pool != nil {
+		ps := s.pool.PoolStats()
+		resp.Articles = ps.Articles
+		resp.Documents = ps.Documents
+		resp.Shards = len(ps.Shards)
+		resp.Generation = ps.Generation
+	} else {
+		st := s.client.Stats()
+		resp.Articles = st.Articles
+		resp.Documents = st.Documents
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 type cacheStatsJSON struct {
@@ -389,26 +503,42 @@ type statsResponse struct {
 	Documents        int            `json:"documents"`
 	BenchmarkQueries int            `json:"benchmark_queries"`
 	ExpandCache      cacheStatsJSON `json:"expand_cache"`
+	// Sharded-pool extras: per-shard sizes and the generation counters.
+	Shards     []querygraph.ShardStats `json:"shards,omitempty"`
+	Generation uint64                  `json:"generation,omitempty"`
+	Reloads    uint64                  `json:"reloads"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.client.Stats()
-	s.writeJSON(w, http.StatusOK, statsResponse{
-		Articles:         st.Articles,
-		Redirects:        st.Redirects,
-		Categories:       st.Categories,
-		Links:            st.Links,
-		Documents:        st.Documents,
-		BenchmarkQueries: st.BenchmarkQueries,
-		ExpandCache: cacheStatsJSON{
-			Hits:     st.Cache.Hits,
-			Misses:   st.Cache.Misses,
-			Deduped:  st.Cache.Deduped,
-			Entries:  st.Cache.Entries,
-			Capacity: st.Cache.Capacity,
-			HitRate:  st.Cache.HitRate(),
-		},
-	})
+	// One stats snapshot per response (see handleHealthz): on a pool, a
+	// single PoolStats call supplies the aggregate and the per-shard rows
+	// from the same generation.
+	var resp statsResponse
+	var st querygraph.Stats
+	if s.pool != nil {
+		ps := s.pool.PoolStats()
+		st = ps.Stats
+		resp.Shards = ps.Shards
+		resp.Generation = ps.Generation
+		resp.Reloads = ps.Reloads
+	} else {
+		st = s.client.Stats()
+	}
+	resp.Articles = st.Articles
+	resp.Redirects = st.Redirects
+	resp.Categories = st.Categories
+	resp.Links = st.Links
+	resp.Documents = st.Documents
+	resp.BenchmarkQueries = st.BenchmarkQueries
+	resp.ExpandCache = cacheStatsJSON{
+		Hits:     st.Cache.Hits,
+		Misses:   st.Cache.Misses,
+		Deduped:  st.Cache.Deduped,
+		Entries:  st.Cache.Entries,
+		Capacity: st.Cache.Capacity,
+		HitRate:  st.Cache.HitRate(),
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 // --- plumbing ----------------------------------------------------------
@@ -428,11 +558,39 @@ func (s *server) rank(k int) int {
 	}
 }
 
+// requireJSON enforces the POST content type: the declared media type
+// must be application/json (parameters like charset are fine). Rejecting
+// everything else keeps browser-form cross-site posts and accidental
+// x-www-form-urlencoded clients out of the JSON decoder.
+func (s *server) requireJSON(w http.ResponseWriter, r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil || mt != "application/json" {
+		s.writeJSON(w, http.StatusUnsupportedMediaType, errorResponse{Error: errorBody{
+			Code:    "unsupported_media_type",
+			Message: fmt.Sprintf("Content-Type %q is not application/json", ct),
+		}})
+		return false
+	}
+	return true
+}
+
 func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if !s.requireJSON(w, r) {
+		return false
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: errorBody{
+				Code:    "request_too_large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			}})
+			return false
+		}
 		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: errorBody{
 			Code:    "invalid_body",
 			Message: "bad request body: " + err.Error(),

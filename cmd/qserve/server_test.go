@@ -46,7 +46,8 @@ func testServer(t *testing.T) *server {
 	return newServer(serveClient(t), 5*time.Second)
 }
 
-// do posts body (JSON-encoded if non-nil) and returns the recorder.
+// do posts body (JSON-encoded if non-nil) with the required JSON content
+// type and returns the recorder.
 func do(t *testing.T, s *server, method, path string, body any) *httptest.ResponseRecorder {
 	t.Helper()
 	var rd *bytes.Reader
@@ -60,6 +61,9 @@ func do(t *testing.T, s *server, method, path string, body any) *httptest.Respon
 		rd = bytes.NewReader(nil)
 	}
 	req := httptest.NewRequest(method, path, rd)
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	return rec
@@ -252,6 +256,7 @@ func TestErrorModel(t *testing.T) {
 	s := testServer(t)
 	t.Run("malformed body", func(t *testing.T) {
 		req := httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader("{not json"))
+		req.Header.Set("Content-Type", "application/json")
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
 		if rec.Code != http.StatusBadRequest {
@@ -356,6 +361,7 @@ func TestClientClosedRequest(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != statusClientClosedRequest {
@@ -383,4 +389,190 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatalf("status = %d, want 200", resp.StatusCode)
 	}
 	srv.Close() // drains like Shutdown; a hang here fails the test by timeout
+}
+
+// poolServer builds a sharded pool over a small world and wraps it in a
+// server; it returns the pool and a second manifest (a different world)
+// to reload into.
+func poolServer(t *testing.T) (*server, *querygraph.Pool, string) {
+	t.Helper()
+	build := func(seed int64, shards int) (*querygraph.Client, string) {
+		cfg := querygraph.DefaultWorldConfig()
+		cfg.Seed = seed
+		cfg.Topics = 6
+		cfg.ArticlesPerTopic = 10
+		cfg.DocsPerTopic = 12
+		cfg.Queries = 6
+		w, err := querygraph.GenerateWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := querygraph.Build(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		if err := c.SaveShards(dir, shards); err != nil {
+			t.Fatal(err)
+		}
+		return c, dir + "/manifest.json"
+	}
+	_, manifestA := build(3, 2)
+	_, manifestB := build(9, 3)
+	pool, err := querygraph.OpenPool(manifestA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(pool, 5*time.Second), pool, manifestB
+}
+
+// TestContentTypeEnforced pins the 415 contract: every POST endpoint
+// rejects a missing or non-JSON Content-Type before reading the body.
+func TestContentTypeEnforced(t *testing.T) {
+	s := testServer(t)
+	q := serveClient(t).Queries()[0]
+	body, err := json.Marshal(searchRequest{Query: q.Keywords, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/v1/search", "/v1/search/batch", "/v1/expand", "/v1/expand/batch"} {
+		for _, ct := range []string{"", "text/plain", "application/x-www-form-urlencoded", "application/jsonx"} {
+			req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+			if ct != "" {
+				req.Header.Set("Content-Type", ct)
+			}
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusUnsupportedMediaType {
+				t.Fatalf("%s with Content-Type %q: status = %d (%s), want 415",
+					path, ct, rec.Code, rec.Body.String())
+			}
+			if code := errorCode(t, rec); code != "unsupported_media_type" {
+				t.Errorf("%s: code = %q, want unsupported_media_type", path, code)
+			}
+		}
+	}
+	// Parameters on the media type are fine.
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json; charset=utf-8")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("charset parameter rejected: status = %d (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestRequestBodyCap pins the 413 contract: a body over the 1 MiB cap is
+// refused with request_too_large, not a generic decode error.
+func TestRequestBodyCap(t *testing.T) {
+	s := testServer(t)
+	huge := bytes.Repeat([]byte("x"), maxRequestBody+1024)
+	body := []byte(`{"query":"` + string(huge) + `"}`)
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d (%s), want 413", rec.Code, rec.Body.String())
+	}
+	if code := errorCode(t, rec); code != "request_too_large" {
+		t.Errorf("code = %q, want request_too_large", code)
+	}
+	// A body exactly at the cap still decodes (and fails later on its own
+	// merits, not on size).
+	ok := bytes.Repeat([]byte("y"), 1024)
+	req = httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(
+		[]byte(`{"query":"`+string(ok)+`","k":1}`)))
+	req.Header.Set("Content-Type", "application/json")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("in-cap body: status = %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+}
+
+// TestReloadRequiresPool: a single-snapshot server answers 409 to the
+// admin reload endpoint.
+func TestReloadRequiresPool(t *testing.T) {
+	rec := do(t, testServer(t), http.MethodPost, "/v1/admin/reload", nil)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("status = %d (%s), want 409", rec.Code, rec.Body.String())
+	}
+	if code := errorCode(t, rec); code != "not_reloadable" {
+		t.Errorf("code = %q, want not_reloadable", code)
+	}
+}
+
+// TestPoolServerReloadAndStats drives the sharded server end to end:
+// pool-backed healthz/stats expose shards and generation, an empty-body
+// reload re-reads the manifest, a manifest-switching reload changes the
+// served world, and a bad manifest is a 422 that leaves serving intact.
+func TestPoolServerReloadAndStats(t *testing.T) {
+	s, pool, manifestB := poolServer(t)
+
+	rec := do(t, s, http.MethodGet, "/v1/healthz", nil)
+	var hz healthzResponse
+	decodeInto(t, rec, &hz)
+	if hz.Shards != 2 || hz.Generation != 1 {
+		t.Errorf("healthz = %+v, want 2 shards at generation 1", hz)
+	}
+
+	rec = do(t, s, http.MethodGet, "/v1/stats", nil)
+	var st statsResponse
+	decodeInto(t, rec, &st)
+	if len(st.Shards) != 2 || st.Generation != 1 || st.Reloads != 0 {
+		t.Fatalf("stats = %+v, want 2 shard rows at generation 1", st)
+	}
+	docs := 0
+	for _, sh := range st.Shards {
+		if sh.Postings <= 0 || sh.Terms <= 0 {
+			t.Errorf("shard row %+v has empty index stats", sh)
+		}
+		docs += sh.Documents
+	}
+	if docs != st.Documents {
+		t.Errorf("shard documents sum to %d, stats report %d", docs, st.Documents)
+	}
+
+	// Empty body: re-read the same manifest.
+	rec = do(t, s, http.MethodPost, "/v1/admin/reload", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload status = %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+	var rl reloadResponse
+	decodeInto(t, rec, &rl)
+	if rl.Status != "ok" || rl.Generation != 2 || rl.Shards != 2 {
+		t.Errorf("reload = %+v, want generation 2 on 2 shards", rl)
+	}
+
+	// Switch manifests: the served world changes shape.
+	rec = do(t, s, http.MethodPost, "/v1/admin/reload", reloadRequest{Manifest: manifestB})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("switch status = %d (%s), want 200", rec.Code, rec.Body.String())
+	}
+	decodeInto(t, rec, &rl)
+	if rl.Generation != 3 || rl.Shards != 3 {
+		t.Errorf("switch reload = %+v, want generation 3 on 3 shards", rl)
+	}
+	if got := pool.NumShards(); got != 3 {
+		t.Errorf("pool serves %d shards after switch, want 3", got)
+	}
+
+	// A bad manifest is rejected and serving continues on generation 3.
+	rec = do(t, s, http.MethodPost, "/v1/admin/reload", reloadRequest{Manifest: "/nonexistent/manifest.json"})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("bad manifest status = %d (%s), want 422", rec.Code, rec.Body.String())
+	}
+	if code := errorCode(t, rec); code != "invalid_manifest" {
+		t.Errorf("code = %q, want invalid_manifest", code)
+	}
+	if got := pool.Generation(); got != 3 {
+		t.Errorf("failed reload moved the generation to %d", got)
+	}
+
+	// Searches on the pool server keep the whole error model.
+	rec = do(t, s, http.MethodPost, "/v1/search", searchRequest{Query: "#combine(", K: 1})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("pool search error status = %d, want 400", rec.Code)
+	}
 }

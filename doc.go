@@ -33,6 +33,25 @@
 // single-flight LRU cache, so heavy traffic with repeated queries is
 // served from memory.
 //
+// # The sharded pool
+//
+// Beyond one machine's snapshot, a Pool serves a hash-partitioned
+// generation — per-shard snapshots plus a manifest, written by
+// Client.SaveShards or qgen -shards N — with the knowledge graph
+// replicated and the corpus/index partitioned:
+//
+//	pool, err := querygraph.OpenPool("world4/manifest.json")
+//	results, err := pool.Search(ctx, "venice #1(grand canal)", 15)
+//	err = pool.Reload("")                         // hot-swap to the next generation
+//
+// Retrieval scatters to every shard under globally aggregated collection
+// statistics and merges, so a Pool returns bit-identical results to a
+// Client on the same world at any shard count; expansion runs once on the
+// replicated graph. Reload assembles the next generation off to the side
+// and swaps it in with zero downtime: in-flight requests finish on the
+// generation they started with, and a failed reload (ErrBadManifest)
+// leaves serving untouched.
+//
 // # Contexts and cancellation
 //
 // Every query-path method takes a context.Context. A context that is

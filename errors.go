@@ -26,4 +26,12 @@ var (
 	// CompareExpanders, Queries-dependent helpers) when the client was
 	// opened from a snapshot that carries no query benchmark.
 	ErrNoBenchmark = errors.New("querygraph: no query benchmark loaded")
+
+	// ErrBadManifest wraps every failure to assemble a sharded generation
+	// from a manifest: an unreadable or unparsable manifest file, a shard
+	// snapshot that fails to decode, or shards that disagree on partition
+	// identity, global statistics or engine configuration (mixed
+	// generations). OpenPool and Pool.Reload return it; a failed Reload
+	// leaves the serving generation untouched.
+	ErrBadManifest = errors.New("querygraph: bad shard manifest")
 )

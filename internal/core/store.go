@@ -18,6 +18,13 @@ import (
 // Analyze results without re-running world generation, relevant-text
 // extraction, entity-dictionary construction or indexing.
 func (s *System) Save(w io.Writer, queries []Query) error {
+	return store.Write(w, s.Archive(queries))
+}
+
+// Archive is the system's complete serving state in snapshot form — what
+// Save writes and what the shard partitioner (internal/shard) splits. The
+// archive shares the system's substrates; it must be treated as read-only.
+func (s *System) Archive(queries []Query) *store.Archive {
 	arch := &store.Archive{
 		Mu:                  s.Engine.Mu(),
 		IncludeKeywordTerms: s.includeKeywordTerms,
@@ -33,7 +40,7 @@ func (s *System) Save(w io.Writer, queries []Query) error {
 			arch.Queries[i] = store.Query(q)
 		}
 	}
-	return store.Write(w, arch)
+	return arch
 }
 
 // LoadSystem decodes a snapshot written by Save and assembles a serving
@@ -64,6 +71,14 @@ func LoadSystem(r io.Reader, opts ...SystemOption) (*System, []Query, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return SystemFromArchive(arch, opts...)
+}
+
+// SystemFromArchive assembles a serving System around an already decoded
+// archive — the assembly half of LoadSystem, split out so the sharded
+// runtime (internal/shard) can inspect the archive's partition identity
+// before wrapping each shard in its own System.
+func SystemFromArchive(arch *store.Archive, opts ...SystemOption) (*System, []Query, error) {
 	cfg := systemConfig{
 		analyzer:            text.NewAnalyzer(arch.RemoveStopwords, arch.Stem),
 		mu:                  arch.Mu,

@@ -219,6 +219,14 @@ func parallelism(requested int) int {
 	return n
 }
 
+// ForEach runs fn over the indices [0, n) on a bounded worker pool with
+// the batch layer's scheduling contract (fail fast, drain on cancel) —
+// the exported form of forEachQuery for sibling internal packages
+// (internal/shard drives per-query scatter-gather through it).
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return forEachQuery(ctx, n, workers, fn)
+}
+
 // forEachQuery runs fn over the indices [0, n) on a bounded worker pool,
 // returning the first recorded error. Once any worker reports an error —
 // or ctx is cancelled — the producer stops scheduling new indices, so a

@@ -126,6 +126,17 @@ func (ix *Index) TotalTokens() int64 { return ix.total }
 // NumTerms returns the vocabulary size.
 func (ix *Index) NumTerms() int { return len(ix.terms) }
 
+// NumPostings returns the total number of (term, document) pairs — the sum
+// of document frequencies over the vocabulary. Serving stats report it per
+// shard as a size measure of the partitioned index.
+func (ix *Index) NumPostings() int64 {
+	var n int64
+	for _, plist := range ix.postings {
+		n += int64(len(plist))
+	}
+	return n
+}
+
 // Postings returns the postings list for term, or nil when absent. The
 // returned slice is owned by the index and must not be modified.
 func (ix *Index) Postings(term string) []Posting {
@@ -134,6 +145,17 @@ func (ix *Index) Postings(term string) []Posting {
 		return nil
 	}
 	return ix.postings[tid]
+}
+
+// Lookup returns the postings list and collection frequency of term in
+// one dictionary probe ((nil, 0) when absent) — the planner's fast path,
+// which otherwise pays two probes per term per partition.
+func (ix *Index) Lookup(term string) ([]Posting, int64) {
+	tid, ok := ix.dict[term]
+	if !ok {
+		return nil, 0
+	}
+	return ix.postings[tid], ix.colFreq[tid]
 }
 
 // CollectionFreq returns the total number of occurrences of term.
@@ -150,34 +172,79 @@ func (ix *Index) DocFreq(term string) int {
 	return len(ix.Postings(term))
 }
 
+// PhraseScratch holds the reusable per-caller working state of
+// PhrasePostingsScratch (the per-term list and cursor tables), so hot
+// planners do not reallocate it for every phrase.
+type PhraseScratch struct {
+	lists   [][]Posting
+	cursors []int
+}
+
 // PhrasePostings computes the postings of the exact phrase (terms adjacent
 // and in order), i.e. INDRI's #1 operator, by positional intersection. The
 // result lists each document containing the phrase with the start positions
 // of every occurrence. A single-term phrase returns that term's postings;
 // an empty phrase returns nil.
 func (ix *Index) PhrasePostings(terms []string) []Posting {
+	var sc PhraseScratch
+	return ix.PhrasePostingsScratch(terms, &sc)
+}
+
+// PhrasePostingsScratch is PhrasePostings with caller-owned scratch: same
+// results, no per-call table allocations. The returned postings are fresh
+// (not part of the scratch) and stay valid across further calls.
+func (ix *Index) PhrasePostingsScratch(terms []string, sc *PhraseScratch) []Posting {
 	switch len(terms) {
 	case 0:
 		return nil
 	case 1:
 		return ix.Postings(terms[0])
 	}
-	lists := make([][]Posting, len(terms))
+	if cap(sc.lists) < len(terms) {
+		sc.lists = make([][]Posting, len(terms))
+	}
+	lists := sc.lists[:len(terms)]
 	for i, term := range terms {
 		lists[i] = ix.Postings(term)
 		if lists[i] == nil {
 			return nil
 		}
 	}
+	return IntersectPhrase(lists, sc)
+}
+
+// IntersectPhrase computes exact-phrase postings from the constituent
+// postings lists (lists[i] holds the postings of the phrase's i-th term;
+// any empty list means no match). It backs PhrasePostingsScratch and the
+// cross-partition union scorer, which gathers the per-partition lists
+// itself. The returned postings are fresh and do not alias sc.
+func IntersectPhrase(lists [][]Posting, sc *PhraseScratch) []Posting {
+	if len(lists) == 0 {
+		return nil
+	}
+	if cap(sc.cursors) < len(lists) {
+		sc.cursors = make([]int, len(lists))
+	}
+	cursors := sc.cursors[:len(lists)]
+	minDF := -1
+	for i, list := range lists {
+		if len(list) == 0 {
+			return nil
+		}
+		cursors[i] = 0
+		if minDF < 0 || len(list) < minDF {
+			minDF = len(list)
+		}
+	}
 	// Galloping doc-level intersection seeded by the rarest list would be
 	// the classic optimization; collection sizes here make the simple merge
-	// clearer and fast enough (see BenchmarkPhrasePostings).
-	var out []Posting
-	cursors := make([]int, len(terms))
+	// clearer and fast enough (see BenchmarkPhrasePostings). The output is
+	// sized by the tightest document frequency, the upper bound on matches.
+	out := make([]Posting, 0, minDF)
 docLoop:
 	for _, p0 := range lists[0] {
 		positions := p0.Positions
-		for i := 1; i < len(terms); i++ {
+		for i := 1; i < len(lists); i++ {
 			list := lists[i]
 			cur := cursors[i]
 			for cur < len(list) && list[cur].Doc < p0.Doc {
@@ -193,6 +260,9 @@ docLoop:
 			}
 		}
 		out = append(out, Posting{Doc: p0.Doc, Positions: positions})
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

@@ -84,24 +84,32 @@ func IndexCollection(c *corpus.Collection, an *text.Analyzer) *index.Index {
 // Parse parses a query string with the engine's analyzer.
 func (e *Engine) Parse(query string) (Node, error) { return ParseQuery(query, e.an) }
 
-// leaf is a scoring leaf: a term or phrase with its effective weight.
-type leaf struct {
-	terms  []string // len 1 = term, len > 1 = phrase
-	weight float64
+// Leaf is one scoring leaf of a flattened query: a term (len(Terms) == 1)
+// or an exact phrase (len(Terms) > 1) with its effective weight.
+type Leaf struct {
+	Terms  []string
+	Weight float64
 }
+
+// Flatten converts the AST into weighted scoring leaves, in the
+// deterministic left-to-right order the scorer folds them. Distributed
+// callers flatten once, plan the leaves against every partition
+// (PlanLeaves) and aggregate per-leaf collection statistics before scoring
+// (SearchPlan).
+func Flatten(n Node) ([]Leaf, error) { return flatten(n, 1, nil) }
 
 // flatten converts the AST into weighted leaves. #combine is an unweighted
 // sum of child log scores, so it passes weight w through to every child;
 // #weight normalizes its weights to sum 1 and distributes w * (wi / Σw).
-func flatten(n Node, w float64, out []leaf) ([]leaf, error) {
+func flatten(n Node, w float64, out []Leaf) ([]Leaf, error) {
 	switch t := n.(type) {
 	case Term:
-		return append(out, leaf{terms: []string{t.Text}, weight: w}), nil
+		return append(out, Leaf{Terms: []string{t.Text}, Weight: w}), nil
 	case Phrase:
 		if len(t.Terms) == 0 {
 			return nil, fmt.Errorf("search: empty phrase node")
 		}
-		return append(out, leaf{terms: t.Terms, weight: w}), nil
+		return append(out, Leaf{Terms: t.Terms, Weight: w}), nil
 	case Combine:
 		if len(t.Children) == 0 {
 			return nil, fmt.Errorf("search: empty combine node")
@@ -176,11 +184,92 @@ func (e *Engine) getScratch() *scorerScratch {
 	return sc
 }
 
+// Plan is one query prepared against this engine's index: the flattened
+// leaves with their postings and local collection frequencies fetched, but
+// not yet scored. Separating statistics gathering from scoring is the hook
+// the sharded runtime (internal/shard) builds on: it plans the same leaves
+// against every partition, sums each leaf's collection frequency across
+// the partitions — exact integer addition, so order cannot perturb the
+// result — and then scores every partition with the same global Stats,
+// which makes partitioned scoring bit-identical to the single-index
+// scorer.
+type Plan struct {
+	leaves   []Leaf
+	postings [][]index.Posting
+	localCF  []int64
+	// phraseScratch is reused across the plan's phrase leaves (and across
+	// re-plans of a pooled Plan); the produced postings do not alias it.
+	phraseScratch index.PhraseScratch
+}
+
+// NumLeaves returns the number of scoring leaves in the plan.
+func (p *Plan) NumLeaves() int { return len(p.leaves) }
+
+// LocalCF returns this index's collection frequency of leaf i (for a
+// phrase leaf, the occurrence count of the exact phrase in this index).
+func (p *Plan) LocalCF(i int) int64 { return p.localCF[i] }
+
+// PlanLeaves fetches the postings and local collection frequency of every
+// leaf against this engine's index. A term or phrase absent from the index
+// plans as empty postings with zero frequency.
+func (e *Engine) PlanLeaves(leaves []Leaf) *Plan {
+	return e.PlanLeavesInto(nil, leaves)
+}
+
+// PlanLeavesInto is PlanLeaves reusing dst's storage (dst may be nil) —
+// the allocation-free re-planning path a scatter caller takes when it
+// plans the same leaves against many partition indexes per query.
+func (e *Engine) PlanLeavesInto(dst *Plan, leaves []Leaf) *Plan {
+	p := dst
+	if p == nil {
+		p = &Plan{}
+	}
+	p.leaves = leaves
+	if cap(p.postings) < len(leaves) {
+		p.postings = make([][]index.Posting, len(leaves))
+		p.localCF = make([]int64, len(leaves))
+	}
+	p.postings = p.postings[:len(leaves)]
+	p.localCF = p.localCF[:len(leaves)]
+	for i, lf := range leaves {
+		if len(lf.Terms) == 1 {
+			p.postings[i], p.localCF[i] = e.ix.Lookup(lf.Terms[0])
+		} else {
+			p.postings[i] = e.ix.PhrasePostingsScratch(lf.Terms, &p.phraseScratch)
+			p.localCF[i] = index.PostingsCollectionFreq(p.postings[i])
+		}
+	}
+	return p
+}
+
+// Stats is the collection-statistics view the Dirichlet scorer smooths
+// with. A nil *Stats means "this index is the whole collection": the
+// engine's own token count and the plan's local frequencies.
+type Stats struct {
+	// TotalTokens is the collection length |C| the background model
+	// divides by.
+	TotalTokens int64
+	// LeafCF is the collection frequency per scoring leaf, aligned with
+	// the flattened leaf order; nil keeps the plan's local frequencies.
+	LeafCF []int64
+}
+
 // Search evaluates the query and returns the top k documents by descending
 // score, ties broken by ascending document ID for determinism. Only
 // documents matching at least one leaf are candidates; k <= 0 returns all
 // candidates ranked. A query with no matching documents returns an empty
 // (non-nil) slice.
+func (e *Engine) Search(q Node, k int) ([]Result, error) {
+	leaves, err := Flatten(q)
+	if err != nil {
+		return nil, err
+	}
+	return e.SearchPlan(e.PlanLeaves(leaves), k, nil)
+}
+
+// SearchPlan scores a planned query under the given collection statistics
+// (nil = this index's own) and returns the top k under the Search
+// contract.
 //
 // The scorer is a doc-ordered accumulator merge: each leaf's postings are
 // walked once, folding that leaf's contribution into a dense per-document
@@ -192,42 +281,41 @@ func (e *Engine) getScratch() *scorerScratch {
 // carries the tf = 0 baseline) and applies the length normalization once
 // per candidate. Ranking uses a bounded top-k heap instead of sorting every
 // candidate.
-func (e *Engine) Search(q Node, k int) ([]Result, error) {
-	leaves, err := flatten(q, 1, nil)
-	if err != nil {
-		return nil, err
+func (e *Engine) SearchPlan(p *Plan, k int, stats *Stats) ([]Result, error) {
+	totalTokens := e.ix.TotalTokens()
+	leafCF := p.localCF
+	if stats != nil {
+		totalTokens = stats.TotalTokens
+		if stats.LeafCF != nil {
+			if len(stats.LeafCF) != len(p.leaves) {
+				return nil, fmt.Errorf("search: stats carry %d leaf frequencies for %d plan leaves",
+					len(stats.LeafCF), len(p.leaves))
+			}
+			leafCF = stats.LeafCF
+		}
 	}
-	if e.ix.NumDocs() == 0 || e.ix.TotalTokens() == 0 {
+	if e.ix.NumDocs() == 0 || totalTokens == 0 {
 		return []Result{}, nil
 	}
-	total := float64(e.ix.TotalTokens())
+	total := float64(totalTokens)
 
 	sc := e.getScratch()
 	defer e.scratch.Put(sc)
 
 	var zeroSum, weightSum float64
-	for _, lf := range leaves {
-		var postings []index.Posting
-		var cf int64
-		if len(lf.terms) == 1 {
-			postings = e.ix.Postings(lf.terms[0])
-			cf = e.ix.CollectionFreq(lf.terms[0])
-		} else {
-			postings = e.ix.PhrasePostings(lf.terms)
-			cf = index.PostingsCollectionFreq(postings)
-		}
-		muPc := e.mu * math.Max(float64(cf), unseenFloor) / total
+	for i, lf := range p.leaves {
+		muPc := e.mu * math.Max(float64(leafCF[i]), unseenFloor) / total
 		logMuPc := math.Log(muPc)
-		zeroSum += lf.weight * logMuPc
-		weightSum += lf.weight
-		for _, p := range postings {
-			delta := lf.weight * (math.Log(float64(len(p.Positions))+muPc) - logMuPc)
-			if sc.epoch[p.Doc] == sc.cur {
-				sc.acc[p.Doc] += delta
+		zeroSum += lf.Weight * logMuPc
+		weightSum += lf.Weight
+		for _, post := range p.postings[i] {
+			delta := lf.Weight * (math.Log(float64(len(post.Positions))+muPc) - logMuPc)
+			if sc.epoch[post.Doc] == sc.cur {
+				sc.acc[post.Doc] += delta
 			} else {
-				sc.epoch[p.Doc] = sc.cur
-				sc.acc[p.Doc] = delta
-				sc.docs = append(sc.docs, p.Doc)
+				sc.epoch[post.Doc] = sc.cur
+				sc.acc[post.Doc] = delta
+				sc.docs = append(sc.docs, post.Doc)
 			}
 		}
 	}

@@ -34,17 +34,17 @@ func referenceSearch(e *Engine, q Node, k int) ([]Result, error) {
 	for _, lf := range leaves {
 		var postings []index.Posting
 		var cf int64
-		if len(lf.terms) == 1 {
-			postings = e.ix.Postings(lf.terms[0])
-			cf = e.ix.CollectionFreq(lf.terms[0])
+		if len(lf.Terms) == 1 {
+			postings = e.ix.Postings(lf.Terms[0])
+			cf = e.ix.CollectionFreq(lf.Terms[0])
 		} else {
-			postings = e.ix.PhrasePostings(lf.terms)
+			postings = e.ix.PhrasePostings(lf.Terms)
 			for _, p := range postings {
 				cf += int64(len(p.Positions))
 			}
 		}
 		ls := leafStats{
-			weight: lf.weight,
+			weight: lf.Weight,
 			pc:     math.Max(float64(cf), unseenFloor) / total,
 			tf:     make(map[int32]float64, len(postings)),
 		}

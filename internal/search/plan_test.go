@@ -1,0 +1,113 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/index"
+)
+
+// TestSearchPlanPartitionedMatchesSingle is the engine-level half of the
+// sharded-equivalence guarantee: scoring two disjoint partitions of an
+// index under globally aggregated statistics (summed leaf frequencies,
+// the full collection's token count) and merging by (score desc, doc asc)
+// must reproduce the single-index ranking bit for bit — scores compared
+// with ==, not approximately.
+func TestSearchPlanPartitionedMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		numDocs := 2 + rng.Intn(100)
+		vocab := 2 + rng.Intn(20)
+		parts := 2 + rng.Intn(3)
+
+		// One token stream per document, partitioned round-robin-by-hash
+		// into per-partition indexes with a local→global doc map.
+		docs := make([][]string, numDocs)
+		full := index.New()
+		for d := range docs {
+			n := rng.Intn(25)
+			tokens := make([]string, n)
+			for i := range tokens {
+				tokens[i] = "t" + string(rune('a'+rng.Intn(vocab)))
+			}
+			docs[d] = tokens
+			full.AddDocument(tokens)
+		}
+		partIx := make([]*index.Index, parts)
+		partMap := make([][]int32, parts)
+		for p := range partIx {
+			partIx[p] = index.New()
+		}
+		for d, tokens := range docs {
+			p := (d * 2654435761) % parts // deterministic pseudo-hash
+			partIx[p].AddDocument(tokens)
+			partMap[p] = append(partMap[p], int32(d))
+		}
+
+		mu := float64(1 + rng.Intn(4000))
+		single, err := NewEngine(full, plain, WithMu(mu))
+		if err != nil {
+			t.Fatal(err)
+		}
+		engines := make([]*Engine, parts)
+		for p := range engines {
+			if engines[p], err = NewEngine(partIx[p], plain, WithMu(mu)); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		for qi := 0; qi < 6; qi++ {
+			q := randomQuery(rng, vocab)
+			leaves, err := Flatten(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans := make([]*Plan, parts)
+			leafCF := make([]int64, len(leaves))
+			for p, e := range engines {
+				plans[p] = e.PlanLeaves(leaves)
+				for i := range leaves {
+					leafCF[i] += plans[p].LocalCF(i)
+				}
+			}
+			stats := &Stats{TotalTokens: full.TotalTokens(), LeafCF: leafCF}
+
+			for _, k := range []int{0, 1, 5, numDocs + 3} {
+				want, err := single.Search(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var merged []Result
+				for p, e := range engines {
+					local, err := e.SearchPlan(plans[p], k, stats)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, r := range local {
+						merged = append(merged, Result{Doc: partMap[p][r.Doc], Score: r.Score})
+					}
+				}
+				sort.Slice(merged, func(i, j int) bool {
+					if merged[i].Score != merged[j].Score {
+						return merged[i].Score > merged[j].Score
+					}
+					return merged[i].Doc < merged[j].Doc
+				})
+				if k > 0 && len(merged) > k {
+					merged = merged[:k]
+				}
+				if len(merged) != len(want) {
+					t.Fatalf("trial %d query %v k=%d: merged %d results, single %d",
+						trial, q, k, len(merged), len(want))
+				}
+				for i := range want {
+					if merged[i].Doc != want[i].Doc || merged[i].Score != want[i].Score {
+						t.Fatalf("trial %d query %v k=%d rank %d: merged (%d, %v), single (%d, %v)",
+							trial, q, k, i, merged[i].Doc, merged[i].Score, want[i].Doc, want[i].Score)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/querygraph/querygraph/internal/index"
+)
+
+// Union scores one logical collection that is split across several
+// partition indexes as if it were a single index. At construction it
+// merges the partition dictionaries into one union dictionary — per term,
+// the per-partition postings side by side plus the build-time-aggregated
+// global collection frequency — so query planning probes each term once,
+// not once per partition. At query time, all partitions' postings fold
+// into one global dense accumulator under one smoothing computation
+// (phrase frequencies are the only statistic still summed at query time,
+// by exact integer addition), ranked by one top-k heap over global doc
+// ids.
+//
+// This is the in-process fast path of the sharded runtime: it executes
+// the same arithmetic as the single-index scorer — one log per leaf, one
+// per posting, one per candidate — so it is bit-identical to it, with
+// none of the per-partition heap/merge overhead of the distributable
+// scatter-gather path (Plan/SearchPlan + external merge). It requires all
+// partitions in one address space, which a shard Set always has.
+type Union struct {
+	// dict is the merged vocabulary: per-partition postings plus the
+	// global collection frequency per term.
+	dict map[string]*unionEntry
+	// docMaps[p] maps partition p's local doc ids to global ids (nil =
+	// identity).
+	docMaps [][]int32
+	// docLens[g] is the global document length table, assembled once at
+	// construction so ranking never chases partition indirections.
+	docLens []int64
+	parts   int
+	mu      float64
+	total   int64
+
+	scratch sync.Pool
+}
+
+type unionEntry struct {
+	// parts[p] is the term's postings in partition p (nil where absent);
+	// doc ids are partition-local.
+	parts [][]index.Posting
+	// cf is the global collection frequency, summed over the partitions
+	// at construction time.
+	cf int64
+}
+
+// unionScratch is the pooled per-search state: the per-leaf phrase
+// working tables and the dense global accumulator.
+type unionScratch struct {
+	// phraseEnts / phraseLists / phraseParts are the per-leaf phrase
+	// tables: dictionary entries per constituent, constituent lists per
+	// partition, and the resulting per-partition phrase postings.
+	phraseEnts  []*unionEntry
+	phraseLists [][]index.Posting
+	phraseParts [][]index.Posting
+	ph          index.PhraseScratch
+	sc          scorerScratch
+}
+
+// NewUnion assembles the fused scorer over the partition engines. The
+// engines must share one smoothing parameter (they always do in a shard
+// set: the engine configuration is replicated) and the doc maps must
+// cover [0, globalDocs) without overlap — the caller (internal/shard)
+// validates coverage; lengths are checked here.
+func NewUnion(engines []*Engine, docMaps [][]int32, globalDocs int, globalTokens int64) (*Union, error) {
+	if len(engines) == 0 || len(engines) != len(docMaps) {
+		return nil, fmt.Errorf("search: union of %d engines with %d doc maps", len(engines), len(docMaps))
+	}
+	u := &Union{
+		dict:    make(map[string]*unionEntry),
+		docMaps: docMaps,
+		docLens: make([]int64, globalDocs),
+		parts:   len(engines),
+		mu:      engines[0].mu,
+		total:   globalTokens,
+	}
+	for p, e := range engines {
+		if e.mu != u.mu {
+			return nil, fmt.Errorf("search: union partition %d has mu %g, partition 0 has %g", p, e.mu, u.mu)
+		}
+		dm := docMaps[p]
+		ix := e.ix
+		n := ix.NumDocs()
+		if dm != nil && len(dm) != n {
+			return nil, fmt.Errorf("search: union partition %d: %d doc map entries for %d documents", p, len(dm), n)
+		}
+		for local := 0; local < n; local++ {
+			dl, err := ix.DocLen(int32(local))
+			if err != nil {
+				return nil, err
+			}
+			g := int32(local)
+			if dm != nil {
+				g = dm[local]
+			}
+			if g < 0 || int(g) >= globalDocs {
+				return nil, fmt.Errorf("search: union partition %d: global doc %d beyond %d", p, g, globalDocs)
+			}
+			u.docLens[g] = dl
+		}
+		for _, term := range ix.Terms() {
+			ent := u.dict[term]
+			if ent == nil {
+				ent = &unionEntry{parts: make([][]index.Posting, len(engines))}
+				u.dict[term] = ent
+			}
+			plist, cf := ix.Lookup(term)
+			ent.parts[p] = plist
+			ent.cf += cf
+		}
+	}
+	return u, nil
+}
+
+func (u *Union) getScratch() *unionScratch {
+	us, _ := u.scratch.Get().(*unionScratch)
+	if us == nil {
+		us = &unionScratch{phraseParts: make([][]index.Posting, u.parts)}
+	}
+	n := len(u.docLens)
+	if len(us.sc.acc) < n {
+		us.sc.acc = make([]float64, n)
+		us.sc.epoch = make([]uint32, n)
+		us.sc.cur = 0
+	}
+	us.sc.cur++
+	if us.sc.cur == 0 {
+		clear(us.sc.epoch)
+		us.sc.cur = 1
+	}
+	us.sc.docs = us.sc.docs[:0]
+	return us
+}
+
+// Search evaluates the query over the partition union under the Engine's
+// Search contract (top k by descending score, ties by ascending global
+// doc id, empty non-nil slice on no match, k <= 0 ranks all candidates).
+func (u *Union) Search(q Node, k int) ([]Result, error) {
+	leaves, err := Flatten(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(u.docLens) == 0 || u.total == 0 {
+		return []Result{}, nil
+	}
+	total := float64(u.total)
+
+	us := u.getScratch()
+	defer u.scratch.Put(us)
+
+	sc := &us.sc
+	var zeroSum, weightSum float64
+	for _, lf := range leaves {
+		var cf int64
+		var parts [][]index.Posting
+		if len(lf.Terms) == 1 {
+			if ent, ok := u.dict[lf.Terms[0]]; ok {
+				cf, parts = ent.cf, ent.parts
+			}
+		} else {
+			cf, parts = u.phraseParts(us, lf.Terms)
+		}
+		muPc := u.mu * math.Max(float64(cf), unseenFloor) / total
+		logMuPc := math.Log(muPc)
+		zeroSum += lf.Weight * logMuPc
+		weightSum += lf.Weight
+		for p, plist := range parts {
+			dm := u.docMaps[p]
+			for _, post := range plist {
+				delta := lf.Weight * (math.Log(float64(len(post.Positions))+muPc) - logMuPc)
+				g := post.Doc
+				if dm != nil {
+					g = dm[g]
+				}
+				if sc.epoch[g] == sc.cur {
+					sc.acc[g] += delta
+				} else {
+					sc.epoch[g] = sc.cur
+					sc.acc[g] = delta
+					sc.docs = append(sc.docs, g)
+				}
+			}
+		}
+	}
+	if len(sc.docs) == 0 {
+		return []Result{}, nil
+	}
+
+	if k <= 0 || k > len(sc.docs) {
+		k = len(sc.docs)
+	}
+	top := newTopK(k)
+	for _, doc := range sc.docs {
+		score := zeroSum + sc.acc[doc] - weightSum*math.Log(float64(u.docLens[doc])+u.mu)
+		top.offer(Result{Doc: doc, Score: score})
+	}
+	return top.ranked(), nil
+}
+
+// phraseParts computes the exact phrase's per-partition postings (into
+// us.phraseParts, valid until the next call) and its global collection
+// frequency. Phrase occurrences never cross partitions — a document lives
+// wholly in one — so the per-partition sums are exactly the global
+// frequency. One dictionary probe per constituent term covers all
+// partitions.
+func (u *Union) phraseParts(us *unionScratch, terms []string) (int64, [][]index.Posting) {
+	if cap(us.phraseEnts) < len(terms) {
+		us.phraseEnts = make([]*unionEntry, len(terms))
+		us.phraseLists = make([][]index.Posting, len(terms))
+	}
+	ents := us.phraseEnts[:len(terms)]
+	for i, t := range terms {
+		ent, ok := u.dict[t]
+		if !ok {
+			return 0, nil // a constituent missing globally: no occurrences anywhere
+		}
+		ents[i] = ent
+	}
+	lists := us.phraseLists[:len(terms)]
+	var cf int64
+	parts := us.phraseParts
+	for p := 0; p < u.parts; p++ {
+		parts[p] = nil
+		complete := true
+		for i, ent := range ents {
+			if lists[i] = ent.parts[p]; lists[i] == nil {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		parts[p] = index.IntersectPhrase(lists, &us.ph)
+		cf += index.PostingsCollectionFreq(parts[p])
+	}
+	return cf, parts
+}

@@ -1,0 +1,138 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/querygraph/querygraph/internal/store"
+)
+
+// ManifestVersion is the current manifest schema version; readers reject
+// unknown versions the same way the snapshot decoder does.
+const ManifestVersion = 1
+
+// ManifestFileName is the conventional manifest name WriteShards uses
+// inside the output directory.
+const ManifestFileName = "manifest.json"
+
+// Manifest describes one generation of a sharded snapshot: where each
+// shard file lives and the global shape the set must agree on. It is a
+// small JSON file so operators can inspect, template and atomically
+// replace it; hot reload (querygraph.Pool.Reload) re-reads it and swaps
+// the whole generation.
+type Manifest struct {
+	Version    int             `json:"version"`
+	ShardCount int             `json:"shard_count"`
+	GlobalDocs int             `json:"global_docs"`
+	Shards     []ManifestShard `json:"shards"`
+}
+
+// ManifestShard locates one shard file. Path is relative to the manifest
+// file's directory (absolute paths pass through), so a generation
+// directory can be moved as a unit.
+type ManifestShard struct {
+	ID   int    `json:"id"`
+	Path string `json:"path"`
+	Docs int    `json:"docs"`
+}
+
+// ReadManifest parses and structurally validates a manifest file: known
+// version, a complete 0..N-1 shard slot assignment, non-empty paths.
+func ReadManifest(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("shard: manifest %s: %w", path, err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("shard: manifest %s: unsupported version %d (this build reads version %d)",
+			path, m.Version, ManifestVersion)
+	}
+	if m.ShardCount < 1 || len(m.Shards) != m.ShardCount {
+		return nil, fmt.Errorf("shard: manifest %s: %d shard entries for shard_count %d",
+			path, len(m.Shards), m.ShardCount)
+	}
+	seen := make([]bool, m.ShardCount)
+	for _, e := range m.Shards {
+		if e.ID < 0 || e.ID >= m.ShardCount || seen[e.ID] {
+			return nil, fmt.Errorf("shard: manifest %s: shard id %d missing, duplicated or out of range", path, e.ID)
+		}
+		if e.Path == "" {
+			return nil, fmt.Errorf("shard: manifest %s: shard %d has no path", path, e.ID)
+		}
+		seen[e.ID] = true
+	}
+	return &m, nil
+}
+
+// shardPath resolves a manifest entry's path against the manifest's
+// directory.
+func shardPath(manifestPath string, entry ManifestShard) string {
+	if filepath.IsAbs(entry.Path) {
+		return entry.Path
+	}
+	return filepath.Join(filepath.Dir(manifestPath), entry.Path)
+}
+
+// WriteShards partitions a complete archive into n shard snapshots inside
+// dir (created if needed) and writes the manifest last. Every file —
+// each shard and the manifest — lands via a temp file and an atomic
+// rename, so a reader never observes a truncated or half-written file:
+// an already-open old file keeps its old bytes, and a Load that races a
+// regeneration of the same directory either sees one complete generation
+// or fails the cross-shard validation ("mixed generations") and can be
+// retried; it can never serve a torn one. Publishing into a fresh
+// directory per generation avoids even the benign retry.
+func WriteShards(dir string, a *store.Archive, n int) (*Manifest, error) {
+	parts, err := Partition(a, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manifest{Version: ManifestVersion, ShardCount: n, GlobalDocs: a.Index.NumDocs()}
+	for s, part := range parts {
+		name := fmt.Sprintf("shard-%03d.qgs", s)
+		if err := writeArchiveFile(filepath.Join(dir, name), part); err != nil {
+			return nil, err
+		}
+		m.Shards = append(m.Shards, ManifestShard{ID: s, Path: name, Docs: part.Index.NumDocs()})
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	manifestPath := filepath.Join(dir, ManifestFileName)
+	tmp := manifestPath + ".tmp"
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, manifestPath); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func writeArchiveFile(path string, a *store.Archive) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := store.Write(f, a); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("shard: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,372 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/search"
+	"github.com/querygraph/querygraph/internal/store"
+)
+
+// Set is one loaded generation of a sharded snapshot: every shard wrapped
+// in its own serving System, plus the cross-shard identity needed for
+// scatter-gather. A Set is immutable after Load and safe for concurrent
+// use; hot reload (querygraph.Pool) swaps whole Sets.
+//
+// Division of labor: retrieval scatters to every shard and merges;
+// expansion runs once on shard 0's replicated graph (the expansion cache
+// therefore lives on shard 0's System).
+type Set struct {
+	systems []*core.System
+	queries []core.Query
+	// docMaps[s] maps shard s's dense local doc ids to global ids.
+	docMaps      [][]int32
+	globalDocs   int
+	globalTokens int64
+
+	// union is the fused in-process scorer over all shards (one global
+	// accumulator, one heap) — the batch hot path. The per-shard
+	// scatter-gather path (searchNode) remains the distributable
+	// architecture and serves concurrent single-query fan-out.
+	union *search.Union
+
+	// scratch pools the per-query scatter state (plans, aggregated leaf
+	// frequencies, per-shard rankings, merge cursors) so the hot path does
+	// not reallocate it per query.
+	scratch sync.Pool
+}
+
+// setScratch is the pooled per-query scatter state.
+type setScratch struct {
+	plans   []*search.Plan
+	leafCF  []int64
+	locals  [][]search.Result
+	cursors []int
+}
+
+func (s *Set) getScratch() *setScratch {
+	sc, _ := s.scratch.Get().(*setScratch)
+	n := len(s.systems)
+	if sc == nil {
+		sc = &setScratch{
+			plans:   make([]*search.Plan, n),
+			locals:  make([][]search.Result, n),
+			cursors: make([]int, n),
+		}
+		for i := range sc.plans {
+			sc.plans[i] = &search.Plan{}
+		}
+	}
+	return sc
+}
+
+// Load opens every shard named by the manifest (concurrently — decode
+// dominates startup) and cross-validates the generation: complete slot
+// assignment, agreeing shard counts, global statistics and engine
+// configuration, and a doc-id map that tiles the global space exactly.
+// opts apply to every shard's System; the expansion cache is kept on
+// shard 0 only, where Expand runs.
+func Load(manifestPath string, opts ...core.SystemOption) (*Set, error) {
+	m, err := ReadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	n := m.ShardCount
+	archives := make([]*store.Archive, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for _, e := range m.Shards {
+		wg.Add(1)
+		go func(e ManifestShard) {
+			defer wg.Done()
+			archives[e.ID], errs[e.ID] = readArchiveFile(shardPath(manifestPath, e))
+		}(e)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+
+	set := &Set{
+		systems: make([]*core.System, n),
+		docMaps: make([][]int32, n),
+	}
+	ref := archives[0]
+	if ref.Shard == nil {
+		return nil, fmt.Errorf("shard 0: snapshot carries no partition identity; regenerate with qgen -shards")
+	}
+	set.globalDocs, set.globalTokens = ref.Shard.GlobalDocs, ref.Shard.GlobalTokens
+	if set.globalDocs != m.GlobalDocs {
+		return nil, fmt.Errorf("shard 0: snapshot spans %d global documents, manifest says %d",
+			set.globalDocs, m.GlobalDocs)
+	}
+	seen := make([]bool, set.globalDocs)
+	covered := 0
+	for s, a := range archives {
+		sh := a.Shard
+		switch {
+		case sh == nil:
+			return nil, fmt.Errorf("shard %d: snapshot carries no partition identity", s)
+		case sh.ShardID != s:
+			return nil, fmt.Errorf("shard %d: file identifies as shard %d", s, sh.ShardID)
+		case sh.ShardCount != n:
+			return nil, fmt.Errorf("shard %d: file belongs to a %d-shard partition, manifest has %d",
+				s, sh.ShardCount, n)
+		case sh.GlobalDocs != set.globalDocs || sh.GlobalTokens != set.globalTokens:
+			return nil, fmt.Errorf("shard %d: global statistics (%d docs, %d tokens) disagree with shard 0 (%d, %d); mixed generations?",
+				s, sh.GlobalDocs, sh.GlobalTokens, set.globalDocs, set.globalTokens)
+		case a.Mu != ref.Mu || a.IncludeKeywordTerms != ref.IncludeKeywordTerms ||
+			a.RemoveStopwords != ref.RemoveStopwords || a.Stem != ref.Stem:
+			return nil, fmt.Errorf("shard %d: engine configuration disagrees with shard 0; mixed generations?", s)
+		}
+		for _, g := range sh.DocGlobal {
+			if seen[g] {
+				return nil, fmt.Errorf("shard %d: global document %d owned by two shards", s, g)
+			}
+			seen[g] = true
+		}
+		covered += len(sh.DocGlobal)
+		set.docMaps[s] = sh.DocGlobal
+
+		shardOpts := opts
+		if s != 0 {
+			// Expansion runs on shard 0 only; don't size caches the other
+			// shards will never consult.
+			shardOpts = append(append([]core.SystemOption{}, opts...), core.WithExpandCache(0))
+		}
+		sys, queries, err := core.SystemFromArchive(a, shardOpts...)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+		set.systems[s] = sys
+		if s == 0 {
+			set.queries = queries
+		}
+	}
+	if covered != set.globalDocs {
+		return nil, fmt.Errorf("shards cover %d of %d global documents", covered, set.globalDocs)
+	}
+	engines := make([]*search.Engine, n)
+	for i, sys := range set.systems {
+		engines[i] = sys.Engine
+	}
+	union, err := search.NewUnion(engines, set.docMaps, set.globalDocs, set.globalTokens)
+	if err != nil {
+		return nil, err
+	}
+	set.union = union
+	return set, nil
+}
+
+func readArchiveFile(path string) (*store.Archive, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return store.Read(f)
+}
+
+// NumShards returns the shard count of the loaded generation.
+func (s *Set) NumShards() int { return len(s.systems) }
+
+// Systems returns the per-shard serving systems (index = shard id), for
+// stats reporting. Treat as read-only.
+func (s *Set) Systems() []*core.System { return s.systems }
+
+// Queries returns the replicated benchmark. Treat as read-only.
+func (s *Set) Queries() []core.Query { return s.queries }
+
+// GlobalDocs returns the whole collection's document count.
+func (s *Set) GlobalDocs() int { return s.globalDocs }
+
+// GlobalTokens returns the whole collection's token count.
+func (s *Set) GlobalTokens() int64 { return s.globalTokens }
+
+// Parse parses query text with the replicated analyzer configuration.
+func (s *Set) Parse(query string) (search.Node, error) {
+	return s.systems[0].Engine.Parse(query)
+}
+
+// ExpansionQuery builds the expanded title query for an expansion against
+// the replicated graph (ok = false when there is nothing to search for).
+func (s *Set) ExpansionQuery(exp *core.Expansion) (search.Node, bool) {
+	return exp.Query(s.systems[0])
+}
+
+// Search evaluates one parsed query across all shards with the scatter
+// phases run concurrently, and merges the per-shard top k into the global
+// top k (descending score, ties by ascending global doc id) — exactly the
+// single-system ranking, because every shard scores under the globally
+// aggregated statistics.
+func (s *Set) Search(ctx context.Context, node search.Node, k int) ([]search.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.searchNode(node, k, len(s.systems) > 1)
+}
+
+// SearchAll evaluates a batch of parsed queries on a bounded worker pool
+// (input order preserved, fail-fast, cancel-aware — the batch contract of
+// core.System.SearchAll). The batch already saturates the cores with one
+// worker per query, so each query takes the fused union scorer — one
+// global accumulator over all shards, no per-shard heaps or merge — which
+// runs the single-system instruction stream over the partitioned
+// postings.
+func (s *Set) SearchAll(ctx context.Context, nodes []search.Node, k int, opts core.BatchOptions) ([][]search.Result, error) {
+	out := make([][]search.Result, len(nodes))
+	err := core.ForEach(ctx, len(nodes), opts.Workers, func(i int) error {
+		rs, err := s.union.Search(nodes[i], k)
+		if err != nil {
+			return fmt.Errorf("shard: search %d: %w", i, err)
+		}
+		out[i] = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// searchNode is the scatter-gather core: plan the flattened leaves on
+// every shard, sum the per-leaf collection frequencies into the global
+// statistics (exact integer addition — aggregation order cannot perturb
+// scores), score every shard under those statistics, map local doc ids to
+// global, and merge.
+func (s *Set) searchNode(node search.Node, k int, concurrent bool) ([]search.Result, error) {
+	leaves, err := search.Flatten(node)
+	if err != nil {
+		return nil, err
+	}
+	sc := s.getScratch()
+	defer s.scratch.Put(sc)
+	plans := sc.plans
+	s.eachShard(concurrent, func(i int) error {
+		plans[i] = s.systems[i].Engine.PlanLeavesInto(plans[i], leaves)
+		return nil
+	})
+
+	if cap(sc.leafCF) < len(leaves) {
+		sc.leafCF = make([]int64, len(leaves))
+	}
+	leafCF := sc.leafCF[:len(leaves)]
+	for j := range leafCF {
+		leafCF[j] = 0
+	}
+	for _, plan := range plans {
+		for j := range leafCF {
+			leafCF[j] += plan.LocalCF(j)
+		}
+	}
+	stats := &search.Stats{TotalTokens: s.globalTokens, LeafCF: leafCF}
+
+	locals := sc.locals
+	if err := s.eachShard(concurrent, func(i int) error {
+		rs, err := s.systems[i].Engine.SearchPlan(plans[i], k, stats)
+		if err != nil {
+			return err
+		}
+		if dm := s.docMaps[i]; dm != nil {
+			for j := range rs {
+				rs[j].Doc = dm[rs[j].Doc]
+			}
+		}
+		locals[i] = rs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return mergeRanked(locals, k, sc.cursors), nil
+}
+
+// eachShard runs fn over every shard index, concurrently when asked, and
+// returns the first error in shard order.
+func (s *Set) eachShard(concurrent bool, fn func(i int) error) error {
+	n := len(s.systems)
+	if !concurrent || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeRanked merges the per-shard rankings — each already ordered by
+// (score desc, global doc asc), the engine's determinism contract — into
+// the global top k by repeatedly taking the best head among the shard
+// cursors. (score, doc) is a total order, so the merged prefix is exactly
+// the single-system ranking; k <= 0 keeps every candidate. cursors is
+// caller-provided scratch of at least len(locals).
+func mergeRanked(locals [][]search.Result, k int, cursors []int) []search.Result {
+	total := 0
+	for i, rs := range locals {
+		total += len(rs)
+		cursors[i] = 0
+	}
+	if k <= 0 || k > total {
+		k = total
+	}
+	merged := make([]search.Result, 0, k)
+	for len(merged) < k {
+		best := -1
+		for s, rs := range locals {
+			c := cursors[s]
+			if c >= len(rs) {
+				continue
+			}
+			if best < 0 {
+				best = s
+				continue
+			}
+			b := locals[best][cursors[best]]
+			if rs[c].Score > b.Score || (rs[c].Score == b.Score && rs[c].Doc < b.Doc) {
+				best = s
+			}
+		}
+		merged = append(merged, locals[best][cursors[best]])
+		cursors[best]++
+	}
+	return merged
+}
+
+// Expand runs the online expansion pipeline once on the replicated graph
+// (shard 0), through shard 0's memoizing single-flight cache. The graph
+// is identical in every shard, so this is bit-identical to the
+// single-system expansion.
+func (s *Set) Expand(ctx context.Context, keywords string, opts core.ExpanderOptions) (*core.Expansion, error) {
+	return s.systems[0].Expand(ctx, keywords, opts)
+}
+
+// ExpandAll is the batch form of Expand, on shard 0's batch layer.
+func (s *Set) ExpandAll(ctx context.Context, keywords []string, eopts core.ExpanderOptions, opts core.BatchOptions) ([]*core.Expansion, error) {
+	return s.systems[0].ExpandAll(ctx, keywords, eopts, opts)
+}
+
+// ExpandCacheStats reports shard 0's expansion cache counters.
+func (s *Set) ExpandCacheStats() core.CacheStats {
+	return s.systems[0].ExpandCacheStats()
+}

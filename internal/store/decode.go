@@ -52,6 +52,11 @@ func Read(r io.Reader) (*Archive, error) {
 	if err := decodeMeta(sections[secMeta], a); err != nil {
 		return nil, err
 	}
+	sh, err := decodeShard(sections[secShard])
+	if err != nil {
+		return nil, err
+	}
+	a.Shard = sh
 	strs, err := decodeStrings(sections[secStrings])
 	if err != nil {
 		return nil, err
@@ -82,11 +87,90 @@ func Read(r io.Reader) (*Archive, error) {
 		return nil, fmt.Errorf("store: index section: %d documents disagree with corpus (%d)", ix.NumDocs(), coll.Len())
 	}
 	a.Index = ix
-	a.Queries, err = decodeQueries(sections[secQueries], strs, coll.Len())
+	// Benchmark relevance ids live in the global doc-id space: for a shard
+	// they range over the whole partitioned collection, not this file.
+	queryDocs := coll.Len()
+	if a.Shard != nil {
+		if len(a.Shard.DocGlobal) != coll.Len() {
+			return nil, fmt.Errorf("store: shard section: doc map has %d entries for %d documents",
+				len(a.Shard.DocGlobal), coll.Len())
+		}
+		if coll.Len() > a.Shard.GlobalDocs {
+			return nil, fmt.Errorf("store: shard section: %d local documents exceed %d global",
+				coll.Len(), a.Shard.GlobalDocs)
+		}
+		if ix.TotalTokens() > a.Shard.GlobalTokens {
+			return nil, fmt.Errorf("store: shard section: %d local tokens exceed %d global",
+				ix.TotalTokens(), a.Shard.GlobalTokens)
+		}
+		queryDocs = a.Shard.GlobalDocs
+	}
+	a.Queries, err = decodeQueries(sections[secQueries], strs, queryDocs)
 	if err != nil {
 		return nil, err
 	}
 	return a, nil
+}
+
+// decodeShard parses the partition identity; a zero flag byte means this
+// is a complete, unsharded snapshot (nil ShardInfo).
+func decodeShard(body []byte) (*ShardInfo, error) {
+	p := &parser{b: body, sec: "shard"}
+	sharded, err := p.bool()
+	if err != nil {
+		return nil, err
+	}
+	if !sharded {
+		return nil, p.done()
+	}
+	sh := &ShardInfo{}
+	id, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	count, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 || count > 1<<20 || id >= count {
+		return nil, p.fail("shard %d of %d is not a valid partition slot", id, count)
+	}
+	sh.ShardID, sh.ShardCount = int(id), int(count)
+	globalDocs, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if globalDocs > maxSectionLen {
+		return nil, p.fail("implausible global document count %d", globalDocs)
+	}
+	sh.GlobalDocs = int(globalDocs)
+	globalTokens, err := p.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	sh.GlobalTokens = int64(globalTokens)
+	n, err := p.count("doc map entry", 1)
+	if err != nil {
+		return nil, err
+	}
+	sh.DocGlobal = make([]int32, n)
+	prev := int64(-1)
+	for i := range sh.DocGlobal {
+		gap, err := p.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if gap > math.MaxUint32 {
+			return nil, p.fail("doc map gap %d overflows", gap)
+		}
+		g := prev + 1 + int64(gap)
+		if g >= int64(sh.GlobalDocs) {
+			return nil, p.fail("doc map entry %d (global %d) beyond %d documents", i, g, sh.GlobalDocs)
+		}
+		prev = g
+		sh.DocGlobal[i] = int32(g)
+	}
+	return sh, p.done()
 }
 
 // unexpectedEOF maps a bare io.EOF to io.ErrUnexpectedEOF so that every

@@ -61,9 +61,13 @@ func Write(w io.Writer, a *Archive) error {
 		return fmt.Errorf("store: index has %d documents but corpus has %d; dense ids must coincide",
 			a.Index.NumDocs(), a.Collection.Len())
 	}
+	if err := validateShard(a); err != nil {
+		return err
+	}
 	in := newInterner()
 	sections := map[byte][]byte{
 		secMeta:    encodeMeta(a),
+		secShard:   encodeShard(a.Shard),
 		secGraph:   encodeGraph(a.Snapshot.Graph()),
 		secNames:   encodeNames(in, a),
 		secCorpus:  encodeCorpus(in, a.Collection),
@@ -116,6 +120,64 @@ func encodeMeta(a *Archive) []byte {
 	p.bool(a.IncludeKeywordTerms)
 	p.bool(a.RemoveStopwords)
 	p.bool(a.Stem)
+	return p.b
+}
+
+// validateShard rejects a partition identity that disagrees with the
+// archive it frames, so a malformed shard can never be written, only
+// caught here with a message naming the inconsistency.
+func validateShard(a *Archive) error {
+	sh := a.Shard
+	if sh == nil {
+		return nil
+	}
+	if sh.ShardCount < 1 || sh.ShardID < 0 || sh.ShardID >= sh.ShardCount {
+		return fmt.Errorf("store: shard %d of %d is not a valid partition slot", sh.ShardID, sh.ShardCount)
+	}
+	if len(sh.DocGlobal) != a.Index.NumDocs() {
+		return fmt.Errorf("store: shard doc map has %d entries for %d documents",
+			len(sh.DocGlobal), a.Index.NumDocs())
+	}
+	if a.Index.NumDocs() > sh.GlobalDocs {
+		return fmt.Errorf("store: shard holds %d documents but the collection has only %d globally",
+			a.Index.NumDocs(), sh.GlobalDocs)
+	}
+	if a.Index.TotalTokens() > sh.GlobalTokens {
+		return fmt.Errorf("store: shard holds %d tokens but the collection has only %d globally",
+			a.Index.TotalTokens(), sh.GlobalTokens)
+	}
+	prev := int32(-1)
+	for i, g := range sh.DocGlobal {
+		if g <= prev || int(g) >= sh.GlobalDocs {
+			return fmt.Errorf("store: shard doc map entry %d (global %d) out of order or beyond %d documents",
+				i, g, sh.GlobalDocs)
+		}
+		prev = g
+	}
+	return nil
+}
+
+// encodeShard writes the partition identity; an unsharded snapshot is a
+// single zero flag byte.
+func encodeShard(sh *ShardInfo) []byte {
+	var p payload
+	if sh == nil {
+		p.bool(false)
+		return p.b
+	}
+	p.bool(true)
+	p.uvarint(uint64(sh.ShardID))
+	p.uvarint(uint64(sh.ShardCount))
+	p.uvarint(uint64(sh.GlobalDocs))
+	p.uvarint(uint64(sh.GlobalTokens))
+	p.uvarint(uint64(len(sh.DocGlobal)))
+	prev := int64(-1)
+	for _, g := range sh.DocGlobal {
+		// Strictly ascending global ids: gaps (>= 1) compress to small
+		// varints, like postings doc gaps.
+		p.uvarint(uint64(int64(g) - prev - 1))
+		prev = int64(g)
+	}
 	return p.b
 }
 

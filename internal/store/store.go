@@ -10,11 +10,14 @@
 //
 //	offset 0   magic "QGSNAP\r\n" (8 bytes; \r\n catches text-mode mangling)
 //	offset 8   format version, uint16 little-endian
-//	then       seven sections, in fixed order:
+//	then       eight sections, in fixed order:
 //
 //	  tag  section    payload
 //	  'M'  meta       engine configuration: mu (float64 bits), keyword-term
 //	                  inclusion, analyzer steps (stopword removal, stemming)
+//	  'H'  shard      partition identity: shard id/count, global doc and
+//	                  token counts, local→global doc-id map (one flag byte
+//	                  for a complete, unsharded snapshot)
 //	  'S'  strings    deduplicated string table; every other section refers
 //	                  to strings by uvarint table index ("ref")
 //	  'G'  graph      node kinds + per-node out-arc lists in stored order
@@ -51,12 +54,15 @@ import (
 // Magic identifies a querygraph snapshot file.
 const Magic = "QGSNAP\r\n"
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version. Version 2 added the
+// shard section ('H'): a version-1 file has no partition identity, so a
+// sharded serving runtime could not tell a full snapshot from a fragment.
+const Version = 2
 
 // Section tags, in file order.
 const (
 	secMeta    = 'M'
+	secShard   = 'H'
 	secStrings = 'S'
 	secGraph   = 'G'
 	secNames   = 'N'
@@ -70,6 +76,8 @@ func sectionName(tag byte) string {
 	switch tag {
 	case secMeta:
 		return "meta"
+	case secShard:
+		return "shard"
 	case secStrings:
 		return "strings"
 	case secGraph:
@@ -86,14 +94,37 @@ func sectionName(tag byte) string {
 	return "unknown"
 }
 
-// sectionOrder is the fixed on-disk section sequence.
-var sectionOrder = []byte{secMeta, secStrings, secGraph, secNames, secCorpus, secIndex, secQueries}
+// sectionOrder is the fixed on-disk section sequence. The shard section
+// sits right after meta because, like meta, it frames how every later
+// section is interpreted (local doc ids vs the global id space) without
+// referring to the string table.
+var sectionOrder = []byte{secMeta, secShard, secStrings, secGraph, secNames, secCorpus, secIndex, secQueries}
 
 // Query is one benchmark query carried alongside the serving state.
 type Query struct {
 	ID       int
 	Keywords string
 	Relevant []int32
+}
+
+// ShardInfo is the partition identity of a sharded snapshot: which slice
+// of a hash-partitioned corpus this file holds, and the globally
+// aggregated collection statistics fixed at build time so every shard
+// scores against the whole collection's background model (bit-identical
+// to the single-snapshot scorer). Graph and benchmark are replicated into
+// every shard; corpus, index and the doc-id map are per shard.
+type ShardInfo struct {
+	// ShardID / ShardCount locate this file in the partition (0-based).
+	ShardID    int
+	ShardCount int
+	// GlobalDocs / GlobalTokens are the whole collection's document and
+	// token counts, aggregated over all shards at build time.
+	GlobalDocs   int
+	GlobalTokens int64
+	// DocGlobal maps this shard's dense local doc ids to global ids, in
+	// strictly ascending order (one entry per local document). Benchmark
+	// relevance lists and served results are in the global id space.
+	DocGlobal []int32
 }
 
 // Archive is the decoded (or to-be-encoded) content of one snapshot file:
@@ -110,4 +141,8 @@ type Archive struct {
 	Collection *corpus.Collection
 	Index      *index.Index
 	Queries    []Query
+
+	// Shard is the partition identity when this archive is one shard of a
+	// hash-partitioned corpus; nil for a complete single-system snapshot.
+	Shard *ShardInfo
 }

@@ -307,6 +307,164 @@ func TestDecodeFailurePaths(t *testing.T) {
 	}
 }
 
+// TestShardRoundTrip pins the v2 partition identity: a sharded archive
+// round-trips its shard slot, global statistics and doc-id map, and its
+// benchmark relevance lists validate against the global doc space (which
+// is larger than the shard's own corpus).
+func TestShardRoundTrip(t *testing.T) {
+	a := testArchive(t)
+	a.Shard = &ShardInfo{
+		ShardID:      2,
+		ShardCount:   4,
+		GlobalDocs:   12,
+		GlobalTokens: a.Index.TotalTokens() + 31,
+		DocGlobal:    []int32{1, 5, 9},
+	}
+	// Global relevance ids beyond the local corpus must survive: the
+	// benchmark is replicated, the corpus partitioned.
+	a.Queries = []Query{{ID: 3, Keywords: "gondola in venice", Relevant: []int32{0, 9, 11}}}
+	got, err := Read(bytes.NewReader(encodeArchive(t, a)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !reflect.DeepEqual(got.Shard, a.Shard) {
+		t.Errorf("shard info: got %+v, want %+v", got.Shard, a.Shard)
+	}
+	if !reflect.DeepEqual(got.Queries, a.Queries) {
+		t.Errorf("queries: got %+v, want %+v", got.Queries, a.Queries)
+	}
+
+	// An unsharded archive decodes with a nil ShardInfo.
+	plain, err := Read(bytes.NewReader(encodeArchive(t, testArchive(t))))
+	if err != nil {
+		t.Fatalf("Read unsharded: %v", err)
+	}
+	if plain.Shard != nil {
+		t.Errorf("unsharded snapshot decoded shard info %+v", plain.Shard)
+	}
+}
+
+// TestWriteRejectsBadShard drives validateShard: every inconsistent
+// partition identity must fail at write time with the problem named.
+func TestWriteRejectsBadShard(t *testing.T) {
+	cases := []struct {
+		name    string
+		shard   ShardInfo
+		wantErr string
+	}{
+		{
+			name:    "id beyond count",
+			shard:   ShardInfo{ShardID: 4, ShardCount: 4, GlobalDocs: 12, GlobalTokens: 1000, DocGlobal: []int32{0, 1, 2}},
+			wantErr: "not a valid partition slot",
+		},
+		{
+			name:    "doc map length mismatch",
+			shard:   ShardInfo{ShardID: 0, ShardCount: 2, GlobalDocs: 12, GlobalTokens: 1000, DocGlobal: []int32{0, 1}},
+			wantErr: "doc map has 2 entries for 3 documents",
+		},
+		{
+			name:    "doc map out of order",
+			shard:   ShardInfo{ShardID: 0, ShardCount: 2, GlobalDocs: 12, GlobalTokens: 1000, DocGlobal: []int32{5, 5, 9}},
+			wantErr: "out of order",
+		},
+		{
+			name:    "doc map beyond global",
+			shard:   ShardInfo{ShardID: 0, ShardCount: 2, GlobalDocs: 8, GlobalTokens: 1000, DocGlobal: []int32{0, 4, 8}},
+			wantErr: "out of order or beyond",
+		},
+		{
+			name:    "fewer global docs than local",
+			shard:   ShardInfo{ShardID: 0, ShardCount: 2, GlobalDocs: 2, GlobalTokens: 1000, DocGlobal: []int32{0, 1, 2}},
+			wantErr: "globally",
+		},
+		{
+			name:    "fewer global tokens than local",
+			shard:   ShardInfo{ShardID: 0, ShardCount: 2, GlobalDocs: 12, GlobalTokens: 1, DocGlobal: []int32{0, 1, 2}},
+			wantErr: "globally",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := testArchive(t)
+			sh := c.shard
+			a.Shard = &sh
+			var buf bytes.Buffer
+			err := Write(&buf, a)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("got %v, want error mentioning %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeShardFailures hand-crafts malformed shard payloads: the
+// decoder must reject them with the shard section named, never wrap an
+// id into range or decode a partial map.
+func TestDecodeShardFailures(t *testing.T) {
+	build := func(f func(p *payload)) []byte {
+		var p payload
+		f(&p)
+		return p.b
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+		wantErr string
+	}{
+		{
+			name: "invalid slot",
+			payload: build(func(p *payload) {
+				p.bool(true)
+				p.uvarint(3) // id
+				p.uvarint(3) // count (id must be < count)
+			}),
+			wantErr: "not a valid partition slot",
+		},
+		{
+			name: "doc map beyond global docs",
+			payload: build(func(p *payload) {
+				p.bool(true)
+				p.uvarint(0)  // id
+				p.uvarint(2)  // count
+				p.uvarint(2)  // global docs
+				p.uvarint(10) // global tokens
+				p.uvarint(1)  // one map entry
+				p.uvarint(2)  // global id 2 >= 2
+			}),
+			wantErr: "beyond 2 documents",
+		},
+		{
+			name: "doc map gap overflows",
+			payload: build(func(p *payload) {
+				p.bool(true)
+				p.uvarint(0)
+				p.uvarint(2)
+				p.uvarint(2)
+				p.uvarint(10)
+				p.uvarint(1)
+				p.uvarint(1 << 40)
+			}),
+			wantErr: "gap",
+		},
+		{
+			name: "trailing bytes after unsharded flag",
+			payload: build(func(p *payload) {
+				p.bool(false)
+				p.byte(7)
+			}),
+			wantErr: "trailing bytes",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := decodeShard(c.payload)
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("got %v, want error mentioning %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
 // TestDecodeGraphRejectsWideArcTarget: an arc target wider than uint32
 // (or merely beyond the node count) must fail before the NodeID cast can
 // wrap it into some valid node.
@@ -364,6 +522,7 @@ func TestDecodeRejectsDanglingStringRef(t *testing.T) {
 	in.ref("only one string")
 	sections := map[byte][]byte{
 		secMeta:    encodeMeta(a),
+		secShard:   encodeShard(a.Shard),
 		secGraph:   encodeGraph(a.Snapshot.Graph()),
 		secNames:   encodeNames(in, a), // refs beyond the truncated table below
 		secCorpus:  encodeCorpus(in, a.Collection),

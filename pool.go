@@ -1,0 +1,380 @@
+package querygraph
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/querygraph/querygraph/internal/search"
+	"github.com/querygraph/querygraph/internal/shard"
+)
+
+// Pool is the sharded serving handle: a hash-partitioned snapshot
+// generation (qgen -shards N, or Client.SaveShards) served with
+// scatter-gather retrieval and single-pass expansion on the replicated
+// graph. For the same world, a Pool returns bit-identical Search, Expand
+// and SearchExpansion results to a single-snapshot Client at any shard
+// count — per-shard scorers run under globally aggregated collection
+// statistics and the merged ranking preserves the engine's (score desc,
+// doc asc) order over global doc ids.
+//
+// A Pool also hot-reloads: Reload assembles the next generation off to
+// the side, swaps it in atomically, and lets in-flight requests finish on
+// the generation they started with (drained generations are released to
+// the collector). All methods are safe for concurrent use, including
+// concurrently with Reload.
+type Pool struct {
+	gen atomic.Pointer[poolGeneration]
+
+	// mu serializes Reload; the serving path never takes it.
+	mu           sync.Mutex
+	manifestPath string
+	seq          uint64
+
+	reloads atomic.Uint64
+	cfg     clientConfig
+}
+
+// poolGeneration is one loaded shard set plus its lifecycle state. refs
+// starts at 1 — the pool's own reference, dropped when the generation is
+// retired — so the count can only reach zero after retirement, at which
+// point drained closes exactly once.
+type poolGeneration struct {
+	set       *shard.Set
+	seq       uint64
+	refs      atomic.Int64
+	retired   atomic.Bool
+	drained   chan struct{}
+	drainOnce sync.Once
+}
+
+func newPoolGeneration(set *shard.Set, seq uint64) *poolGeneration {
+	g := &poolGeneration{set: set, seq: seq, drained: make(chan struct{})}
+	g.refs.Store(1)
+	return g
+}
+
+func (g *poolGeneration) release() {
+	if g.refs.Add(-1) == 0 && g.retired.Load() {
+		g.drainOnce.Do(func() { close(g.drained) })
+	}
+}
+
+// retire marks the generation as superseded and drops the pool's own
+// reference; drained closes once the last in-flight request releases.
+func (g *poolGeneration) retire() {
+	g.retired.Store(true)
+	g.release()
+}
+
+// OpenPool loads every shard named by the manifest (written by qgen
+// -shards N or Client.SaveShards) and assembles the sharded serving
+// runtime. Manifest or shard failures — unreadable files, undecodable
+// snapshots, shards from mixed generations — return an error wrapping
+// ErrBadManifest. Options apply to every generation this pool ever loads,
+// including reloaded ones.
+func OpenPool(manifestPath string, opts ...Option) (*Pool, error) {
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	set, err := shard.Load(manifestPath, cfg.sys...)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	p := &Pool{manifestPath: manifestPath, cfg: cfg, seq: 1}
+	p.gen.Store(newPoolGeneration(set, 1))
+	return p, nil
+}
+
+// Reload loads the generation named by manifestPath (empty = the current
+// manifest path, re-read from disk) and swaps it in with zero downtime:
+// requests that started on the old generation finish there, new requests
+// see the new one, and the old generation is released once its last
+// request drains. A failed load leaves the serving generation untouched
+// and returns an error wrapping ErrBadManifest. Reloads are serialized;
+// the expansion cache starts cold on the new generation.
+func (p *Pool) Reload(manifestPath string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if manifestPath == "" {
+		manifestPath = p.manifestPath
+	}
+	set, err := shard.Load(manifestPath, p.cfg.sys...)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	p.seq++
+	next := newPoolGeneration(set, p.seq)
+	old := p.gen.Swap(next)
+	p.manifestPath = manifestPath
+	p.reloads.Add(1)
+	old.retire()
+	return nil
+}
+
+// acquire pins the current generation for one request. The retry loop
+// closes the swap race: after incrementing refs we re-check that the
+// generation is still current — if it is, the pool's own reference had
+// not been dropped when we incremented (atomic operations are totally
+// ordered), so the count can not have touched zero and the generation is
+// safely pinned; if it is not, we release and pin the newer one instead.
+func (p *Pool) acquire() *poolGeneration {
+	for {
+		g := p.gen.Load()
+		g.refs.Add(1)
+		if p.gen.Load() == g {
+			return g
+		}
+		g.release()
+	}
+}
+
+// NumShards returns the current generation's shard count.
+func (p *Pool) NumShards() int {
+	g := p.acquire()
+	defer g.release()
+	return g.set.NumShards()
+}
+
+// Generation returns the monotonically increasing sequence number of the
+// currently served generation (1 for the initially opened one).
+func (p *Pool) Generation() uint64 {
+	g := p.acquire()
+	defer g.release()
+	return g.seq
+}
+
+// Queries returns the benchmark replicated into the current generation's
+// shards (empty when the snapshots carry none).
+func (p *Pool) Queries() []Query {
+	g := p.acquire()
+	defer g.release()
+	qs := g.set.Queries()
+	out := make([]Query, len(qs))
+	copy(out, qs)
+	return out
+}
+
+// Title returns the display title of a knowledge-base node (replicated
+// graph, current generation).
+func (p *Pool) Title(id NodeID) string {
+	g := p.acquire()
+	defer g.release()
+	return g.set.Systems()[0].Snapshot.Name(id)
+}
+
+// Link computes L(q.k) against the current generation's replicated graph.
+func (p *Pool) Link(keywords string) []Entity {
+	g := p.acquire()
+	defer g.release()
+	sys := g.set.Systems()[0]
+	ids := sys.LinkKeywords(keywords)
+	out := make([]Entity, len(ids))
+	for i, id := range ids {
+		out[i] = Entity{ID: id, Title: sys.Snapshot.Name(id)}
+	}
+	return out
+}
+
+// parseWith mirrors Client.parse: raw query text to AST, failures
+// wrapping ErrInvalidQuery.
+func parseWith(set *shard.Set, query string) (search.Node, error) {
+	node, err := set.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+	}
+	return node, nil
+}
+
+// Search is Client.Search over the sharded generation: scatter to every
+// shard, score under global statistics, merge to the global top k. Same
+// contract (top k by descending score, ties by ascending global doc id,
+// empty non-nil slice on no match, k <= 0 ranks all candidates).
+func (p *Pool) Search(ctx context.Context, query string, k int) ([]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := p.acquire()
+	defer g.release()
+	node, err := parseWith(g.set, query)
+	if err != nil {
+		return nil, err
+	}
+	return g.set.Search(ctx, node, k)
+}
+
+// SearchAll is Client.SearchAll over the sharded generation: the batch
+// fans out over a bounded worker pool and each worker runs its query's
+// scatter-gather. The whole batch runs on the generation current at call
+// time, even if a Reload lands mid-batch.
+func (p *Pool) SearchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := p.acquire()
+	defer g.release()
+	nodes := make([]search.Node, len(queries))
+	for i, q := range queries {
+		node, err := parseWith(g.set, q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		nodes[i] = node
+	}
+	return g.set.SearchAll(ctx, nodes, k, opts)
+}
+
+// Expand is Client.Expand on the replicated graph: the pipeline runs once
+// (shard 0), not per shard, through that generation's memoizing
+// single-flight cache.
+func (p *Pool) Expand(ctx context.Context, keywords string, opts ...ExpandOption) (*Expansion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eopts, err := normalizeExpandOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	g := p.acquire()
+	defer g.release()
+	return g.set.Expand(ctx, keywords, eopts)
+}
+
+// ExpandAll is Client.ExpandAll on the replicated graph.
+func (p *Pool) ExpandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts ...ExpandOption) ([]*Expansion, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eopts, err := normalizeExpandOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	g := p.acquire()
+	defer g.release()
+	return g.set.ExpandAll(ctx, keywords, eopts, bopts)
+}
+
+// SearchExpansion evaluates an expansion end to end like
+// Client.SearchExpansion: the expanded title query is built once on the
+// replicated graph and scattered to every shard.
+func (p *Pool) SearchExpansion(ctx context.Context, exp *Expansion, k int) (results []Result, ok bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	g := p.acquire()
+	defer g.release()
+	node, ok := g.set.ExpansionQuery(exp)
+	if !ok {
+		return nil, false, nil
+	}
+	rs, err := g.set.Search(ctx, node, k)
+	return rs, true, err
+}
+
+// SearchExpansions is Client.SearchExpansions over the sharded
+// generation; expansions with nothing to search for keep a nil ranking.
+func (p *Pool) SearchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	g := p.acquire()
+	defer g.release()
+	type job struct {
+		idx  int
+		node search.Node
+	}
+	jobs := make([]job, 0, len(exps))
+	for i, exp := range exps {
+		if node, ok := g.set.ExpansionQuery(exp); ok {
+			jobs = append(jobs, job{idx: i, node: node})
+		}
+	}
+	nodes := make([]search.Node, len(jobs))
+	for i, j := range jobs {
+		nodes[i] = j.node
+	}
+	rs, err := g.set.SearchAll(ctx, nodes, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Result, len(exps))
+	for i, j := range jobs {
+		out[j.idx] = rs[i]
+	}
+	return out, nil
+}
+
+// ShardStats is the size of one loaded shard.
+type ShardStats struct {
+	ID        int   `json:"id"`
+	Documents int   `json:"documents"`
+	Terms     int   `json:"terms"`
+	Postings  int64 `json:"postings"`
+}
+
+// PoolStats extends the serving stats with the sharded runtime's shape:
+// per-shard document/term/postings counts, the served generation's
+// sequence number and how many reloads have happened.
+type PoolStats struct {
+	Stats
+	Shards     []ShardStats `json:"shards"`
+	Generation uint64       `json:"generation"`
+	Reloads    uint64       `json:"reloads"`
+}
+
+// Stats reports the aggregate serving-state summary of the current
+// generation (documents are the global count across shards; cache
+// counters are the replicated-graph expansion cache's).
+func (p *Pool) Stats() Stats {
+	g := p.acquire()
+	defer g.release()
+	return poolStatsOf(g).Stats
+}
+
+// PoolStats reports the aggregate summary plus the per-shard breakdown
+// and generation counters.
+func (p *Pool) PoolStats() PoolStats {
+	g := p.acquire()
+	defer g.release()
+	ps := poolStatsOf(g)
+	ps.Reloads = p.reloads.Load()
+	return ps
+}
+
+func poolStatsOf(g *poolGeneration) PoolStats {
+	systems := g.set.Systems()
+	st := systems[0].Snapshot.Stats()
+	ps := PoolStats{
+		Stats: Stats{
+			Articles:         st.Articles,
+			Redirects:        st.Redirects,
+			Categories:       st.Categories,
+			Links:            st.Links,
+			Documents:        g.set.GlobalDocs(),
+			BenchmarkQueries: len(g.set.Queries()),
+			Cache:            g.set.ExpandCacheStats(),
+		},
+		Generation: g.seq,
+		Shards:     make([]ShardStats, len(systems)),
+	}
+	for i, sys := range systems {
+		ix := sys.Engine.Index()
+		ps.Shards[i] = ShardStats{
+			ID:        i,
+			Documents: ix.NumDocs(),
+			Terms:     ix.NumTerms(),
+			Postings:  ix.NumPostings(),
+		}
+	}
+	return ps
+}
+
+// CacheStats reports the current generation's expansion cache counters
+// (the cache lives with the generation, so a reload starts it cold).
+func (p *Pool) CacheStats() CacheStats {
+	g := p.acquire()
+	defer g.release()
+	return g.set.ExpandCacheStats()
+}
