@@ -46,6 +46,9 @@ func (o GroundTruthOptions) coreConfig() core.GroundTruthConfig {
 // the keywords and the relevant documents, search for X(q), and assemble
 // the query graph. A done ctx returns ctx.Err() before any work.
 func (c *Client) GroundTruth(ctx context.Context, q Query, opts GroundTruthOptions) (*GroundTruth, error) {
+	if err := c.ready(ctx); err != nil {
+		return nil, err
+	}
 	return c.sys.BuildGroundTruth(ctx, q, opts.coreConfig())
 }
 
@@ -53,6 +56,9 @@ func (c *Client) GroundTruth(ctx context.Context, q Query, opts GroundTruthOptio
 // and returns the artifacts in query order. Cancelling ctx stops
 // scheduling and returns ctx.Err().
 func (c *Client) GroundTruths(ctx context.Context, qs []Query, opts GroundTruthOptions) ([]*GroundTruth, error) {
+	if err := c.ready(ctx); err != nil {
+		return nil, err
+	}
 	return c.sys.BuildAllGroundTruths(ctx, qs, opts.coreConfig())
 }
 
@@ -79,6 +85,9 @@ type AnalyzeOptions struct {
 // benchmark queries; cancelling ctx stops the per-query fan-out and
 // returns ctx.Err().
 func (c *Client) Analyze(ctx context.Context, opts AnalyzeOptions) (*Analysis, error) {
+	if err := c.ready(ctx); err != nil {
+		return nil, err
+	}
 	if len(c.queries) == 0 {
 		return nil, ErrNoBenchmark
 	}
@@ -112,6 +121,9 @@ type AblationOptions struct {
 // off, frequency ranking and redirect aliases. Returns ErrNoBenchmark when
 // the client has no benchmark queries.
 func (c *Client) CompareExpanders(ctx context.Context, opts AblationOptions) ([]AblationRow, error) {
+	if err := c.ready(ctx); err != nil {
+		return nil, err
+	}
 	if len(c.queries) == 0 {
 		return nil, ErrNoBenchmark
 	}
@@ -144,7 +156,7 @@ type Cycle struct {
 // bound) and measures each one. A done ctx returns ctx.Err() before any
 // work.
 func (c *Client) MineCycles(ctx context.Context, gt *GroundTruth, maxLen int) ([]Cycle, error) {
-	if err := ctx.Err(); err != nil {
+	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
 	if maxLen <= 0 {

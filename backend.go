@@ -1,0 +1,113 @@
+package querygraph
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/querygraph/querygraph/internal/store"
+)
+
+// Backend is the one serving contract of the reproduction: every runtime —
+// the single-snapshot *Client, the sharded hot-reloadable *Pool, and any
+// future remote deployment — satisfies it, so front ends, tools and
+// libraries program against interchangeable backends instead of concrete
+// types. OpenBackend constructs one from either serving artifact.
+//
+// The method set is the serving surface: retrieval (Search/SearchAll),
+// cycle-based expansion (Expand/ExpandAll), expansion retrieval
+// (SearchExpansion/SearchExpansions), entity linking and titles
+// (Link/Title), the loaded benchmark and state summaries
+// (Queries/Stats/CacheStats) and the lifecycle (Close). The typed request
+// structs (SearchRequest, ExpandRequest and batch variants) execute
+// against any Backend via their Do methods.
+//
+// All methods are safe for concurrent use. Every query-path method takes a
+// context and honors the package's context contract (a done ctx returns
+// ctx.Err() without running a pipeline); after Close they return ErrClosed
+// instead. The non-erroring accessors stay harmless after Close: a closed
+// Client keeps answering from its in-memory state, a closed Pool returns
+// zero values.
+type Backend interface {
+	Search(ctx context.Context, query string, k int) ([]Result, error)
+	SearchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, error)
+	Expand(ctx context.Context, keywords string, opts ...ExpandOption) (*Expansion, error)
+	ExpandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts ...ExpandOption) ([]*Expansion, error)
+	SearchExpansion(ctx context.Context, exp *Expansion, k int) ([]Result, bool, error)
+	SearchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, error)
+	Link(keywords string) []Entity
+	Title(id NodeID) string
+	Queries() []Query
+	Stats() Stats
+	CacheStats() CacheStats
+	Close() error
+}
+
+// Both runtimes satisfy the contract — enforced at compile time.
+var (
+	_ Backend = (*Client)(nil)
+	_ Backend = (*Pool)(nil)
+)
+
+// OpenBackend opens either serving artifact behind one constructor: a .qgs
+// snapshot file (qgen -out FILE.qgs, Client.Save) yields a *Client, a
+// shard manifest (qgen -shards N, Client.SaveShards) yields a *Pool. The
+// artifact kind is sniffed from the file's leading bytes — the snapshot
+// magic versus JSON — with the path's extension as the tiebreak for
+// unreadably short files, so callers never branch on deployment shape.
+// Open and OpenPool remain the thin, concrete-typed forms.
+func OpenBackend(path string, opts ...Option) (Backend, error) {
+	kind, err := sniffArtifact(path)
+	if err != nil {
+		return nil, err
+	}
+	if kind == artifactManifest {
+		return OpenPool(path, opts...)
+	}
+	return Open(path, opts...)
+}
+
+type artifactKind int
+
+const (
+	artifactSnapshot artifactKind = iota
+	artifactManifest
+)
+
+// sniffArtifact classifies the serving artifact at path by content: the
+// snapshot store's magic bytes mean a .qgs snapshot, a leading '{' means a
+// JSON shard manifest. Files too short or too ambiguous for either fall
+// back to the extension (.json = manifest), and a miss on every rule is
+// reported as a bad snapshot — the decoder's error domain for "not a
+// serving artifact".
+func sniffArtifact(path string) (artifactKind, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return artifactSnapshot, err
+	}
+	defer f.Close()
+	header := make([]byte, len(store.Magic))
+	// ReadFull, not a bare Read: a partial first read (pipe, networked
+	// filesystem) must not misclassify a valid artifact as too short.
+	n, _ := io.ReadFull(f, header)
+	header = header[:n]
+	if string(header) == store.Magic {
+		return artifactSnapshot, nil
+	}
+	if trimmed := bytes.TrimLeft(header, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
+		return artifactManifest, nil
+	}
+	if strings.HasSuffix(path, ".json") {
+		return artifactManifest, nil
+	}
+	if len(header) < len(store.Magic) {
+		return artifactSnapshot, fmt.Errorf("%w: %s: %d-byte file is neither a snapshot nor a shard manifest",
+			ErrBadSnapshot, path, n)
+	}
+	// Neither magic nor JSON nor a .json path: let the snapshot decoder
+	// produce its precise bad-magic error.
+	return artifactSnapshot, nil
+}

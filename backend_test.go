@@ -1,0 +1,762 @@
+package querygraph
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// conformanceWorld builds a fresh client over a small deterministic world
+// (every call returns an independent instance, so tests may Close them).
+func conformanceWorld(t *testing.T) *Client {
+	t.Helper()
+	cfg := DefaultWorldConfig()
+	cfg.Topics = 6
+	cfg.ArticlesPerTopic = 10
+	cfg.DocsPerTopic = 14
+	cfg.Queries = 8
+	cfg.NoiseVocab = 60
+	w, err := GenerateWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// conformanceBackends returns the reference client plus every runtime
+// under test, each opened through OpenBackend so the constructor's
+// artifact sniffing is on the conformance path too: the snapshot-backed
+// Client and the sharded Pool at 1 and 4 shards.
+func conformanceBackends(t *testing.T, opts ...Option) (*Client, map[string]Backend) {
+	t.Helper()
+	ref := conformanceWorld(t)
+	dir := t.TempDir()
+
+	snap := filepath.Join(dir, "world.qgs")
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	backends := map[string]Backend{}
+	be, err := OpenBackend(snap, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := be.(*Client); !ok {
+		t.Fatalf("OpenBackend(%s) = %T, want *Client", snap, be)
+	}
+	backends["client"] = be
+
+	for _, shards := range []int{1, 4} {
+		sdir := filepath.Join(dir, fmt.Sprintf("shards-%d", shards))
+		if err := ref.SaveShards(sdir, shards); err != nil {
+			t.Fatal(err)
+		}
+		be, err := OpenBackend(filepath.Join(sdir, "manifest.json"), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := be.(*Pool); !ok {
+			t.Fatalf("OpenBackend(manifest) = %T, want *Pool", be)
+		}
+		backends[fmt.Sprintf("pool-%d", shards)] = be
+	}
+	t.Cleanup(func() {
+		for _, be := range backends {
+			_ = be.Close()
+		}
+		_ = ref.Close()
+	})
+	return ref, backends
+}
+
+// TestBackendConformance is the shared golden suite of the unified API:
+// every runtime behind the Backend interface — single snapshot, 1-shard
+// pool, 4-shard pool — must serve bit-identical Search, Expand,
+// SearchExpansion, Link and benchmark results to the reference in-memory
+// client, through both the plain methods and the typed requests.
+func TestBackendConformance(t *testing.T) {
+	ctx := context.Background()
+	ref, backends := conformanceBackends(t)
+	qs := ref.Queries()
+	keywords := make([]string, len(qs))
+	for i, q := range qs {
+		keywords[i] = q.Keywords
+	}
+
+	// Golden values from the reference client.
+	wantSearch := make([][]Result, len(qs))
+	for i, q := range qs {
+		rs, err := ref.Search(ctx, q.Keywords, MaxRank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSearch[i] = rs
+	}
+	wantExp, err := ref.ExpandAll(ctx, keywords, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantExpSearch, err := ref.SearchExpansions(ctx, wantExp, MaxRank, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, be := range backends {
+		t.Run(name, func(t *testing.T) {
+			if got, want := len(be.Queries()), len(qs); got != want {
+				t.Fatalf("Queries: %d, want %d", got, want)
+			}
+			st := be.Stats()
+			refSt := ref.Stats()
+			if st.Articles != refSt.Articles || st.Documents != refSt.Documents ||
+				st.BenchmarkQueries != refSt.BenchmarkQueries {
+				t.Errorf("Stats = %+v, want the reference shape %+v", st, refSt)
+			}
+
+			for i, q := range qs {
+				rs, err := be.Search(ctx, q.Keywords, MaxRank)
+				if err != nil {
+					t.Fatalf("Search %q: %v", q.Keywords, err)
+				}
+				if !reflect.DeepEqual(rs, wantSearch[i]) {
+					t.Fatalf("Search %q diverges:\n got %v\nwant %v", q.Keywords, rs, wantSearch[i])
+				}
+			}
+
+			batch, err := be.SearchAll(ctx, keywords, MaxRank, BatchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(batch, wantSearch) {
+				t.Error("SearchAll diverges from per-query Search golden results")
+			}
+
+			for i, kw := range keywords {
+				exp, err := be.Expand(ctx, kw)
+				if err != nil {
+					t.Fatalf("Expand %q: %v", kw, err)
+				}
+				w := wantExp[i]
+				if exp.Keywords != w.Keywords ||
+					!reflect.DeepEqual(exp.QueryArticles, w.QueryArticles) ||
+					!reflect.DeepEqual(exp.Features, w.Features) ||
+					exp.CyclesConsidered != w.CyclesConsidered ||
+					exp.CyclesAccepted != w.CyclesAccepted {
+					t.Fatalf("Expand %q diverges:\n got %+v\nwant %+v", kw, exp, w)
+				}
+			}
+
+			expSearch, err := be.SearchExpansions(ctx, wantExp, MaxRank, BatchOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(expSearch, wantExpSearch) {
+				t.Error("SearchExpansions diverges from the reference rankings")
+			}
+			rs, ok, err := be.SearchExpansion(ctx, wantExp[0], MaxRank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantRanked := wantExpSearch[0] != nil; ok != wantRanked {
+				t.Fatalf("SearchExpansion ok = %v, want %v", ok, wantRanked)
+			}
+			if ok && !reflect.DeepEqual(rs, wantExpSearch[0]) {
+				t.Error("SearchExpansion diverges from the reference ranking")
+			}
+
+			ents := be.Link(qs[0].Keywords)
+			if !reflect.DeepEqual(ents, ref.Link(qs[0].Keywords)) {
+				t.Errorf("Link diverges: %v", ents)
+			}
+			for _, e := range ents {
+				if got := be.Title(e.ID); got != e.Title {
+					t.Errorf("Title(%d) = %q, want %q", e.ID, got, e.Title)
+				}
+			}
+
+			// The typed requests are sugar over the same backend — same
+			// golden results.
+			sresp, err := SearchRequest{Query: qs[0].Keywords, K: MaxRank}.Do(ctx, be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sresp.Results, wantSearch[0]) {
+				t.Error("SearchRequest.Do diverges from Search")
+			}
+			eresp, err := ExpandRequest{Keywords: keywords[0], K: MaxRank}.Do(ctx, be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if eresp.Expansion.Keywords != wantExp[0].Keywords ||
+				!reflect.DeepEqual(eresp.Expansion.Features, wantExp[0].Features) {
+				t.Error("ExpandRequest.Do diverges from Expand")
+			}
+			if eresp.Searched != (wantExpSearch[0] != nil) {
+				t.Errorf("ExpandRequest.Do searched = %v", eresp.Searched)
+			}
+			if eresp.Searched && !reflect.DeepEqual(eresp.Results, wantExpSearch[0]) {
+				t.Error("ExpandRequest.Do retrieval diverges from SearchExpansions")
+			}
+			bresp, err := SearchBatchRequest{Queries: keywords, K: MaxRank}.Do(ctx, be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(bresp.Results, wantSearch) {
+				t.Error("SearchBatchRequest.Do diverges from SearchAll")
+			}
+			ebresp, err := ExpandBatchRequest{Keywords: keywords, K: MaxRank}.Do(ctx, be)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ebresp.Results, wantExpSearch) {
+				t.Error("ExpandBatchRequest.Do retrieval diverges from SearchExpansions")
+			}
+		})
+	}
+}
+
+// TestOpenBackendSniffs pins the constructor's artifact detection: content
+// beats extension (a snapshot under a .bin name opens as a Client, a
+// manifest under an extension-less name opens as a Pool), and garbage is
+// an ErrBadSnapshot, not a panic or a misrouted manifest error.
+func TestOpenBackendSniffs(t *testing.T) {
+	ref := conformanceWorld(t)
+	defer ref.Close()
+	dir := t.TempDir()
+
+	odd := filepath.Join(dir, "world.bin")
+	f, err := os.Create(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	be, err := OpenBackend(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := be.(*Client); !ok {
+		t.Fatalf("snapshot under .bin opened as %T, want *Client", be)
+	}
+	be.Close()
+
+	if err := ref.SaveShards(filepath.Join(dir, "sh"), 2); err != nil {
+		t.Fatal(err)
+	}
+	// A manifest copied to an extension-less path still sniffs as JSON,
+	// but its shard files resolve relative to the manifest's directory, so
+	// copy it in place.
+	manifest := filepath.Join(dir, "sh", "manifest.json")
+	blob, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := filepath.Join(dir, "sh", "serving-manifest")
+	if err := os.WriteFile(bare, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	be, err = OpenBackend(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := be.(*Pool); !ok {
+		t.Fatalf("manifest without .json opened as %T, want *Pool", be)
+	}
+	be.Close()
+
+	garbage := filepath.Join(dir, "garbage.qgs")
+	if err := os.WriteFile(garbage, []byte("this is not a serving artifact at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBackend(garbage); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("garbage err = %v, want ErrBadSnapshot", err)
+	}
+	tiny := filepath.Join(dir, "tiny")
+	if err := os.WriteFile(tiny, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenBackend(tiny); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("tiny file err = %v, want ErrBadSnapshot", err)
+	}
+	if _, err := OpenBackend(filepath.Join(dir, "missing.qgs")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// closeCases enumerates the query paths that must fail with ErrClosed
+// after Close, for any backend.
+func assertClosed(t *testing.T, be Backend) {
+	t.Helper()
+	ctx := context.Background()
+	exp := &Expansion{Keywords: "x"}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"Search", func() error { _, err := be.Search(ctx, "x", 5); return err }},
+		{"SearchAll", func() error { _, err := be.SearchAll(ctx, []string{"x"}, 5, BatchOptions{}); return err }},
+		{"Expand", func() error { _, err := be.Expand(ctx, "x"); return err }},
+		{"ExpandAll", func() error { _, err := be.ExpandAll(ctx, []string{"x"}, BatchOptions{}); return err }},
+		{"SearchExpansion", func() error { _, _, err := be.SearchExpansion(ctx, exp, 5); return err }},
+		{"SearchExpansions", func() error { _, err := be.SearchExpansions(ctx, []*Expansion{exp}, 5, BatchOptions{}); return err }},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s after Close: err = %v, want ErrClosed", tc.name, err)
+		}
+	}
+}
+
+// TestCloseLifecycle pins the lifecycle satellite on every runtime:
+// double Close returns nil, post-Close requests return ErrClosed, and the
+// typed requests propagate it.
+func TestCloseLifecycle(t *testing.T) {
+	_, backends := conformanceBackends(t)
+	for name, be := range backends {
+		t.Run(name, func(t *testing.T) {
+			if err := be.Close(); err != nil {
+				t.Fatalf("first Close: %v", err)
+			}
+			if err := be.Close(); err != nil {
+				t.Fatalf("second Close: %v (want nil — Close is idempotent)", err)
+			}
+			assertClosed(t, be)
+			if _, err := (SearchRequest{Query: "x", K: 5}).Do(context.Background(), be); !errors.Is(err, ErrClosed) {
+				t.Errorf("typed request after Close: err = %v, want ErrClosed", err)
+			}
+			// The Client-only research pipeline honors the contract too —
+			// a closed handle must not silently repopulate the purged cache.
+			if c, ok := be.(*Client); ok {
+				ctx := context.Background()
+				q := c.Queries()[0]
+				if _, err := c.Analyze(ctx, AnalyzeOptions{}); !errors.Is(err, ErrClosed) {
+					t.Errorf("Analyze after Close: err = %v, want ErrClosed", err)
+				}
+				if _, err := c.GroundTruth(ctx, q, GroundTruthOptions{}); !errors.Is(err, ErrClosed) {
+					t.Errorf("GroundTruth after Close: err = %v, want ErrClosed", err)
+				}
+				if _, err := c.GroundTruths(ctx, c.Queries(), GroundTruthOptions{}); !errors.Is(err, ErrClosed) {
+					t.Errorf("GroundTruths after Close: err = %v, want ErrClosed", err)
+				}
+				if _, err := c.CompareExpanders(ctx, AblationOptions{}); !errors.Is(err, ErrClosed) {
+					t.Errorf("CompareExpanders after Close: err = %v, want ErrClosed", err)
+				}
+				if _, err := c.MineCycles(ctx, &GroundTruth{}, 5); !errors.Is(err, ErrClosed) {
+					t.Errorf("MineCycles after Close: err = %v, want ErrClosed", err)
+				}
+				if _, _, err := c.Evaluate(ctx, q.Keywords, nil, q.Relevant); !errors.Is(err, ErrClosed) {
+					t.Errorf("Evaluate after Close: err = %v, want ErrClosed", err)
+				}
+			}
+		})
+	}
+}
+
+// TestPoolCloseExtras pins the pool-specific lifecycle: Reload on a
+// closed pool fails with ErrClosed and the zero-value accessors answer
+// harmlessly.
+func TestPoolCloseExtras(t *testing.T) {
+	_, backends := conformanceBackends(t)
+	pool := backends["pool-4"].(*Pool)
+	if err := pool.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Reload(""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Reload after Close: err = %v, want ErrClosed", err)
+	}
+	if n := pool.NumShards(); n != 0 {
+		t.Errorf("NumShards after Close = %d, want 0", n)
+	}
+	if g := pool.Generation(); g != 0 {
+		t.Errorf("Generation after Close = %d, want 0", g)
+	}
+	if qs := pool.Queries(); qs != nil {
+		t.Errorf("Queries after Close = %v, want nil", qs)
+	}
+	if title := pool.Title(1); title != "" {
+		t.Errorf("Title after Close = %q, want empty", title)
+	}
+	if st := pool.Stats(); st != (Stats{}) {
+		t.Errorf("Stats after Close = %+v, want zero", st)
+	}
+	if cs := pool.CacheStats(); cs != (CacheStats{}) {
+		t.Errorf("CacheStats after Close = %+v, want zero", cs)
+	}
+}
+
+// TestPoolCloseDrainsInFlight: Close must not return while a request
+// still pins the generation — exactly the Reload drain guarantee, applied
+// to shutdown.
+func TestPoolCloseDrainsInFlight(t *testing.T) {
+	_, backends := conformanceBackends(t)
+	pool := backends["pool-1"].(*Pool)
+
+	g, err := pool.acquire() // stand in for a long in-flight request
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- pool.Close() }()
+
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a request still pinned the generation", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.release()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the last request released")
+	}
+}
+
+// TestCloseConcurrentWithRequests hammers Search from many goroutines
+// while Close lands mid-storm: every call must either succeed or fail
+// with ErrClosed — no panics, no torn state — under -race.
+func TestCloseConcurrentWithRequests(t *testing.T) {
+	_, backends := conformanceBackends(t)
+	ctx := context.Background()
+	for name, be := range backends {
+		t.Run(name, func(t *testing.T) {
+			kw := "ciazia"
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					for i := 0; i < 200; i++ {
+						_, err := be.Search(ctx, kw, 5)
+						if err != nil && !errors.Is(err, ErrClosed) {
+							t.Errorf("Search during Close: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if err := be.Close(); err != nil {
+					t.Errorf("Close: %v", err)
+				}
+			}()
+			close(start)
+			wg.Wait()
+			assertClosed(t, be)
+		})
+	}
+}
+
+// recordingObserver counts hook firings and remembers the last
+// observation of each kind.
+type recordingObserver struct {
+	mu                                  sync.Mutex
+	searches, expands, batches, reloads int
+	lastSearch                          SearchObservation
+	lastExpand                          ExpandObservation
+	lastBatch                           BatchObservation
+	lastReload                          ReloadObservation
+	searchDur, expandDur                time.Duration
+}
+
+func (r *recordingObserver) ObserveSearch(o SearchObservation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.searches++
+	r.lastSearch = o
+	r.searchDur += o.Duration
+}
+
+func (r *recordingObserver) ObserveExpand(o ExpandObservation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.expands++
+	r.lastExpand = o
+	r.expandDur += o.Duration
+}
+
+func (r *recordingObserver) ObserveBatch(o BatchObservation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.batches++
+	r.lastBatch = o
+}
+
+func (r *recordingObserver) ObserveReload(o ReloadObservation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reloads++
+	r.lastReload = o
+}
+
+func (r *recordingObserver) snapshot() recordingObserver {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return recordingObserver{
+		searches: r.searches, expands: r.expands, batches: r.batches, reloads: r.reloads,
+		lastSearch: r.lastSearch, lastExpand: r.lastExpand,
+		lastBatch: r.lastBatch, lastReload: r.lastReload,
+		searchDur: r.searchDur, expandDur: r.expandDur,
+	}
+}
+
+// TestObserverHooks drives single, batch, cached, error, closed and
+// reload paths on both runtimes and asserts the hook counts, labels and
+// durations.
+func TestObserverHooks(t *testing.T) {
+	ctx := context.Background()
+	obs := map[string]*recordingObserver{"client": {}, "pool-1": {}, "pool-4": {}}
+	mkOpt := func(name string) []Option { return []Option{WithObserver(obs[name])} }
+
+	ref := conformanceWorld(t)
+	defer ref.Close()
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "world.qgs")
+	f, err := os.Create(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := ref.SaveShards(filepath.Join(dir, "sh1"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SaveShards(filepath.Join(dir, "sh4"), 4); err != nil {
+		t.Fatal(err)
+	}
+	backends := map[string]Backend{}
+	if backends["client"], err = OpenBackend(snap, mkOpt("client")...); err != nil {
+		t.Fatal(err)
+	}
+	if backends["pool-1"], err = OpenBackend(filepath.Join(dir, "sh1", "manifest.json"), mkOpt("pool-1")...); err != nil {
+		t.Fatal(err)
+	}
+	if backends["pool-4"], err = OpenBackend(filepath.Join(dir, "sh4", "manifest.json"), mkOpt("pool-4")...); err != nil {
+		t.Fatal(err)
+	}
+	kw := ref.Queries()[0].Keywords
+	wantShards := map[string]int{"client": 1, "pool-1": 1, "pool-4": 4}
+
+	for name, be := range backends {
+		t.Run(name, func(t *testing.T) {
+			rec := obs[name]
+
+			if _, err := be.Search(ctx, kw, 7); err != nil {
+				t.Fatal(err)
+			}
+			s := rec.snapshot()
+			if s.searches != 1 {
+				t.Fatalf("searches = %d after one Search, want 1", s.searches)
+			}
+			if s.lastSearch.K != 7 || s.lastSearch.Err != "" || s.lastSearch.Expanded ||
+				s.lastSearch.Shards != wantShards[name] {
+				t.Errorf("search observation = %+v", s.lastSearch)
+			}
+			if s.lastSearch.Duration <= 0 {
+				t.Errorf("search duration = %v, want > 0", s.lastSearch.Duration)
+			}
+
+			// Error path: the class label rides in the observation.
+			if _, err := be.Search(ctx, "#combine(", 5); !errors.Is(err, ErrInvalidQuery) {
+				t.Fatalf("err = %v, want ErrInvalidQuery", err)
+			}
+			if s = rec.snapshot(); s.lastSearch.Err != "invalid_query" {
+				t.Errorf("error search observation = %+v, want class invalid_query", s.lastSearch)
+			}
+
+			// Cold expand misses, warm expand hits; both observed.
+			if _, err := be.Expand(ctx, kw); err != nil {
+				t.Fatal(err)
+			}
+			if s = rec.snapshot(); s.expands != 1 || s.lastExpand.Cache != CacheMiss {
+				t.Fatalf("cold expand observation = %+v (expands=%d), want CacheMiss", s.lastExpand, s.expands)
+			}
+			if _, err := be.Expand(ctx, kw); err != nil {
+				t.Fatal(err)
+			}
+			if s = rec.snapshot(); s.expands != 2 || s.lastExpand.Cache != CacheHit {
+				t.Fatalf("warm expand observation = %+v (expands=%d), want CacheHit", s.lastExpand, s.expands)
+			}
+			if s.expandDur <= 0 {
+				t.Errorf("accumulated expand duration = %v, want > 0", s.expandDur)
+			}
+
+			// Batch paths: one ObserveBatch per entry point, sized.
+			if _, err := be.SearchAll(ctx, []string{kw, kw}, 5, BatchOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if s = rec.snapshot(); s.batches != 1 || s.lastBatch.Kind != BatchSearch || s.lastBatch.Size != 2 {
+				t.Fatalf("batch observation = %+v (batches=%d)", s.lastBatch, s.batches)
+			}
+			if _, err := be.ExpandAll(ctx, []string{kw}, BatchOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if s = rec.snapshot(); s.batches != 2 || s.lastBatch.Kind != BatchExpand || s.lastBatch.Size != 1 {
+				t.Fatalf("expand batch observation = %+v", s.lastBatch)
+			}
+
+			// SearchExpansion reports Expanded.
+			exp, err := be.Expand(ctx, kw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := be.SearchExpansion(ctx, exp, 5); err != nil {
+				t.Fatal(err)
+			}
+			if s = rec.snapshot(); !s.lastSearch.Expanded {
+				t.Errorf("SearchExpansion observation = %+v, want Expanded", s.lastSearch)
+			}
+			searchesBeforeClose := s.searches
+
+			// Reload fires ObserveReload on pools.
+			if pool, ok := be.(*Pool); ok {
+				if err := pool.Reload(""); err != nil {
+					t.Fatal(err)
+				}
+				if s = rec.snapshot(); s.reloads != 1 || s.lastReload.Generation != 2 ||
+					s.lastReload.Shards != wantShards[name] || s.lastReload.Err != "" {
+					t.Fatalf("reload observation = %+v (reloads=%d)", s.lastReload, s.reloads)
+				}
+				if err := pool.Reload("/nonexistent/manifest.json"); err == nil {
+					t.Fatal("bad reload succeeded")
+				}
+				if s = rec.snapshot(); s.reloads != 2 || s.lastReload.Err != "bad_manifest" {
+					t.Fatalf("failed reload observation = %+v", s.lastReload)
+				}
+			}
+
+			// Even the closed fast-failure path is observed.
+			if err := be.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := be.Search(ctx, kw, 5); !errors.Is(err, ErrClosed) {
+				t.Fatalf("err = %v, want ErrClosed", err)
+			}
+			if s = rec.snapshot(); s.searches != searchesBeforeClose+1 || s.lastSearch.Err != "closed" {
+				t.Errorf("closed search observation = %+v (searches=%d)", s.lastSearch, s.searches)
+			}
+			if s.lastSearch.Shards != 0 {
+				t.Errorf("closed observation Shards = %d, want 0 on both runtimes", s.lastSearch.Shards)
+			}
+		})
+	}
+}
+
+// TestMetricsObserver drives the built-in observer end to end and checks
+// both the programmatic snapshot and the Prometheus rendering.
+func TestMetricsObserver(t *testing.T) {
+	ctx := context.Background()
+	m := NewMetricsObserver()
+	ref, backends := conformanceBackends(t, WithObserver(m))
+	kw := ref.Queries()[0].Keywords
+	be := backends["client"]
+
+	if _, err := be.Search(ctx, kw, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Search(ctx, "#combine(", 5); err == nil {
+		t.Fatal("invalid query succeeded")
+	}
+	if _, err := be.Expand(ctx, kw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Expand(ctx, kw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.SearchAll(ctx, []string{kw, kw, kw}, 5, BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failed expand counts as a request + error but never as a cache
+	// outcome (a fast failure's zero-value CacheBypass must not pollute
+	// the "caching disabled" signal).
+	if _, err := be.Expand(ctx, kw, WithMaxFeatures(-1)); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("err = %v, want ErrInvalidOptions", err)
+	}
+
+	s := m.Snapshot()
+	if s.Searches != 2 || s.SearchErrors != 1 {
+		t.Errorf("snapshot searches = %d/%d errors, want 2/1", s.Searches, s.SearchErrors)
+	}
+	if s.Expands != 3 || s.ExpandErrors != 1 {
+		t.Errorf("snapshot expands = %d/%d errors, want 3/1", s.Expands, s.ExpandErrors)
+	}
+	if s.Cache[CacheMiss] != 1 || s.Cache[CacheHit] != 1 || s.Cache[CacheBypass] != 0 {
+		t.Errorf("snapshot cache = %v, want 1 miss, 1 hit, 0 bypass", s.Cache)
+	}
+	if s.Batches != 1 || s.BatchItems != 3 {
+		t.Errorf("snapshot batches = %d with %d items, want 1 with 3", s.Batches, s.BatchItems)
+	}
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`querygraph_requests_total{op="search"} 2`,
+		`querygraph_request_errors_total{op="search",class="invalid_query"} 1`,
+		`querygraph_expand_cache_total{outcome="hit"} 1`,
+		`querygraph_expand_cache_total{outcome="miss"} 1`,
+		`querygraph_batch_items_total 3`,
+		`querygraph_request_duration_seconds_count{op="search"} 2`,
+		"# TYPE querygraph_requests_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestErrorClass pins the label mapping the observers and metrics rely on.
+func TestErrorClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{context.DeadlineExceeded, "timeout"},
+		{context.Canceled, "canceled"},
+		{ErrClosed, "closed"},
+		{fmt.Errorf("wrap: %w", ErrInvalidQuery), "invalid_query"},
+		{fmt.Errorf("wrap: %w", ErrInvalidOptions), "invalid_options"},
+		{fmt.Errorf("wrap: %w", ErrBadManifest), "bad_manifest"},
+		{fmt.Errorf("wrap: %w", ErrBadSnapshot), "bad_snapshot"},
+		{errors.New("boom"), "internal"},
+	}
+	for _, tc := range cases {
+		if got := ErrorClass(tc.err); got != tc.want {
+			t.Errorf("ErrorClass(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}

@@ -5,21 +5,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
+	"time"
 
 	"github.com/querygraph/querygraph/internal/core"
 	"github.com/querygraph/querygraph/internal/search"
 	"github.com/querygraph/querygraph/internal/shard"
 )
 
-// Client is the serving handle of the reproduction: one loaded (or built)
-// knowledge base, document collection, search engine and entity linker,
-// safe for concurrent use. Every query-path method takes a
-// context.Context; a context that is already done returns ctx.Err()
-// without running any pipeline, and cancelling mid-call stops batch
-// scheduling and abandons cache waits as documented per method.
+// Client is the single-snapshot serving handle of the reproduction: one
+// loaded (or built) knowledge base, document collection, search engine and
+// entity linker, safe for concurrent use. It satisfies Backend. Every
+// query-path method takes a context.Context; a context that is already
+// done returns ctx.Err() without running any pipeline, and cancelling
+// mid-call stops batch scheduling and abandons cache waits as documented
+// per method. After Close, query-path methods return ErrClosed.
 type Client struct {
 	sys     *core.System
 	queries []Query
+	obs     observers
+	closed  atomic.Bool
 }
 
 // Open loads a .qgs snapshot file written by Save (or qgen -out FILE.qgs)
@@ -47,7 +52,7 @@ func OpenReader(r io.Reader, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	return &Client{sys: sys, queries: qs}, nil
+	return &Client{sys: sys, queries: qs, obs: cfg.obs}, nil
 }
 
 // Build assembles a Client directly from a generated world: it indexes the
@@ -65,7 +70,40 @@ func Build(world *World, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{sys: sys, queries: core.QueriesFromWorld(world)}, nil
+	return &Client{sys: sys, queries: core.QueriesFromWorld(world), obs: cfg.obs}, nil
+}
+
+// Close retires the client: it is idempotent (a second Close returns nil),
+// and every query-path method called after it returns ErrClosed. Close
+// releases the expansion cache's entries; the decoded serving state itself
+// is garbage-collected once the last reference drops, so requests already
+// in flight finish safely on it. The cheap in-memory accessors (Queries,
+// Stats, CacheStats, Link, Title) keep answering after Close.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.sys.PurgeExpandCache()
+	return nil
+}
+
+// ready gates every query path: a closed client fails with ErrClosed, a
+// dead context with ctx.Err(), before any pipeline work.
+func (c *Client) ready(ctx context.Context) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	return ctx.Err()
+}
+
+// shardCount is the Shards coordinate of this client's observations: a
+// Client is a one-shard runtime, reported as 0 once closed so both
+// runtimes expose the same closed-backend signal to observers.
+func (c *Client) shardCount() int {
+	if c.closed.Load() {
+		return 0
+	}
+	return 1
 }
 
 // Save writes the client's complete serving state plus its query benchmark
@@ -147,7 +185,14 @@ func (c *Client) parse(query string) (search.Node, error) {
 // k <= 0 ranks every candidate; no match returns an empty non-nil slice).
 // A done ctx returns ctx.Err() without searching.
 func (c *Client) Search(ctx context.Context, query string, k int) ([]Result, error) {
-	if err := ctx.Err(); err != nil {
+	start := time.Now()
+	rs, err := c.searchText(ctx, query, k)
+	c.obs.search(start, k, c.shardCount(), false, err)
+	return rs, err
+}
+
+func (c *Client) searchText(ctx context.Context, query string, k int) ([]Result, error) {
+	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
 	node, err := c.parse(query)
@@ -163,7 +208,14 @@ func (c *Client) Search(ctx context.Context, query string, k int) ([]Result, err
 // cancelling ctx stops scheduling the remaining queries and returns
 // ctx.Err().
 func (c *Client) SearchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, error) {
-	if err := ctx.Err(); err != nil {
+	start := time.Now()
+	rss, err := c.searchAll(ctx, queries, k, opts)
+	c.obs.batch(start, BatchSearch, len(queries), k, c.shardCount(), err)
+	return rss, err
+}
+
+func (c *Client) searchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, error) {
+	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
 	nodes := make([]search.Node, len(queries))
@@ -191,14 +243,21 @@ func (c *Client) SearchAll(ctx context.Context, queries []string, k int, opts Ba
 // identical call is in flight abandons the wait (that caller still
 // completes and populates the cache).
 func (c *Client) Expand(ctx context.Context, keywords string, opts ...ExpandOption) (*Expansion, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	start := time.Now()
+	exp, outcome, err := c.expand(ctx, keywords, opts)
+	c.obs.expand(start, outcome, exp, c.shardCount(), err)
+	return exp, err
+}
+
+func (c *Client) expand(ctx context.Context, keywords string, opts []ExpandOption) (*Expansion, CacheOutcome, error) {
+	if err := c.ready(ctx); err != nil {
+		return nil, CacheBypass, err
 	}
 	eopts, err := normalizeExpandOptions(opts)
 	if err != nil {
-		return nil, err
+		return nil, CacheBypass, err
 	}
-	return c.sys.Expand(ctx, keywords, eopts)
+	return c.sys.ExpandOutcome(ctx, keywords, eopts)
 }
 
 // ExpandAll runs Expand for every keyword query on a bounded worker pool
@@ -206,7 +265,14 @@ func (c *Client) Expand(ctx context.Context, keywords string, opts ...ExpandOpti
 // from the expansion cache and concurrent duplicates are single-flighted.
 // Cancelling ctx stops scheduling and returns ctx.Err().
 func (c *Client) ExpandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts ...ExpandOption) ([]*Expansion, error) {
-	if err := ctx.Err(); err != nil {
+	start := time.Now()
+	exps, err := c.expandAll(ctx, keywords, bopts, opts)
+	c.obs.batch(start, BatchExpand, len(keywords), 0, c.shardCount(), err)
+	return exps, err
+}
+
+func (c *Client) expandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts []ExpandOption) ([]*Expansion, error) {
+	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
 	eopts, err := normalizeExpandOptions(opts)
@@ -223,7 +289,14 @@ func (c *Client) ExpandAll(ctx context.Context, keywords []string, bopts BatchOp
 // it stays true when the search itself fails, so err alone signals
 // failure.
 func (c *Client) SearchExpansion(ctx context.Context, exp *Expansion, k int) (results []Result, ok bool, err error) {
-	if err := ctx.Err(); err != nil {
+	start := time.Now()
+	rs, ok, err := c.searchExpansion(ctx, exp, k)
+	c.obs.search(start, k, c.shardCount(), true, err)
+	return rs, ok, err
+}
+
+func (c *Client) searchExpansion(ctx context.Context, exp *Expansion, k int) ([]Result, bool, error) {
+	if err := c.ready(ctx); err != nil {
 		return nil, false, err
 	}
 	node, ok := exp.Query(c.sys)
@@ -239,7 +312,14 @@ func (c *Client) SearchExpansion(ctx context.Context, exp *Expansion, k int) (re
 // with nothing to search for yield a nil ranking. Cancelling ctx stops
 // scheduling and returns ctx.Err().
 func (c *Client) SearchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, error) {
-	if err := ctx.Err(); err != nil {
+	start := time.Now()
+	rss, err := c.searchExpansions(ctx, exps, k, opts)
+	c.obs.batch(start, BatchSearchExpansions, len(exps), k, c.shardCount(), err)
+	return rss, err
+}
+
+func (c *Client) searchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, error) {
+	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
 	type job struct {
@@ -293,7 +373,7 @@ func (c *Client) Title(id NodeID) string { return c.sys.Snapshot.Name(id) }
 // it returns the objective O (precision averaged over the paper's rank
 // cutoffs) and the ranked top-15 document ids.
 func (c *Client) Evaluate(ctx context.Context, keywords string, articles []NodeID, relevant []int32) (float64, []int32, error) {
-	if err := ctx.Err(); err != nil {
+	if err := c.ready(ctx); err != nil {
 		return 0, nil, err
 	}
 	return c.sys.EvaluateArticles(keywords, articles, newRelevance(relevant))

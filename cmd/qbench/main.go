@@ -69,6 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer client.Close()
 	qs := client.Queries()
 	st := client.Stats()
 	fmt.Printf("world: %s, %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (ready in %v)\n\n",
@@ -104,6 +105,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer cold.Close()
 		if err := runBatch(ctx, cold, qs, *workers, worldSource(*load, *seed), 0, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
@@ -140,22 +142,28 @@ func main() {
 }
 
 // runPool serves the batch experiment over a sharded snapshot manifest
-// through the scatter-gather pool.
+// through the scatter-gather pool, driven through the one Backend
+// contract (OpenBackend sniffs the artifact kind).
 func runPool(ctx context.Context, manifest string, workers int, jsonOut string) {
 	start := time.Now()
-	pool, err := querygraph.OpenPool(manifest)
+	be, err := querygraph.OpenBackend(manifest)
 	if err != nil {
 		log.Fatal(err)
 	}
-	qs := pool.Queries()
+	defer be.Close()
+	pool, ok := be.(*querygraph.Pool)
+	if !ok {
+		log.Fatalf("%s did not open as a sharded pool; pass the manifest.json written by qgen -shards", manifest)
+	}
+	qs := be.Queries()
 	if len(qs) == 0 {
 		log.Fatalf("manifest %s carries no query benchmark", manifest)
 	}
-	st := pool.Stats()
+	st := be.Stats()
 	fmt.Printf("world: manifest %s (%d shards), %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (ready in %v)\n\n",
 		manifest, pool.NumShards(), st.Articles, st.Redirects, st.Categories, st.Links,
 		st.Documents, len(qs), time.Since(start).Round(time.Millisecond))
-	if err := runBatch(ctx, pool, qs, workers, "manifest "+manifest, pool.NumShards(), jsonOut); err != nil {
+	if err := runBatch(ctx, be, qs, workers, "manifest "+manifest, pool.NumShards(), jsonOut); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
@@ -207,15 +215,6 @@ func worldSource(path string, seed int64) string {
 	return fmt.Sprintf("seed %d", seed)
 }
 
-// serving is the slice of the public API the batch experiment drives —
-// satisfied by both *querygraph.Client and *querygraph.Pool.
-type serving interface {
-	ExpandAll(ctx context.Context, keywords []string, bopts querygraph.BatchOptions, opts ...querygraph.ExpandOption) ([]*querygraph.Expansion, error)
-	SearchExpansion(ctx context.Context, exp *querygraph.Expansion, k int) ([]querygraph.Result, bool, error)
-	SearchExpansions(ctx context.Context, exps []*querygraph.Expansion, k int, opts querygraph.BatchOptions) ([][]querygraph.Result, error)
-	CacheStats() querygraph.CacheStats
-}
-
 // benchSummary is the machine-readable batch report (-json): one schema,
 // one file per run, so BENCH_*.json files accumulate a comparable
 // trajectory across commits and machines.
@@ -239,12 +238,13 @@ type benchSummary struct {
 	WallTimeMS float64 `json:"wall_time_ms"`
 }
 
-// runBatch drives the concurrent serving layer over the benchmark queries:
-// one cold ExpandAll pass, several warm passes that hit the expansion
-// cache, repeated batch retrieval passes over the expanded queries, and a
+// runBatch drives the concurrent serving layer over the benchmark queries
+// through the querygraph.Backend contract (either runtime serves it): one
+// cold ExpandAll pass, several warm passes that hit the expansion cache,
+// repeated batch retrieval passes over the expanded queries, and a
 // sequential latency sampling pass for the p50/p99 quantiles. With
 // jsonOut != "" the summary is also written as JSON.
-func runBatch(ctx context.Context, client serving, qs []querygraph.Query, workers int, world string, shards int, jsonOut string) error {
+func runBatch(ctx context.Context, client querygraph.Backend, qs []querygraph.Query, workers int, world string, shards int, jsonOut string) error {
 	const (
 		warmPasses   = 3
 		searchPasses = 10

@@ -39,8 +39,16 @@ func main() {
 		err    error
 	)
 	if *load != "" {
-		if client, err = querygraph.Open(*load); err != nil {
-			log.Fatal(err)
+		// Open through the unified constructor; the structural analysis
+		// below needs the single-system runtime, so a sharded manifest is
+		// rejected with a pointed message instead of a decode error.
+		be, berr := querygraph.OpenBackend(*load)
+		if berr != nil {
+			log.Fatal(berr)
+		}
+		var ok bool
+		if client, ok = be.(*querygraph.Client); !ok {
+			log.Fatalf("%s is a sharded manifest; qgraph's ground-truth analysis needs a single snapshot (qgen -out FILE.qgs)", *load)
 		}
 	} else {
 		cfg := querygraph.DefaultWorldConfig()
@@ -55,6 +63,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	defer client.Close()
 	qs := client.Queries()
 	if *queryID < 0 || *queryID >= len(qs) {
 		log.Fatalf("query %d out of range [0, %d)", *queryID, len(qs))

@@ -36,7 +36,7 @@ func fuzzTestServer() *server {
 		if err != nil {
 			panic(err)
 		}
-		fuzzServer = newServer(c, 5*time.Second)
+		fuzzServer = newServer(c, 5*time.Second, querygraph.NewMetricsObserver())
 	})
 	return fuzzServer
 }

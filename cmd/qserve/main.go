@@ -18,6 +18,13 @@
 //	POST /v1/admin/reload  {"manifest": "..."} (pool only; empty body = same path)
 //	GET  /v1/healthz
 //	GET  /v1/stats
+//	GET  /v1/metrics       (Prometheus text format: request/error/cache counters)
+//
+// The serving state is opened through querygraph.OpenBackend, which
+// sniffs the artifact kind, and driven through the querygraph.Backend
+// interface — the same contract either runtime satisfies. A
+// querygraph.MetricsObserver is attached at open time; its counters are
+// what GET /v1/metrics serves.
 //
 // POST bodies must declare Content-Type: application/json and are capped
 // at 1 MiB (413 beyond). Every request runs under a deadline — the
@@ -25,8 +32,8 @@
 // surface as 408 JSON errors (499 when the client itself went away).
 // When serving a sharded pool, SIGHUP hot-reloads the manifest with zero
 // downtime (in-flight requests finish on the old generation), like
-// POST /v1/admin/reload. SIGINT/SIGTERM drain in-flight requests before
-// exiting.
+// POST /v1/admin/reload. SIGINT/SIGTERM drain in-flight requests and
+// Close the backend before exiting.
 package main
 
 import (
@@ -37,7 +44,6 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -58,25 +64,17 @@ func main() {
 		log.Fatal("-load is required: a snapshot (qgen -out world.qgs) or a shard manifest (qgen -shards 4 -out worlddir)")
 	}
 
-	var opts []querygraph.Option
+	metrics := querygraph.NewMetricsObserver()
+	opts := []querygraph.Option{querygraph.WithObserver(metrics)}
 	if *cache != 0 {
 		opts = append(opts, querygraph.WithExpandCache(*cache))
 	}
 	start := time.Now()
-	var (
-		be   backend
-		pool *querygraph.Pool
-		err  error
-	)
-	if strings.HasSuffix(*load, ".json") {
-		pool, err = querygraph.OpenPool(*load, opts...)
-		be = pool
-	} else {
-		be, err = querygraph.Open(*load, opts...)
-	}
+	be, err := querygraph.OpenBackend(*load, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
+	pool, _ := be.(*querygraph.Pool)
 	st := be.Stats()
 	if pool != nil {
 		log.Printf("loaded %s in %v: %d shards, %d articles, %d documents, %d benchmark queries",
@@ -89,7 +87,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(be, *timeout),
+		Handler:           newServer(be, *timeout, metrics),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -123,11 +121,25 @@ func main() {
 	log.Print("shutting down: draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
+	if err := drainAndClose(shutdownCtx, srv, be); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	log.Print("bye")
+}
+
+// drainAndClose is the shutdown sequence: drain in-flight HTTP requests
+// (srv.Shutdown), then retire the backend so the generation/refcount
+// state is released rather than abandoned — Pool.Close waits for any
+// stragglers to release their generation, Client.Close drops the
+// expansion cache. Backend.Close runs even when the drain times out, so
+// a slow shutdown still retires the serving state.
+func drainAndClose(ctx context.Context, srv *http.Server, be querygraph.Backend) error {
+	shutdownErr := srv.Shutdown(ctx)
+	if err := be.Close(); err != nil {
+		return err
+	}
+	return shutdownErr
 }

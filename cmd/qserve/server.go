@@ -23,26 +23,18 @@ const statusClientClosedRequest = 499
 // keyword strings, so 1 MiB is generous.
 const maxRequestBody = 1 << 20
 
-// backend is the serving surface the handlers drive — satisfied by both
-// the single-snapshot *querygraph.Client and the sharded *querygraph.Pool,
-// so one front end serves either deployment shape.
-type backend interface {
-	Search(ctx context.Context, query string, k int) ([]querygraph.Result, error)
-	SearchAll(ctx context.Context, queries []string, k int, opts querygraph.BatchOptions) ([][]querygraph.Result, error)
-	Expand(ctx context.Context, keywords string, opts ...querygraph.ExpandOption) (*querygraph.Expansion, error)
-	ExpandAll(ctx context.Context, keywords []string, bopts querygraph.BatchOptions, opts ...querygraph.ExpandOption) ([]*querygraph.Expansion, error)
-	SearchExpansion(ctx context.Context, exp *querygraph.Expansion, k int) ([]querygraph.Result, bool, error)
-	SearchExpansions(ctx context.Context, exps []*querygraph.Expansion, k int, opts querygraph.BatchOptions) ([][]querygraph.Result, error)
-	Title(id querygraph.NodeID) string
-	Stats() querygraph.Stats
-}
-
-// server is the HTTP front end over one serving backend.
+// server is the HTTP front end over one querygraph.Backend — the public
+// serving contract both the single-snapshot *Client and the sharded *Pool
+// satisfy, so one front end serves either deployment shape without a
+// private interface of its own.
 type server struct {
-	client backend
+	backend querygraph.Backend
 	// pool is non-nil when the backend is a sharded Pool: it unlocks
 	// /v1/admin/reload and the per-shard stats.
 	pool *querygraph.Pool
+	// metrics is the observer attached to the backend at Open time; when
+	// non-nil its counters are served at GET /v1/metrics.
+	metrics *querygraph.MetricsObserver
 	// timeout bounds each request's context unless the request asks for
 	// less via timeout_ms.
 	timeout time.Duration
@@ -50,14 +42,15 @@ type server struct {
 	mux     *http.ServeMux
 }
 
-func newServer(client backend, timeout time.Duration) *server {
+func newServer(be querygraph.Backend, timeout time.Duration, metrics *querygraph.MetricsObserver) *server {
 	s := &server{
-		client:  client,
+		backend: be,
+		metrics: metrics,
 		timeout: timeout,
 		started: time.Now(),
 		mux:     http.NewServeMux(),
 	}
-	s.pool, _ = client.(*querygraph.Pool)
+	s.pool, _ = be.(*querygraph.Pool)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("POST /v1/expand", s.handleExpand)
@@ -65,6 +58,9 @@ func newServer(client backend, timeout time.Duration) *server {
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if metrics != nil {
+		s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	}
 	return s
 }
 
@@ -72,16 +68,20 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// requestContext derives the per-request deadline: the server default,
-// lowered (never raised) by an explicit timeout_ms.
-func (s *server) requestContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
-	d := s.timeout
-	if timeoutMS > 0 {
-		if req := time.Duration(timeoutMS) * time.Millisecond; req < d {
-			d = req
-		}
+// requestContext bounds the request with the server's default timeout;
+// a request's own timeout_ms rides in the typed request's Timeout, which
+// can only lower the effective deadline (earliest wins).
+func (s *server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// requestTimeout converts a wire timeout_ms into the typed requests'
+// Timeout field (0 = inherit the server deadline unchanged).
+func requestTimeout(timeoutMS int64) time.Duration {
+	if timeoutMS <= 0 {
+		return 0
 	}
-	return context.WithTimeout(r.Context(), d)
+	return time.Duration(timeoutMS) * time.Millisecond
 }
 
 // --- wire types --------------------------------------------------------
@@ -223,7 +223,7 @@ func (s *server) expansionJSON(exp *querygraph.Expansion, results []querygraph.R
 		CyclesAccepted:   exp.CyclesAccepted,
 	}
 	for i, id := range exp.QueryArticles {
-		out.Entities[i] = entityJSON{ID: int64(id), Title: s.client.Title(id)}
+		out.Entities[i] = entityJSON{ID: int64(id), Title: s.backend.Title(id)}
 	}
 	for i, f := range exp.Features {
 		out.Features[i] = featureJSON{
@@ -266,17 +266,20 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	start := time.Now()
-	rs, err := s.client.Search(ctx, req.Query, s.rank(req.K))
+	resp, err := querygraph.SearchRequest{
+		Query:   req.Query,
+		K:       s.rank(req.K),
+		Timeout: requestTimeout(req.TimeoutMS),
+	}.Do(ctx, s.backend)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, searchResponse{
-		Results: resultsJSON(rs),
-		TookMS:  ms(start),
+		Results: resultsJSON(resp.Results),
+		TookMS:  tookMS(resp.Took),
 	})
 }
 
@@ -285,20 +288,23 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	start := time.Now()
-	rss, err := s.client.SearchAll(ctx, req.Queries, s.rank(req.K),
-		querygraph.BatchOptions{Workers: req.Workers})
+	resp, err := querygraph.SearchBatchRequest{
+		Queries: req.Queries,
+		K:       s.rank(req.K),
+		Workers: req.Workers,
+		Timeout: requestTimeout(req.TimeoutMS),
+	}.Do(ctx, s.backend)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	out := make([][]resultJSON, len(rss))
-	for i, rs := range rss {
+	out := make([][]resultJSON, len(resp.Results))
+	for i, rs := range resp.Results {
 		out[i] = resultsJSON(rs)
 	}
-	s.writeJSON(w, http.StatusOK, searchBatchResponse{Results: out, TookMS: ms(start)})
+	s.writeJSON(w, http.StatusOK, searchBatchResponse{Results: out, TookMS: tookMS(resp.Took)})
 }
 
 func (s *server) handleExpand(w http.ResponseWriter, r *http.Request) {
@@ -311,30 +317,31 @@ func (s *server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	start := time.Now()
-	exp, err := s.client.Expand(ctx, req.Keywords, opts...)
+	treq := querygraph.ExpandRequest{
+		Keywords: req.Keywords,
+		Options:  opts,
+		Timeout:  requestTimeout(req.TimeoutMS),
+	}
+	if req.K > 0 {
+		treq.K = s.rank(req.K)
+	}
+	resp, err := treq.Do(ctx, s.backend)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	var results []querygraph.Result
 	if req.K > 0 {
-		rs, ok, err := s.client.SearchExpansion(ctx, exp, s.rank(req.K))
-		if err != nil {
-			s.writeError(w, err)
-			return
-		}
-		if ok {
-			results = rs
-		} else {
+		results = resp.Results
+		if !resp.Searched {
 			results = []querygraph.Result{}
 		}
 	}
 	s.writeJSON(w, http.StatusOK, expandResponse{
-		expansionJSON: s.expansionJSON(exp, results),
-		TookMS:        ms(start),
+		expansionJSON: s.expansionJSON(resp.Expansion, results),
+		TookMS:        tookMS(resp.Took),
 	})
 }
 
@@ -348,33 +355,31 @@ func (s *server) handleExpandBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	start := time.Now()
-	exps, err := s.client.ExpandAll(ctx, req.Keywords,
-		querygraph.BatchOptions{Workers: req.Workers}, opts...)
+	treq := querygraph.ExpandBatchRequest{
+		Keywords: req.Keywords,
+		Options:  opts,
+		Workers:  req.Workers,
+		Timeout:  requestTimeout(req.TimeoutMS),
+	}
+	if req.K > 0 {
+		treq.K = s.rank(req.K)
+	}
+	resp, err := treq.Do(ctx, s.backend)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	var rankings [][]querygraph.Result
-	if req.K > 0 {
-		rankings, err = s.client.SearchExpansions(ctx, exps, s.rank(req.K),
-			querygraph.BatchOptions{Workers: req.Workers})
-		if err != nil {
-			s.writeError(w, err)
-			return
-		}
-	}
-	out := make([]expansionJSON, len(exps))
-	for i, exp := range exps {
+	out := make([]expansionJSON, len(resp.Expansions))
+	for i, exp := range resp.Expansions {
 		var rs []querygraph.Result
-		if rankings != nil && rankings[i] != nil {
-			rs = rankings[i]
+		if resp.Results != nil && resp.Results[i] != nil {
+			rs = resp.Results[i]
 		}
 		out[i] = s.expansionJSON(exp, rs)
 	}
-	s.writeJSON(w, http.StatusOK, expandBatchResponse{Expansions: out, TookMS: ms(start)})
+	s.writeJSON(w, http.StatusOK, expandBatchResponse{Expansions: out, TookMS: tookMS(resp.Took)})
 }
 
 // --- admin: hot reload --------------------------------------------------
@@ -479,11 +484,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Shards = len(ps.Shards)
 		resp.Generation = ps.Generation
 	} else {
-		st := s.client.Stats()
+		st := s.backend.Stats()
 		resp.Articles = st.Articles
 		resp.Documents = st.Documents
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the backend observer's counters in Prometheus text
+// exposition format: request/error totals by operation and class,
+// duration sums, expansion cache outcomes and the pool generation gauge.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.metrics.WritePrometheus(w)
 }
 
 type cacheStatsJSON struct {
@@ -522,7 +536,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Generation = ps.Generation
 		resp.Reloads = ps.Reloads
 	} else {
-		st = s.client.Stats()
+		st = s.backend.Stats()
 	}
 	resp.Articles = st.Articles
 	resp.Redirects = st.Redirects
@@ -601,21 +615,25 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 }
 
 // writeError maps an error from the serving API onto the HTTP error
-// model: 408 for a deadline the request ran into, 499 (nginx convention)
-// for a client that went away, 400 for invalid queries or options, 500
-// for everything else. The body is always an errorResponse.
+// model, keyed by the same querygraph.ErrorClass taxonomy the observers
+// use (one switch can't drift from the other): 408 for a deadline the
+// request ran into, 499 (nginx convention) for a client that went away,
+// 400 for invalid queries or options, 503 for a backend already retired
+// by shutdown, 500 for everything else. The body is always an
+// errorResponse.
 func (s *server) writeError(w http.ResponseWriter, err error) {
 	var status int
-	var code string
-	switch {
-	case errors.Is(err, context.DeadlineExceeded):
-		status, code = http.StatusRequestTimeout, "timeout"
-	case errors.Is(err, context.Canceled):
+	class := querygraph.ErrorClass(err)
+	code := class
+	switch class {
+	case "timeout":
+		status = http.StatusRequestTimeout
+	case "canceled":
 		status, code = statusClientClosedRequest, "client_closed_request"
-	case errors.Is(err, querygraph.ErrInvalidQuery):
-		status, code = http.StatusBadRequest, "invalid_query"
-	case errors.Is(err, querygraph.ErrInvalidOptions):
-		status, code = http.StatusBadRequest, "invalid_options"
+	case "invalid_query", "invalid_options":
+		status = http.StatusBadRequest
+	case "closed":
+		status, code = http.StatusServiceUnavailable, "shutting_down"
 	default:
 		status, code = http.StatusInternalServerError, "internal"
 	}
@@ -629,5 +647,9 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func ms(start time.Time) float64 {
-	return float64(time.Since(start).Microseconds()) / 1000
+	return tookMS(time.Since(start))
+}
+
+func tookMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
 }

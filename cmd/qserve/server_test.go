@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -43,7 +44,7 @@ func serveClient(t *testing.T) *querygraph.Client {
 
 func testServer(t *testing.T) *server {
 	t.Helper()
-	return newServer(serveClient(t), 5*time.Second)
+	return newServer(serveClient(t), 5*time.Second, nil)
 }
 
 // do posts body (JSON-encoded if non-nil) with the required JSON content
@@ -312,7 +313,7 @@ func TestErrorModel(t *testing.T) {
 func TestRequestTimeout(t *testing.T) {
 	// A server whose per-request budget is one nanosecond times out
 	// deterministically at the first context check.
-	s := newServer(serveClient(t), time.Nanosecond)
+	s := newServer(serveClient(t), time.Nanosecond, nil)
 	q := serveClient(t).Queries()[0]
 
 	for _, tc := range []struct {
@@ -337,7 +338,7 @@ func TestRequestTimeout(t *testing.T) {
 
 	// timeout_ms can only lower the budget, and a 1 ms budget on a batch
 	// of many distinct cold expansions runs out mid-batch.
-	big := newServer(serveClient(t), 5*time.Second)
+	big := newServer(serveClient(t), 5*time.Second, nil)
 	keywords := make([]string, 500)
 	for i := range keywords {
 		keywords[i] = q.Keywords + " uncached variant " + strings.Repeat("x", i%7+1) + string(rune('a'+i%26))
@@ -391,6 +392,164 @@ func TestGracefulShutdown(t *testing.T) {
 	srv.Close() // drains like Shutdown; a hang here fails the test by timeout
 }
 
+// TestShutdownClosesBackend pins the lifecycle satellite: the shutdown
+// sequence drains the HTTP server and then calls Backend.Close, so the
+// generation/refcount state is retired rather than abandoned — observable
+// as post-shutdown requests failing with ErrClosed.
+func TestShutdownClosesBackend(t *testing.T) {
+	cfg := querygraph.DefaultWorldConfig()
+	cfg.Topics = 4
+	cfg.ArticlesPerTopic = 8
+	cfg.DocsPerTopic = 8
+	cfg.Queries = 4
+	cfg.NoiseVocab = 40
+	w, err := querygraph.GenerateWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := querygraph.Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := c.SaveShards(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := querygraph.OpenPool(dir + "/manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(newServer(pool, 5*time.Second, nil))
+	q := c.Queries()[0]
+	body, _ := json.Marshal(searchRequest{Query: q.Keywords, K: 5})
+	resp, err := http.Post(srv.URL+"/v1/search", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := drainAndClose(ctx, srv.Config, pool); err != nil {
+		t.Fatalf("drainAndClose: %v", err)
+	}
+	if _, err := pool.Search(context.Background(), q.Keywords, 5); !errors.Is(err, querygraph.ErrClosed) {
+		t.Fatalf("post-shutdown Search err = %v, want ErrClosed", err)
+	}
+	if gen := pool.Generation(); gen != 0 {
+		t.Errorf("post-shutdown generation = %d, want 0 (backend retired)", gen)
+	}
+	// drainAndClose is idempotent about the backend: a second Close is nil.
+	if err := pool.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestClosedBackend503 pins the HTTP mapping of ErrClosed: a request that
+// races shutdown and reaches a retired backend is answered 503
+// shutting_down, not a generic 500.
+func TestClosedBackend503(t *testing.T) {
+	cfg := querygraph.DefaultWorldConfig()
+	cfg.Topics = 4
+	cfg.ArticlesPerTopic = 8
+	cfg.DocsPerTopic = 8
+	cfg.Queries = 4
+	cfg.NoiseVocab = 40
+	w, err := querygraph.GenerateWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := querygraph.Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(c, 5*time.Second, nil)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := do(t, s, http.MethodPost, "/v1/search", searchRequest{Query: "anything", K: 3})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d (%s), want 503", rec.Code, rec.Body.String())
+	}
+	if code := errorCode(t, rec); code != "shutting_down" {
+		t.Errorf("code = %q, want shutting_down", code)
+	}
+}
+
+// TestMetricsEndpoint drives the observer-instrumented server and asserts
+// GET /v1/metrics serves live Prometheus counters that increment with
+// traffic.
+func TestMetricsEndpoint(t *testing.T) {
+	cfg := querygraph.DefaultWorldConfig()
+	cfg.Topics = 4
+	cfg.ArticlesPerTopic = 8
+	cfg.DocsPerTopic = 8
+	cfg.Queries = 4
+	cfg.NoiseVocab = 40
+	w, err := querygraph.GenerateWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := querygraph.NewMetricsObserver()
+	c, err := querygraph.Build(w, querygraph.WithObserver(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := newServer(c, 5*time.Second, metrics)
+
+	fetch := func() string {
+		t.Helper()
+		rec := do(t, s, http.MethodGet, "/v1/metrics", nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("metrics status = %d (%s), want 200", rec.Code, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("metrics Content-Type = %q, want text/plain", ct)
+		}
+		return rec.Body.String()
+	}
+	if text := fetch(); !strings.Contains(text, `querygraph_requests_total{op="search"} 0`) {
+		t.Fatalf("fresh metrics missing zeroed search counter:\n%s", text)
+	}
+
+	q := c.Queries()[0]
+	rec := do(t, s, http.MethodPost, "/v1/search", searchRequest{Query: q.Keywords, K: 5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("search status = %d", rec.Code)
+	}
+	rec = do(t, s, http.MethodPost, "/v1/expand", expandRequest{Keywords: q.Keywords})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("expand status = %d", rec.Code)
+	}
+	rec = do(t, s, http.MethodPost, "/v1/search", searchRequest{Query: "#combine("})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad search status = %d", rec.Code)
+	}
+
+	text := fetch()
+	for _, want := range []string{
+		`querygraph_requests_total{op="search"} 2`,
+		`querygraph_requests_total{op="expand"} 1`,
+		`querygraph_request_errors_total{op="search",class="invalid_query"} 1`,
+		`querygraph_expand_cache_total{outcome="miss"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics after traffic missing %q:\n%s", want, text)
+		}
+	}
+
+	// A server without an attached observer has no metrics route.
+	bare := newServer(c, 5*time.Second, nil)
+	if rec := do(t, bare, http.MethodGet, "/v1/metrics", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("metrics without observer: status = %d, want 404", rec.Code)
+	}
+}
+
 // poolServer builds a sharded pool over a small world and wraps it in a
 // server; it returns the pool and a second manifest (a different world)
 // to reload into.
@@ -423,7 +582,7 @@ func poolServer(t *testing.T) (*server, *querygraph.Pool, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(pool, 5*time.Second), pool, manifestB
+	return newServer(pool, 5*time.Second, nil), pool, manifestB
 }
 
 // TestContentTypeEnforced pins the 415 contract: every POST endpoint

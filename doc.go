@@ -2,11 +2,28 @@
 // for Query Expansion" (Guisado-Gámez & Prat-Pérez, 2015) as a complete,
 // self-contained Go system, and exposes it as a context-aware serving API.
 //
+// # The Backend contract
+//
+// Every serving runtime — the single-snapshot *Client and the sharded
+// hot-reloadable *Pool — satisfies the one Backend interface, and
+// OpenBackend sniffs which artifact a path holds, so callers never branch
+// on deployment shape:
+//
+//	be, err := querygraph.OpenBackend(path)       // .qgs snapshot or shard manifest.json
+//	defer be.Close()                              // retire; later calls return ErrClosed
+//	results, err := be.Search(ctx, "venice #1(grand canal)", 15)
+//	exp, err := be.Expand(ctx, "doge palace venice")
+//	results, ok, err := be.SearchExpansion(ctx, exp, 15)
+//
+// The typed requests are the canonical call shape over a Backend — one
+// value carries query, depth, per-request deadline and expansion options:
+//
+//	resp, err := querygraph.ExpandRequest{Keywords: "doge palace", K: 15}.Do(ctx, be)
+//
 // # The client
 //
-// Everything is served through a Client — one loaded knowledge base,
-// document collection, search engine and entity linker, safe for
-// concurrent use:
+// A Client is one loaded knowledge base, document collection, search
+// engine and entity linker, safe for concurrent use:
 //
 //	client, err := querygraph.Open("world.qgs")   // decode a snapshot: serve instantly
 //	client, err := querygraph.OpenReader(r)       // the same over any reader
@@ -15,13 +32,10 @@
 // Snapshots are written by Client.Save (or cmd/qgen with -out world.qgs)
 // and decoded, not rebuilt, at Open time. Worlds come from GenerateWorld,
 // which deterministically produces a Wikipedia-shaped knowledge base, an
-// ImageCLEF-shaped collection and a query benchmark from one seed.
+// ImageCLEF-shaped collection and a query benchmark from one seed. Beyond
+// the Backend surface, a Client carries the research pipeline
+// (Analyze, GroundTruth(s), CompareExpanders, MineCycles, Evaluate):
 //
-// The serving surface:
-//
-//	results, err := client.Search(ctx, "venice #1(grand canal)", 15)
-//	exp, err := client.Expand(ctx, "doge palace venice")
-//	results, ok, err := client.SearchExpansion(ctx, exp, 15)
 //	batch, err := client.ExpandAll(ctx, keywords, querygraph.BatchOptions{})
 //	analysis, err := client.Analyze(ctx, querygraph.AnalyzeOptions{})
 //
@@ -50,7 +64,16 @@
 // replicated graph. Reload assembles the next generation off to the side
 // and swaps it in with zero downtime: in-flight requests finish on the
 // generation they started with, and a failed reload (ErrBadManifest)
-// leaves serving untouched.
+// leaves serving untouched. Close retires the pool the same way — the
+// live generation drains before Close returns.
+//
+// # Instrumentation
+//
+// WithObserver attaches hooks that fire on every request path of either
+// runtime — duration, ranking depth, shard count, expansion cache outcome
+// (hit/miss/single-flight dedup/bypass) and error class. MetricsObserver
+// is the built-in counter implementation; its WritePrometheus renders the
+// Prometheus text format cmd/qserve serves at GET /v1/metrics.
 //
 // # Contexts and cancellation
 //
@@ -65,11 +88,13 @@
 // # Errors
 //
 // Failures are classified by sentinel, tested with errors.Is:
-// ErrBadSnapshot (undecodable snapshot bytes), ErrInvalidOptions (rejected
-// option values), ErrInvalidQuery (query-text parse failures) and
-// ErrNoBenchmark (benchmark-driven calls on a benchmark-less snapshot).
-// Context failures surface as context.Canceled / context.DeadlineExceeded;
-// file-system errors pass through unchanged.
+// ErrBadSnapshot (undecodable snapshot bytes), ErrBadManifest (a sharded
+// generation that fails to assemble), ErrInvalidOptions (rejected option
+// values), ErrInvalidQuery (query-text parse failures), ErrNoBenchmark
+// (benchmark-driven calls on a benchmark-less snapshot) and ErrClosed
+// (requests after Close). Context failures surface as context.Canceled /
+// context.DeadlineExceeded; file-system errors pass through unchanged.
+// ErrorClass maps any of them onto the stable instrumentation label set.
 //
 // # Options
 //

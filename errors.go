@@ -34,4 +34,9 @@ var (
 	// generations). OpenPool and Pool.Reload return it; a failed Reload
 	// leaves the serving generation untouched.
 	ErrBadManifest = errors.New("querygraph: bad shard manifest")
+
+	// ErrClosed is returned by every query-path method of a Backend after
+	// its Close: the handle is retired and will never serve again. Close
+	// itself is idempotent — a second Close returns nil, not ErrClosed.
+	ErrClosed = errors.New("querygraph: backend closed")
 )

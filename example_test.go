@@ -117,6 +117,35 @@ func ExampleClient_Search_cancellation() {
 	// Output: true
 }
 
+// Any runtime behind the Backend contract serves the typed requests: one
+// value carries the query, depth and per-request deadline, and K > 0 on
+// an ExpandRequest attaches the expanded retrieval.
+func ExampleExpandRequest() {
+	var backend querygraph.Backend = exampleClient() // or OpenBackend(path)
+	defer backend.Close()
+	ctx := context.Background()
+
+	resp, err := querygraph.ExpandRequest{
+		Keywords: backend.Queries()[0].Keywords,
+		Options:  []querygraph.ExpandOption{querygraph.WithMaxFeatures(5)},
+		K:        5,
+	}.Do(ctx, backend)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("features: %d\n", len(resp.Expansion.Features))
+	fmt.Printf("expanded retrieval attached: %v\n", resp.Searched && len(resp.Results) == 5)
+
+	// After Close, every query path reports ErrClosed.
+	backend.Close()
+	_, err = querygraph.SearchRequest{Query: "anything", K: 3}.Do(ctx, backend)
+	fmt.Println("closed backend classified:", errors.Is(err, querygraph.ErrClosed))
+	// Output:
+	// features: 5
+	// expanded retrieval attached: true
+	// closed backend classified: true
+}
+
 // Search accepts the INDRI-style operators the paper's queries use.
 func ExampleClient_Search() {
 	client := exampleClient()

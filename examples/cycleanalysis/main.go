@@ -36,6 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer client.Close()
 	queries := client.Queries()
 	if queryID < 0 || queryID >= len(queries) {
 		log.Fatalf("query id out of range [0, %d)", len(queries))

@@ -41,6 +41,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	defer client.Close()
 	queries := client.Queries()
 	if len(queries) > 20 {
 		queries = queries[:20] // a fast subset; cmd/qbench runs the full set

@@ -39,6 +39,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	defer client.Close()
 
 	fmt.Printf("%-4s  %-34s  %8s  %8s  %8s\n", "q", "keywords", "baseline", "expanded", "gain")
 	var baseSum, expSum float64
@@ -56,11 +57,13 @@ func main() {
 		}
 
 		// Expanded: add the features mined from dense, category-balanced
-		// cycles around the entities.
-		expansion, err := client.Expand(ctx, q.Keywords)
+		// cycles around the entities (a typed request against the Backend
+		// contract the client satisfies).
+		resp, err := querygraph.ExpandRequest{Keywords: q.Keywords}.Do(ctx, client)
 		if err != nil {
 			log.Fatal(err)
 		}
+		expansion := resp.Expansion
 		expandedArts := append([]querygraph.NodeID{}, articles...)
 		for _, f := range expansion.Features {
 			expandedArts = append(expandedArts, f.Node)

@@ -1,14 +1,17 @@
 // Quickstart: build (or load) a small synthetic world through the public
 // querygraph API, expand one query with the cycle-based expander, and
-// inspect the proposed expansion features.
+// inspect the proposed expansion features. Serving goes through the
+// unified querygraph.Backend contract, so the same code drives a built
+// client, a loaded snapshot, or a sharded pool.
 //
 // Run: go run ./examples/quickstart
 //
 // The serving state can be persisted and restored through the binary
 // snapshot subsystem:
 //
-//	go run ./examples/quickstart -save world.qgs   # build once
-//	go run ./examples/quickstart -load world.qgs   # serve instantly
+//	go run ./examples/quickstart -save world.qgs            # build once
+//	go run ./examples/quickstart -load world.qgs            # serve instantly
+//	go run ./examples/quickstart -load DIR/manifest.json    # sharded pool
 package main
 
 import (
@@ -24,22 +27,22 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	loadPath := flag.String("load", "", "load a binary world snapshot (.qgs) instead of generating")
+	loadPath := flag.String("load", "", "load a serving artifact (.qgs snapshot or shard manifest.json) instead of generating")
 	savePath := flag.String("save", "", "after generating, save the serving state to this .qgs file")
 	flag.Parse()
 	ctx := context.Background()
 
-	var client *querygraph.Client
+	var backend querygraph.Backend
 	if *loadPath != "" {
-		// 1b. Load a previously saved serving state: the knowledge base,
-		//     collection, index and benchmark decode directly — nothing is
-		//     regenerated or re-indexed.
+		// 1b. Load a previously saved serving state: OpenBackend sniffs
+		//     whether the path is a single snapshot or a shard manifest and
+		//     returns the matching runtime behind the one Backend contract.
 		start := time.Now()
-		var err error
-		client, err = querygraph.Open(*loadPath)
+		be, err := querygraph.OpenBackend(*loadPath)
 		if err != nil {
 			log.Fatal(err)
 		}
+		backend = be
 		fmt.Printf("loaded %s in %v\n", *loadPath, time.Since(start).Round(time.Millisecond))
 	} else {
 		// 1. A deterministic world: Wikipedia-shaped knowledge base, an
@@ -55,7 +58,7 @@ func main() {
 
 		// 2. Assemble the client: index the collection, build the engine
 		//    and the entity linker.
-		client, err = querygraph.Build(world)
+		client, err := querygraph.Build(world)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,29 +75,33 @@ func main() {
 			}
 			fmt.Printf("saved serving state to %s\n", *savePath)
 		}
+		backend = client
 	}
-	stats := client.Stats()
+	defer backend.Close()
+	stats := backend.Stats()
 	fmt.Printf("knowledge base: %d articles, %d redirects, %d categories\n",
 		stats.Articles, stats.Redirects, stats.Categories)
 	fmt.Printf("collection: %d documents\n\n", stats.Documents)
-	queries := client.Queries()
+	queries := backend.Queries()
 	if len(queries) == 0 {
 		log.Fatal("no benchmark queries available")
 	}
 
-	// 3. Expand a benchmark query with the paper's findings: mine cycles of
-	//    length <= 5 around the query entities and keep the dense ones with
-	//    a category ratio around 30% (the zero-option defaults).
+	// 3. Expand a benchmark query with the paper's findings — mine cycles
+	//    of length <= 5 around the query entities and keep the dense ones
+	//    with a category ratio around 30% — and run the expanded retrieval
+	//    in the same typed request (K > 0 attaches the top documents).
 	query := queries[0]
 	fmt.Printf("query: %q\n", query.Keywords)
 
-	expansion, err := client.Expand(ctx, query.Keywords)
+	resp, err := querygraph.ExpandRequest{Keywords: query.Keywords, K: 10}.Do(ctx, backend)
 	if err != nil {
 		log.Fatal(err)
 	}
+	expansion := resp.Expansion
 	fmt.Printf("linked entities:\n")
 	for _, id := range expansion.QueryArticles {
-		fmt.Printf("  - %s\n", client.Title(id))
+		fmt.Printf("  - %s\n", backend.Title(id))
 	}
 	fmt.Printf("cycles: %d considered, %d accepted by the structural filters\n",
 		expansion.CyclesConsidered, expansion.CyclesAccepted)
@@ -104,16 +111,12 @@ func main() {
 			f.Title, f.CycleLen, f.Density, f.CategoryRatio)
 	}
 
-	// 4. Run the expanded query.
-	results, ok, err := client.SearchExpansion(ctx, expansion, 10)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !ok {
+	// 4. The expanded retrieval rode along in the request.
+	if !resp.Searched {
 		log.Fatal("query not expandable")
 	}
-	fmt.Printf("\ntop results (doc id, score):\n")
-	for i, r := range results {
+	fmt.Printf("\ntop results (doc id, score), expanded in %v:\n", resp.Took.Round(time.Millisecond))
+	for i, r := range resp.Results {
 		relevant := ""
 		for _, d := range query.Relevant {
 			if d == r.Doc {

@@ -123,6 +123,38 @@ func (c *expandCache) put(k expandKey, exp *Expansion) {
 	s.mu.Unlock()
 }
 
+// CacheOutcome classifies how one Expand lookup was served by the cache —
+// the per-request form of the aggregate CacheStats counters, surfaced so
+// instrumentation can label individual requests.
+type CacheOutcome uint8
+
+const (
+	// CacheBypass: caching is disabled; the pipeline ran directly.
+	CacheBypass CacheOutcome = iota
+	// CacheHit: the lookup was served from a cached entry.
+	CacheHit
+	// CacheMiss: the lookup led a fresh pipeline run (whose result was
+	// cached on success).
+	CacheMiss
+	// CacheDeduped: the lookup joined another caller's in-flight run of
+	// the same key (single-flight) instead of running the pipeline again.
+	CacheDeduped
+)
+
+// String returns the outcome's instrumentation label.
+func (o CacheOutcome) String() string {
+	switch o {
+	case CacheHit:
+		return "hit"
+	case CacheMiss:
+		return "miss"
+	case CacheDeduped:
+		return "deduped"
+	default:
+		return "bypass"
+	}
+}
+
 // getOrDo is the single-flight lookup behind Expand: a cached entry is
 // returned immediately (hit); otherwise the first caller per key becomes
 // the leader, runs fn and caches its result, while concurrent callers of
@@ -138,9 +170,10 @@ func (c *expandCache) put(k expandKey, exp *Expansion) {
 // flight and returns ctx.Err(), while the leader always runs fn to
 // completion and publishes the result, so a slow pipeline started for an
 // impatient caller still warms the cache for everyone after it.
-func (c *expandCache) getOrDo(ctx context.Context, k expandKey, fn func() (*Expansion, error)) (*Expansion, error) {
+func (c *expandCache) getOrDo(ctx context.Context, k expandKey, fn func() (*Expansion, error)) (*Expansion, CacheOutcome, error) {
 	if c == nil {
-		return fn()
+		exp, err := fn()
+		return exp, CacheBypass, err
 	}
 	s := c.shardFor(k)
 	s.mu.Lock()
@@ -149,16 +182,16 @@ func (c *expandCache) getOrDo(ctx context.Context, k expandKey, fn func() (*Expa
 		exp := e.exp
 		s.mu.Unlock()
 		c.hits.Add(1)
-		return exp, nil
+		return exp, CacheHit, nil
 	}
 	if fl, ok := s.flight[k]; ok {
 		s.mu.Unlock()
 		c.deduped.Add(1)
 		select {
 		case <-fl.done:
-			return fl.exp, fl.err
+			return fl.exp, CacheDeduped, fl.err
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, CacheDeduped, ctx.Err()
 		}
 	}
 	fl := &flightCall{done: make(chan struct{})}
@@ -184,7 +217,23 @@ func (c *expandCache) getOrDo(ctx context.Context, k expandKey, fn func() (*Expa
 	}()
 	fl.exp, fl.err = fn()
 	completed = true
-	return fl.exp, fl.err
+	return fl.exp, CacheMiss, fl.err
+}
+
+// purge drops every cached entry (counters keep their lifetime totals).
+// In-flight single-flight runs are untouched: their leaders may publish
+// one fresh entry each after the purge, which is harmless.
+func (c *expandCache) purge() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.items = make(map[expandKey]*lruEntry)
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
 }
 
 // insert adds or refreshes an entry; the caller holds s.mu.

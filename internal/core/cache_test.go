@@ -173,7 +173,7 @@ func TestSingleFlightDedupesConcurrentMisses(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			exps[i], errs[i] = c.getOrDo(context.Background(), k, fn)
+			exps[i], _, errs[i] = c.getOrDo(context.Background(), k, fn)
 		}(i)
 	}
 	wg.Wait()
@@ -225,7 +225,7 @@ func TestSingleFlightErrorsSharedNotCached(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, errs[i] = c.getOrDo(context.Background(), k, fn)
+			_, _, errs[i] = c.getOrDo(context.Background(), k, fn)
 		}(i)
 	}
 	wg.Wait()
@@ -241,7 +241,7 @@ func TestSingleFlightErrorsSharedNotCached(t *testing.T) {
 		t.Fatal("error result was cached")
 	}
 	// Errors are not cached: the next lookup runs the pipeline again.
-	if _, err := c.getOrDo(context.Background(), k, func() (*Expansion, error) { calls.Add(1); return &Expansion{}, nil }); err != nil {
+	if _, _, err := c.getOrDo(context.Background(), k, func() (*Expansion, error) { calls.Add(1); return &Expansion{}, nil }); err != nil {
 		t.Fatal(err)
 	}
 	if calls.Load() != 2 {
@@ -298,7 +298,7 @@ func TestCacheStatsConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < rounds; i++ {
 				k := expandKey{keywords: fmt.Sprintf("key-%d", (w+i)%keys)}
-				if _, err := c.getOrDo(context.Background(), k, func() (*Expansion, error) {
+				if _, _, err := c.getOrDo(context.Background(), k, func() (*Expansion, error) {
 					return &Expansion{Keywords: k.keywords}, nil
 				}); err != nil {
 					t.Error(err)

@@ -140,7 +140,7 @@ func TestSingleFlightWaiterAbandonsOnCancel(t *testing.T) {
 
 	leaderErr := make(chan error, 1)
 	go func() {
-		exp, err := c.getOrDo(context.Background(), k, func() (*Expansion, error) {
+		exp, _, err := c.getOrDo(context.Background(), k, func() (*Expansion, error) {
 			<-release
 			return want, nil
 		})
@@ -169,7 +169,7 @@ func TestSingleFlightWaiterAbandonsOnCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	followerErr := make(chan error, 1)
 	go func() {
-		_, err := c.getOrDo(ctx, k, func() (*Expansion, error) {
+		_, _, err := c.getOrDo(ctx, k, func() (*Expansion, error) {
 			return nil, errors.New("follower must never run the pipeline")
 		})
 		followerErr <- err

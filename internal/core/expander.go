@@ -152,12 +152,20 @@ func (e *Expansion) Query(s *System) (search.Node, bool) {
 // run is in flight abandons the wait (the leader still completes and
 // populates the cache).
 func (s *System) Expand(ctx context.Context, keywords string, opts ExpanderOptions) (*Expansion, error) {
+	exp, _, err := s.ExpandOutcome(ctx, keywords, opts)
+	return exp, err
+}
+
+// ExpandOutcome is Expand plus the per-request cache outcome (hit, miss,
+// single-flight dedup, or bypass when caching is disabled) — the form the
+// instrumented public facade calls so observers can label each request.
+func (s *System) ExpandOutcome(ctx context.Context, keywords string, opts ExpanderOptions) (*Expansion, CacheOutcome, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, CacheBypass, err
 	}
 	opts = opts.withDefaults()
 	if opts.MinCategoryRatio > opts.MaxCategoryRatio {
-		return nil, fmt.Errorf("core: invalid category ratio band [%g, %g]",
+		return nil, CacheBypass, fmt.Errorf("core: invalid category ratio band [%g, %g]",
 			opts.MinCategoryRatio, opts.MaxCategoryRatio)
 	}
 	key := expandKey{keywords: keywords, opts: opts}

@@ -361,6 +361,12 @@ func (s *Set) Expand(ctx context.Context, keywords string, opts core.ExpanderOpt
 	return s.systems[0].Expand(ctx, keywords, opts)
 }
 
+// ExpandOutcome is Expand plus the per-request cache outcome, for the
+// instrumented public facade.
+func (s *Set) ExpandOutcome(ctx context.Context, keywords string, opts core.ExpanderOptions) (*core.Expansion, core.CacheOutcome, error) {
+	return s.systems[0].ExpandOutcome(ctx, keywords, opts)
+}
+
 // ExpandAll is the batch form of Expand, on shard 0's batch layer.
 func (s *Set) ExpandAll(ctx context.Context, keywords []string, eopts core.ExpanderOptions, opts core.BatchOptions) ([]*core.Expansion, error) {
 	return s.systems[0].ExpandAll(ctx, keywords, eopts, opts)

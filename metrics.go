@@ -1,0 +1,199 @@
+package querygraph
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// numErrorClasses sizes the per-class counter arrays; the fixed-size
+// metricClasses array below keeps it coupled to the label list at compile
+// time (growing ErrorClass's taxonomy without bumping this fails to
+// build, instead of indexing out of range at serve time).
+const numErrorClasses = 8
+
+// metricClasses is the closed label set ErrorClass can produce (minus the
+// empty success class), so the per-class counters are fixed-size atomics
+// instead of a locked map.
+var metricClasses = [numErrorClasses]string{
+	"timeout", "canceled", "closed", "invalid_query", "invalid_options",
+	"bad_manifest", "bad_snapshot", "internal",
+}
+
+func classIndex(class string) int {
+	for i, c := range metricClasses {
+		if c == class {
+			return i
+		}
+	}
+	return numErrorClasses - 1 // unknown labels count as internal
+}
+
+// opCounters aggregates one operation's request counters.
+type opCounters struct {
+	total     atomic.Uint64
+	durNanos  atomic.Int64
+	errors    [numErrorClasses]atomic.Uint64 // indexed by metricClasses
+	errsTotal atomic.Uint64
+}
+
+func (c *opCounters) observe(durNanos int64, errClass string) {
+	c.total.Add(1)
+	c.durNanos.Add(durNanos)
+	if errClass != "" {
+		c.errors[classIndex(errClass)].Add(1)
+		c.errsTotal.Add(1)
+	}
+}
+
+// MetricsObserver is the built-in Observer: lock-free counters over every
+// hook, rendered in Prometheus text exposition format by WritePrometheus
+// (cmd/qserve serves it at GET /v1/metrics). One instance may be attached
+// to several backends; the counters then aggregate across them. The zero
+// value is ready to use.
+type MetricsObserver struct {
+	search, expand, batch, reload opCounters
+
+	// cache[CacheOutcome] counts successful single-query expansions by
+	// how the expansion cache served them. Failed requests are excluded:
+	// a fast failure (dead context, closed backend, invalid options)
+	// never reaches the cache but carries the CacheBypass zero value,
+	// which would otherwise masquerade as "caching disabled".
+	cache [4]atomic.Uint64
+
+	// batchItems sums BatchObservation.Size across batches, so
+	// items/batch ratios fall out of two counters.
+	batchItems atomic.Uint64
+
+	// generation tracks the most recently observed reload generation
+	// (a gauge; 0 until the first reload).
+	generation atomic.Uint64
+}
+
+// NewMetricsObserver returns a fresh, zeroed metrics observer.
+func NewMetricsObserver() *MetricsObserver { return &MetricsObserver{} }
+
+var _ Observer = (*MetricsObserver)(nil)
+
+// ObserveSearch implements Observer.
+func (m *MetricsObserver) ObserveSearch(o SearchObservation) {
+	m.search.observe(int64(o.Duration), o.Err)
+}
+
+// ObserveExpand implements Observer.
+func (m *MetricsObserver) ObserveExpand(o ExpandObservation) {
+	m.expand.observe(int64(o.Duration), o.Err)
+	if o.Err == "" && o.Cache <= CacheDeduped {
+		m.cache[o.Cache].Add(1)
+	}
+}
+
+// ObserveBatch implements Observer.
+func (m *MetricsObserver) ObserveBatch(o BatchObservation) {
+	m.batch.observe(int64(o.Duration), o.Err)
+	m.batchItems.Add(uint64(o.Size))
+}
+
+// ObserveReload implements Observer.
+func (m *MetricsObserver) ObserveReload(o ReloadObservation) {
+	m.reload.observe(int64(o.Duration), o.Err)
+	m.generation.Store(o.Generation)
+}
+
+// MetricsSnapshot is a consistent-enough copy of the observer's counters
+// for programmatic assertions (each counter is read atomically; the set is
+// not a single atomic snapshot).
+type MetricsSnapshot struct {
+	Searches, SearchErrors uint64
+	Expands, ExpandErrors  uint64
+	Batches, BatchErrors   uint64
+	Reloads, ReloadErrors  uint64
+	BatchItems             uint64
+	// Cache counts successful expansions by cache outcome, indexed by
+	// CacheOutcome (failed requests are excluded — see MetricsObserver).
+	Cache [4]uint64
+	// Generation is the most recently observed reload generation.
+	Generation uint64
+}
+
+// Snapshot reads the current counter values.
+func (m *MetricsObserver) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Searches: m.search.total.Load(), SearchErrors: m.search.errsTotal.Load(),
+		Expands: m.expand.total.Load(), ExpandErrors: m.expand.errsTotal.Load(),
+		Batches: m.batch.total.Load(), BatchErrors: m.batch.errsTotal.Load(),
+		Reloads: m.reload.total.Load(), ReloadErrors: m.reload.errsTotal.Load(),
+		BatchItems: m.batchItems.Load(),
+		Generation: m.generation.Load(),
+	}
+	for i := range s.Cache {
+		s.Cache[i] = m.cache[i].Load()
+	}
+	return s
+}
+
+// WritePrometheus renders the counters in the Prometheus text exposition
+// format (version 0.0.4): querygraph_requests_total and
+// querygraph_request_errors_total by {op, class},
+// querygraph_request_duration_seconds_{sum,count} by {op},
+// querygraph_expand_cache_total by {outcome}, querygraph_batch_items_total
+// and the querygraph_pool_generation gauge.
+func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
+	ops := []struct {
+		name string
+		c    *opCounters
+	}{
+		{"search", &m.search},
+		{"expand", &m.expand},
+		{"batch", &m.batch},
+		{"reload", &m.reload},
+	}
+
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# HELP querygraph_requests_total Requests observed, by operation.\n# TYPE querygraph_requests_total counter\n"); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if err := p("querygraph_requests_total{op=%q} %d\n", op.name, op.c.total.Load()); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP querygraph_request_errors_total Failed requests, by operation and error class.\n# TYPE querygraph_request_errors_total counter\n"); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		for i, class := range metricClasses {
+			if n := op.c.errors[i].Load(); n > 0 {
+				if err := p("querygraph_request_errors_total{op=%q,class=%q} %d\n", op.name, class, n); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := p("# HELP querygraph_request_duration_seconds Wall time inside the backend, by operation.\n# TYPE querygraph_request_duration_seconds summary\n"); err != nil {
+		return err
+	}
+	for _, op := range ops {
+		if err := p("querygraph_request_duration_seconds_sum{op=%q} %g\n", op.name, float64(op.c.durNanos.Load())/1e9); err != nil {
+			return err
+		}
+		if err := p("querygraph_request_duration_seconds_count{op=%q} %d\n", op.name, op.c.total.Load()); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP querygraph_expand_cache_total Successful single-query expansions, by cache outcome.\n# TYPE querygraph_expand_cache_total counter\n"); err != nil {
+		return err
+	}
+	for outcome := CacheBypass; outcome <= CacheDeduped; outcome++ {
+		if err := p("querygraph_expand_cache_total{outcome=%q} %d\n", outcome.String(), m.cache[outcome].Load()); err != nil {
+			return err
+		}
+	}
+	if err := p("# HELP querygraph_batch_items_total Items submitted across all batches.\n# TYPE querygraph_batch_items_total counter\nquerygraph_batch_items_total %d\n", m.batchItems.Load()); err != nil {
+		return err
+	}
+	return p("# HELP querygraph_pool_generation Most recently observed reload generation (0 before any reload).\n# TYPE querygraph_pool_generation gauge\nquerygraph_pool_generation %d\n", m.generation.Load())
+}

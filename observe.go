@@ -1,0 +1,190 @@
+package querygraph
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// Observer is the instrumentation seam of the serving runtimes: attach one
+// with WithObserver and its hooks fire on every request path of a Client
+// or Pool — single and batch, cached and uncached, success and failure —
+// plus every Pool reload. Hooks are called synchronously on the request
+// goroutine after the work completes (including the fast-failure paths:
+// dead context, closed backend, invalid options), so implementations must
+// be cheap and safe for concurrent use. MetricsObserver is the built-in
+// counter implementation.
+type Observer interface {
+	// ObserveSearch fires after every single-query retrieval:
+	// Search and SearchExpansion on both runtimes.
+	ObserveSearch(SearchObservation)
+	// ObserveExpand fires after every single-query expansion: Expand on
+	// both runtimes (per-item expansions inside ExpandAll surface through
+	// ObserveBatch, not here).
+	ObserveExpand(ExpandObservation)
+	// ObserveBatch fires after every batch entry point: SearchAll,
+	// ExpandAll and SearchExpansions on both runtimes.
+	ObserveBatch(BatchObservation)
+	// ObserveReload fires after every Pool.Reload, successful or not
+	// (a Client never emits it).
+	ObserveReload(ReloadObservation)
+}
+
+// SearchObservation describes one completed single-query retrieval.
+type SearchObservation struct {
+	// Duration is the request's wall time inside the backend.
+	Duration time.Duration
+	// K is the requested ranking depth (<= 0 ranks every candidate).
+	K int
+	// Shards is the serving generation's shard count (1 on a Client,
+	// 0 when the backend was already closed).
+	Shards int
+	// Expanded is true when the request evaluated an expansion
+	// (SearchExpansion) rather than raw query text (Search).
+	Expanded bool
+	// Err is the request's error class ("" on success); see ErrorClass.
+	Err string
+}
+
+// ExpandObservation describes one completed single-query expansion.
+type ExpandObservation struct {
+	Duration time.Duration
+	// Cache is how the expansion cache served the request: hit, miss,
+	// single-flight dedup, or bypass when caching is disabled.
+	Cache CacheOutcome
+	// Features is the number of expansion features returned (0 on error).
+	Features int
+	Shards   int
+	Err      string
+}
+
+// Batch kinds reported in BatchObservation.Kind.
+const (
+	BatchSearch           = "search"
+	BatchExpand           = "expand"
+	BatchSearchExpansions = "search_expansions"
+)
+
+// BatchObservation describes one completed batch entry point.
+type BatchObservation struct {
+	// Kind is the batch's operation: BatchSearch (SearchAll), BatchExpand
+	// (ExpandAll) or BatchSearchExpansions (SearchExpansions).
+	Kind string
+	// Size is the number of items submitted in the batch.
+	Size int
+	// K is the ranking depth for retrieval batches (0 for ExpandAll).
+	K        int
+	Shards   int
+	Duration time.Duration
+	Err      string
+}
+
+// ReloadObservation describes one Pool.Reload attempt.
+type ReloadObservation struct {
+	Duration time.Duration
+	// Generation is the sequence number now being served — the new
+	// generation's on success, the untouched old one's on failure.
+	Generation uint64
+	// Shards is the shard count now being served.
+	Shards int
+	Err    string
+}
+
+// ErrorClass maps an error from the serving API onto a small, stable label
+// set for instrumentation: "" (success), "timeout", "canceled", "closed",
+// "invalid_query", "invalid_options", "bad_manifest", "bad_snapshot", or
+// "internal" for anything else. The classes mirror the sentinel errors and
+// the HTTP error model cmd/qserve serves.
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	case errors.Is(err, ErrInvalidQuery):
+		return "invalid_query"
+	case errors.Is(err, ErrInvalidOptions):
+		return "invalid_options"
+	case errors.Is(err, ErrBadManifest):
+		return "bad_manifest"
+	case errors.Is(err, ErrBadSnapshot):
+		return "bad_snapshot"
+	default:
+		return "internal"
+	}
+}
+
+// observers is the fan-out list a runtime carries; every hook helper is a
+// no-op on an empty list, so an uninstrumented backend pays only a
+// time.Now per request.
+type observers []Observer
+
+func (os observers) search(start time.Time, k, shards int, expanded bool, err error) {
+	if len(os) == 0 {
+		return
+	}
+	obs := SearchObservation{
+		Duration: time.Since(start),
+		K:        k,
+		Shards:   shards,
+		Expanded: expanded,
+		Err:      ErrorClass(err),
+	}
+	for _, o := range os {
+		o.ObserveSearch(obs)
+	}
+}
+
+func (os observers) expand(start time.Time, outcome CacheOutcome, exp *Expansion, shards int, err error) {
+	if len(os) == 0 {
+		return
+	}
+	obs := ExpandObservation{
+		Duration: time.Since(start),
+		Cache:    outcome,
+		Shards:   shards,
+		Err:      ErrorClass(err),
+	}
+	if exp != nil {
+		obs.Features = len(exp.Features)
+	}
+	for _, o := range os {
+		o.ObserveExpand(obs)
+	}
+}
+
+func (os observers) batch(start time.Time, kind string, size, k, shards int, err error) {
+	if len(os) == 0 {
+		return
+	}
+	obs := BatchObservation{
+		Kind:     kind,
+		Size:     size,
+		K:        k,
+		Shards:   shards,
+		Duration: time.Since(start),
+		Err:      ErrorClass(err),
+	}
+	for _, o := range os {
+		o.ObserveBatch(obs)
+	}
+}
+
+func (os observers) reload(start time.Time, generation uint64, shards int, err error) {
+	if len(os) == 0 {
+		return
+	}
+	obs := ReloadObservation{
+		Duration:   time.Since(start),
+		Generation: generation,
+		Shards:     shards,
+		Err:        ErrorClass(err),
+	}
+	for _, o := range os {
+		o.ObserveReload(obs)
+	}
+}

@@ -6,11 +6,13 @@ import (
 	"github.com/querygraph/querygraph/internal/core"
 )
 
-// Option configures a Client at construction (Open / OpenReader / Build).
+// Option configures a serving backend at construction (Open / OpenReader /
+// Build / OpenPool / OpenBackend).
 type Option func(*clientConfig)
 
 type clientConfig struct {
 	sys []core.SystemOption
+	obs observers
 }
 
 // WithExpandCache overrides the expansion cache capacity (default 1024
@@ -31,6 +33,19 @@ func WithMu(mu float64) Option {
 // titles only).
 func WithKeywordTerms(on bool) Option {
 	return func(c *clientConfig) { c.sys = append(c.sys, core.WithKeywordTerms(on)) }
+}
+
+// WithObserver attaches an instrumentation observer to the backend: its
+// hooks fire synchronously on every request path (see Observer). The
+// option composes — each WithObserver adds another observer, and all of
+// them fire in attachment order. On a Pool the observers survive reloads;
+// a nil observer is ignored.
+func WithObserver(o Observer) Option {
+	return func(c *clientConfig) {
+		if o != nil {
+			c.obs = append(c.obs, o)
+		}
+	}
 }
 
 // ExpandOption tunes one Expand / ExpandAll call. The zero-argument call

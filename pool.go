@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/querygraph/querygraph/internal/search"
 	"github.com/querygraph/querygraph/internal/shard"
@@ -13,21 +14,23 @@ import (
 // Pool is the sharded serving handle: a hash-partitioned snapshot
 // generation (qgen -shards N, or Client.SaveShards) served with
 // scatter-gather retrieval and single-pass expansion on the replicated
-// graph. For the same world, a Pool returns bit-identical Search, Expand
-// and SearchExpansion results to a single-snapshot Client at any shard
-// count — per-shard scorers run under globally aggregated collection
-// statistics and the merged ranking preserves the engine's (score desc,
-// doc asc) order over global doc ids.
+// graph. It satisfies Backend. For the same world, a Pool returns
+// bit-identical Search, Expand and SearchExpansion results to a
+// single-snapshot Client at any shard count — per-shard scorers run under
+// globally aggregated collection statistics and the merged ranking
+// preserves the engine's (score desc, doc asc) order over global doc ids.
 //
 // A Pool also hot-reloads: Reload assembles the next generation off to
 // the side, swaps it in atomically, and lets in-flight requests finish on
 // the generation they started with (drained generations are released to
 // the collector). All methods are safe for concurrent use, including
-// concurrently with Reload.
+// concurrently with Reload and Close. After Close, query-path methods
+// return ErrClosed and the zero-value accessors return zero values.
 type Pool struct {
+	// gen is the serving generation; nil once the pool is closed.
 	gen atomic.Pointer[poolGeneration]
 
-	// mu serializes Reload; the serving path never takes it.
+	// mu serializes Reload and Close; the serving path never takes it.
 	mu           sync.Mutex
 	manifestPath string
 	seq          uint64
@@ -35,6 +38,10 @@ type Pool struct {
 	reloads atomic.Uint64
 	cfg     clientConfig
 }
+
+// obs is the observer list attached at OpenPool time (it survives
+// reloads, which only re-read cfg.sys).
+func (p *Pool) obs() observers { return p.cfg.obs }
 
 // poolGeneration is one loaded shard set plus its lifecycle state. refs
 // starts at 1 — the pool's own reference, dropped when the generation is
@@ -88,22 +95,56 @@ func OpenPool(manifestPath string, opts ...Option) (*Pool, error) {
 	return p, nil
 }
 
+// Close retires the pool: the live generation is retired, in-flight
+// requests drain (Close blocks until the last one releases), and every
+// later query-path call returns ErrClosed. Close is idempotent — a second
+// call returns nil immediately — and safe concurrently with Reload and
+// the serving path. After Close, the zero-value accessors (NumShards,
+// Generation, Queries, Title, Link, Stats, CacheStats) return zero
+// values.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	old := p.gen.Swap(nil)
+	p.mu.Unlock()
+	if old == nil {
+		return nil
+	}
+	old.retire()
+	<-old.drained
+	return nil
+}
+
 // Reload loads the generation named by manifestPath (empty = the current
 // manifest path, re-read from disk) and swaps it in with zero downtime:
 // requests that started on the old generation finish there, new requests
 // see the new one, and the old generation is released once its last
 // request drains. A failed load leaves the serving generation untouched
-// and returns an error wrapping ErrBadManifest. Reloads are serialized;
-// the expansion cache starts cold on the new generation.
+// and returns an error wrapping ErrBadManifest; reloading a closed pool
+// returns ErrClosed. Reloads are serialized; the expansion cache starts
+// cold on the new generation.
 func (p *Pool) Reload(manifestPath string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	start := time.Now()
+	gen, shards, err := p.reloadLocked(manifestPath)
+	// Observed under mu: serialized reloads report in order, so a
+	// generation gauge never goes stale behind a racing reload.
+	p.obs().reload(start, gen, shards, err)
+	return err
+}
+
+func (p *Pool) reloadLocked(manifestPath string) (generation uint64, shards int, err error) {
+	cur := p.gen.Load()
+	if cur == nil {
+		return 0, 0, ErrClosed
+	}
 	if manifestPath == "" {
 		manifestPath = p.manifestPath
 	}
 	set, err := shard.Load(manifestPath, p.cfg.sys...)
 	if err != nil {
-		return fmt.Errorf("%w: %v", ErrBadManifest, err)
+		// The old generation keeps serving; report its coordinates.
+		return cur.seq, cur.set.NumShards(), fmt.Errorf("%w: %v", ErrBadManifest, err)
 	}
 	p.seq++
 	next := newPoolGeneration(set, p.seq)
@@ -111,45 +152,60 @@ func (p *Pool) Reload(manifestPath string) error {
 	p.manifestPath = manifestPath
 	p.reloads.Add(1)
 	old.retire()
-	return nil
+	return next.seq, set.NumShards(), nil
 }
 
-// acquire pins the current generation for one request. The retry loop
+// acquire pins the current generation for one request; it fails with
+// ErrClosed once Close has swapped the generation out. The retry loop
 // closes the swap race: after incrementing refs we re-check that the
 // generation is still current — if it is, the pool's own reference had
 // not been dropped when we incremented (atomic operations are totally
 // ordered), so the count can not have touched zero and the generation is
-// safely pinned; if it is not, we release and pin the newer one instead.
-func (p *Pool) acquire() *poolGeneration {
+// safely pinned; if it is not (a Reload swapped in a newer generation, or
+// Close swapped in nil), we release and retry on whatever is current.
+func (p *Pool) acquire() (*poolGeneration, error) {
 	for {
 		g := p.gen.Load()
+		if g == nil {
+			return nil, ErrClosed
+		}
 		g.refs.Add(1)
 		if p.gen.Load() == g {
-			return g
+			return g, nil
 		}
 		g.release()
 	}
 }
 
-// NumShards returns the current generation's shard count.
+// NumShards returns the current generation's shard count (0 once closed).
 func (p *Pool) NumShards() int {
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return 0
+	}
 	defer g.release()
 	return g.set.NumShards()
 }
 
 // Generation returns the monotonically increasing sequence number of the
-// currently served generation (1 for the initially opened one).
+// currently served generation (1 for the initially opened one; 0 once
+// closed).
 func (p *Pool) Generation() uint64 {
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return 0
+	}
 	defer g.release()
 	return g.seq
 }
 
 // Queries returns the benchmark replicated into the current generation's
-// shards (empty when the snapshots carry none).
+// shards (empty when the snapshots carry none, or once closed).
 func (p *Pool) Queries() []Query {
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return nil
+	}
 	defer g.release()
 	qs := g.set.Queries()
 	out := make([]Query, len(qs))
@@ -158,16 +214,23 @@ func (p *Pool) Queries() []Query {
 }
 
 // Title returns the display title of a knowledge-base node (replicated
-// graph, current generation).
+// graph, current generation; "" once closed).
 func (p *Pool) Title(id NodeID) string {
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return ""
+	}
 	defer g.release()
 	return g.set.Systems()[0].Snapshot.Name(id)
 }
 
-// Link computes L(q.k) against the current generation's replicated graph.
+// Link computes L(q.k) against the current generation's replicated graph
+// (nil once closed).
 func (p *Pool) Link(keywords string) []Entity {
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return nil
+	}
 	defer g.release()
 	sys := g.set.Systems()[0]
 	ids := sys.LinkKeywords(keywords)
@@ -193,16 +256,27 @@ func parseWith(set *shard.Set, query string) (search.Node, error) {
 // contract (top k by descending score, ties by ascending global doc id,
 // empty non-nil slice on no match, k <= 0 ranks all candidates).
 func (p *Pool) Search(ctx context.Context, query string, k int) ([]Result, error) {
+	start := time.Now()
+	rs, shards, err := p.searchText(ctx, query, k)
+	p.obs().search(start, k, shards, false, err)
+	return rs, err
+}
+
+func (p *Pool) searchText(ctx context.Context, query string, k int) ([]Result, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return nil, 0, err
+	}
 	defer g.release()
 	node, err := parseWith(g.set, query)
 	if err != nil {
-		return nil, err
+		return nil, g.set.NumShards(), err
 	}
-	return g.set.Search(ctx, node, k)
+	rs, err := g.set.Search(ctx, node, k)
+	return rs, g.set.NumShards(), err
 }
 
 // SearchAll is Client.SearchAll over the sharded generation: the batch
@@ -210,76 +284,129 @@ func (p *Pool) Search(ctx context.Context, query string, k int) ([]Result, error
 // scatter-gather. The whole batch runs on the generation current at call
 // time, even if a Reload lands mid-batch.
 func (p *Pool) SearchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, error) {
+	start := time.Now()
+	rss, shards, err := p.searchAll(ctx, queries, k, opts)
+	p.obs().batch(start, BatchSearch, len(queries), k, shards, err)
+	return rss, err
+}
+
+func (p *Pool) searchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return nil, 0, err
+	}
 	defer g.release()
 	nodes := make([]search.Node, len(queries))
 	for i, q := range queries {
 		node, err := parseWith(g.set, q)
 		if err != nil {
-			return nil, fmt.Errorf("query %d: %w", i, err)
+			return nil, g.set.NumShards(), fmt.Errorf("query %d: %w", i, err)
 		}
 		nodes[i] = node
 	}
-	return g.set.SearchAll(ctx, nodes, k, opts)
+	rss, err := g.set.SearchAll(ctx, nodes, k, opts)
+	return rss, g.set.NumShards(), err
 }
 
 // Expand is Client.Expand on the replicated graph: the pipeline runs once
 // (shard 0), not per shard, through that generation's memoizing
 // single-flight cache.
 func (p *Pool) Expand(ctx context.Context, keywords string, opts ...ExpandOption) (*Expansion, error) {
+	start := time.Now()
+	exp, outcome, shards, err := p.expand(ctx, keywords, opts)
+	p.obs().expand(start, outcome, exp, shards, err)
+	return exp, err
+}
+
+func (p *Pool) expand(ctx context.Context, keywords string, opts []ExpandOption) (*Expansion, CacheOutcome, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, CacheBypass, 0, err
 	}
 	eopts, err := normalizeExpandOptions(opts)
 	if err != nil {
-		return nil, err
+		return nil, CacheBypass, 0, err
 	}
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return nil, CacheBypass, 0, err
+	}
 	defer g.release()
-	return g.set.Expand(ctx, keywords, eopts)
+	exp, outcome, err := g.set.ExpandOutcome(ctx, keywords, eopts)
+	return exp, outcome, g.set.NumShards(), err
 }
 
 // ExpandAll is Client.ExpandAll on the replicated graph.
 func (p *Pool) ExpandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts ...ExpandOption) ([]*Expansion, error) {
+	start := time.Now()
+	exps, shards, err := p.expandAll(ctx, keywords, bopts, opts)
+	p.obs().batch(start, BatchExpand, len(keywords), 0, shards, err)
+	return exps, err
+}
+
+func (p *Pool) expandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts []ExpandOption) ([]*Expansion, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	eopts, err := normalizeExpandOptions(opts)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return nil, 0, err
+	}
 	defer g.release()
-	return g.set.ExpandAll(ctx, keywords, eopts, bopts)
+	exps, err := g.set.ExpandAll(ctx, keywords, eopts, bopts)
+	return exps, g.set.NumShards(), err
 }
 
 // SearchExpansion evaluates an expansion end to end like
 // Client.SearchExpansion: the expanded title query is built once on the
 // replicated graph and scattered to every shard.
 func (p *Pool) SearchExpansion(ctx context.Context, exp *Expansion, k int) (results []Result, ok bool, err error) {
+	start := time.Now()
+	rs, ok, shards, err := p.searchExpansion(ctx, exp, k)
+	p.obs().search(start, k, shards, true, err)
+	return rs, ok, err
+}
+
+func (p *Pool) searchExpansion(ctx context.Context, exp *Expansion, k int) ([]Result, bool, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, false, err
+		return nil, false, 0, err
 	}
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return nil, false, 0, err
+	}
 	defer g.release()
 	node, ok := g.set.ExpansionQuery(exp)
 	if !ok {
-		return nil, false, nil
+		return nil, false, g.set.NumShards(), nil
 	}
 	rs, err := g.set.Search(ctx, node, k)
-	return rs, true, err
+	return rs, true, g.set.NumShards(), err
 }
 
 // SearchExpansions is Client.SearchExpansions over the sharded
 // generation; expansions with nothing to search for keep a nil ranking.
 func (p *Pool) SearchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, error) {
+	start := time.Now()
+	rss, shards, err := p.searchExpansions(ctx, exps, k, opts)
+	p.obs().batch(start, BatchSearchExpansions, len(exps), k, shards, err)
+	return rss, err
+}
+
+func (p *Pool) searchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return nil, 0, err
+	}
 	defer g.release()
 	type job struct {
 		idx  int
@@ -297,13 +424,13 @@ func (p *Pool) SearchExpansions(ctx context.Context, exps []*Expansion, k int, o
 	}
 	rs, err := g.set.SearchAll(ctx, nodes, k, opts)
 	if err != nil {
-		return nil, err
+		return nil, g.set.NumShards(), err
 	}
 	out := make([][]Result, len(exps))
 	for i, j := range jobs {
 		out[j.idx] = rs[i]
 	}
-	return out, nil
+	return out, g.set.NumShards(), nil
 }
 
 // ShardStats is the size of one loaded shard.
@@ -326,17 +453,24 @@ type PoolStats struct {
 
 // Stats reports the aggregate serving-state summary of the current
 // generation (documents are the global count across shards; cache
-// counters are the replicated-graph expansion cache's).
+// counters are the replicated-graph expansion cache's). Zero once closed.
 func (p *Pool) Stats() Stats {
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return Stats{}
+	}
 	defer g.release()
 	return poolStatsOf(g).Stats
 }
 
 // PoolStats reports the aggregate summary plus the per-shard breakdown
-// and generation counters.
+// and generation counters. Zero (with the lifetime reload count) once
+// closed.
 func (p *Pool) PoolStats() PoolStats {
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return PoolStats{Reloads: p.reloads.Load()}
+	}
 	defer g.release()
 	ps := poolStatsOf(g)
 	ps.Reloads = p.reloads.Load()
@@ -372,9 +506,13 @@ func poolStatsOf(g *poolGeneration) PoolStats {
 }
 
 // CacheStats reports the current generation's expansion cache counters
-// (the cache lives with the generation, so a reload starts it cold).
+// (the cache lives with the generation, so a reload starts it cold; zero
+// once closed).
 func (p *Pool) CacheStats() CacheStats {
-	g := p.acquire()
+	g, err := p.acquire()
+	if err != nil {
+		return CacheStats{}
+	}
 	defer g.release()
 	return g.set.ExpandCacheStats()
 }

@@ -46,6 +46,11 @@ type (
 	// CacheStats reports the expansion cache's counters.
 	CacheStats = core.CacheStats
 
+	// CacheOutcome classifies how one Expand request was served by the
+	// expansion cache (hit, miss, single-flight dedup, or bypass when
+	// caching is disabled); see ExpandObservation.
+	CacheOutcome = core.CacheOutcome
+
 	// BatchOptions bounds the concurrency of SearchAll / ExpandAll;
 	// Workers <= 0 means GOMAXPROCS.
 	BatchOptions = core.BatchOptions
@@ -63,6 +68,14 @@ type (
 
 // MaxRank is the deepest rank cutoff the paper evaluates (top-15).
 const MaxRank = core.MaxRank
+
+// The per-request cache outcomes of ExpandObservation.Cache.
+const (
+	CacheBypass  = core.CacheBypass
+	CacheHit     = core.CacheHit
+	CacheMiss    = core.CacheMiss
+	CacheDeduped = core.CacheDeduped
+)
 
 // DefaultRanks returns the paper's rank cutoffs R = {1, 5, 10, 15}.
 func DefaultRanks() []int {
