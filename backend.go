@@ -31,6 +31,8 @@ import (
 // instead. The non-erroring accessors stay harmless after Close: a closed
 // Client keeps answering from its in-memory state, a closed Pool returns
 // zero values.
+//
+//qlint:serving
 type Backend interface {
 	Search(ctx context.Context, query string, k int) ([]Result, error)
 	SearchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, error)

@@ -20,6 +20,9 @@ import (
 // done returns ctx.Err() without running any pipeline, and cancelling
 // mid-call stops batch scheduling and abandons cache waits as documented
 // per method. After Close, query-path methods return ErrClosed.
+//
+//qlint:serving
+//qlint:observed
 type Client struct {
 	sys     *core.System
 	queries []Query

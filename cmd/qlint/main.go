@@ -1,0 +1,90 @@
+// Command qlint is the project's static-analysis multichecker: it runs
+// the internal/lint analyzer suite — the mechanical form of the
+// serving-stack invariants DESIGN.md states in prose — over go-style
+// package patterns and exits non-zero on any finding, so CI can block
+// on it.
+//
+// Usage:
+//
+//	qlint [-list] [-only name,name] [pattern ...]
+//
+// Patterns default to ./... and support the go tool's directory forms
+// (., dir, dir/...). Suppress a finding in place with
+// "//qlint:ignore <analyzer> <justification>" — the justification is
+// mandatory, and a bare ignore is itself reported.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"github.com/querygraph/querygraph/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("qlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "print the analyzers and their invariants, then exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		keep := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "qlint: unknown analyzer %q (see qlint -list)\n", name)
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, ".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qlint: %v\n", err)
+		return 2
+	}
+
+	findings := lint.Run(fset, pkgs, analyzers)
+	findings = append(findings, lint.BadIgnores(fset, pkgs)...)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "qlint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

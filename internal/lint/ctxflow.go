@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Ctxflow enforces the context contract of the serving path (DESIGN.md,
+// "Public API & HTTP serving layer"): every request threads the caller's
+// context.Context so deadlines and cancellation propagate end to end.
+//
+// Three rules:
+//
+//  1. A context.Context parameter is the FIRST parameter, on every
+//     function and interface method (Go convention; mandatory here).
+//  2. context.Background()/context.TODO() are reserved for package main
+//     and _test.go files. Library code must use the ctx it was handed —
+//     a fresh background context silently detaches a request from its
+//     deadline, which is exactly the bug class that broke deadline tests
+//     before PR 3 threaded ctx through the stack.
+//  3. On a type annotated //qlint:serving, every exported method whose
+//     name starts with Search or Expand (the query-path naming scheme of
+//     the Backend contract) must take ctx context.Context first, so new
+//     query paths added to Client/Pool/Backend cannot forget the
+//     contract.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Context is the first parameter everywhere; context.Background/TODO only in main and tests; " +
+		"exported Search*/Expand* methods on //qlint:serving types take ctx first",
+	Run: runCtxflow,
+}
+
+func runCtxflow(pass *Pass) {
+	serving := typeDirectives(pass.Pkg, "serving")
+
+	for _, f := range pass.Pkg.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		inMainOrTest := pass.Pkg.Name == "main" || f.Name.Name == "main" || IsTestFile(filename)
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxPosition(pass, n.Type, n.Name.Name)
+				if recv := recvTypeName(n); recv != "" && serving[recv] {
+					checkServingMethod(pass, n.Type, n.Name.Name)
+				}
+			case *ast.TypeSpec:
+				iface, ok := n.Type.(*ast.InterfaceType)
+				if !ok {
+					return true
+				}
+				for _, m := range iface.Methods.List {
+					ft, ok := m.Type.(*ast.FuncType)
+					if !ok || len(m.Names) == 0 {
+						continue
+					}
+					name := m.Names[0].Name
+					checkCtxPosition(pass, ft, name)
+					if serving[n.Name.Name] {
+						checkServingMethod(pass, ft, name)
+					}
+				}
+			case *ast.CallExpr:
+				if inMainOrTest {
+					return true
+				}
+				if _, ok := selectorCall(n, "Background", "TODO"); ok {
+					if sel := n.Fun.(*ast.SelectorExpr); isPkgIdent(sel.X, "context") {
+						pass.Reportf(n.Pos(),
+							"%s.%s detaches this call from the caller's deadline; thread the request ctx (Background/TODO are for main and tests)",
+							"context", sel.Sel.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxPosition flags a context.Context parameter that is not first.
+func checkCtxPosition(pass *Pass, ft *ast.FuncType, name string) {
+	if ft.Params == nil {
+		return
+	}
+	argIndex := 0
+	for _, field := range ft.Params.List {
+		width := len(field.Names)
+		if width == 0 {
+			width = 1 // unnamed parameter
+		}
+		if isContextContext(field.Type) && argIndex > 0 {
+			pass.Reportf(field.Pos(), "%s: context.Context must be the first parameter", name)
+			return
+		}
+		argIndex += width
+	}
+}
+
+// checkServingMethod requires exported Search*/Expand* methods of a
+// //qlint:serving type to take ctx context.Context first.
+func checkServingMethod(pass *Pass, ft *ast.FuncType, name string) {
+	if !ast.IsExported(name) ||
+		(!strings.HasPrefix(name, "Search") && !strings.HasPrefix(name, "Expand")) {
+		return
+	}
+	if ft.Params == nil || len(ft.Params.List) == 0 || !isContextContext(ft.Params.List[0].Type) {
+		pass.Reportf(ft.Pos(),
+			"%s is a query-path method of a //qlint:serving type and must take ctx context.Context as its first parameter", name)
+	}
+}
+
+// isPkgIdent reports whether e is the bare identifier name (a package
+// qualifier, syntactically).
+func isPkgIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,98 @@
+package lint_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/lint"
+)
+
+// TestRunSortsAndFilters drives the production pipeline (Load + Run over
+// every analyzer) on a synthetic tree and checks ordering, ignore
+// filtering and the mandatory-justification rule.
+func TestRunSortsAndFilters(t *testing.T) {
+	dir := t.TempDir()
+	src := `package demo
+
+import "errors"
+
+var ErrGone = errors.New("gone")
+
+func b(err error) bool { return err == ErrGone }
+
+func a(err error) bool {
+	return err != ErrGone //qlint:ignore senterr identity is the contract here
+}
+
+func c(err error) bool {
+	//qlint:ignore senterr
+	return err == ErrGone
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := lint.Run(fset, pkgs, lint.All())
+
+	// b's comparison is a finding; a's is suppressed with a
+	// justification; c's ignore has no justification, so it is inert and
+	// the comparison still surfaces.
+	var got []int
+	for _, f := range findings {
+		if f.Analyzer != "senterr" {
+			t.Fatalf("unexpected analyzer %q in %v", f.Analyzer, f)
+		}
+		got = append(got, f.Pos.Line)
+	}
+	if len(got) != 2 || got[0] >= got[1] {
+		t.Fatalf("findings at lines %v, want two sorted lines", got)
+	}
+
+	// The justification-less ignore is itself a finding.
+	bad := lint.BadIgnores(fset, pkgs)
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "needs a justification") {
+		t.Fatalf("BadIgnores = %v, want one justification finding", bad)
+	}
+}
+
+// TestLoadSkipsTestdata pins the loader's directory-skipping rules:
+// testdata, vendor and hidden directories never produce packages (the
+// analyzers' own fixtures must not be linted by cmd/qlint ./...).
+func TestLoadSkipsTestdata(t *testing.T) {
+	dir := t.TempDir()
+	for _, sub := range []string{
+		"pkg", "pkg/sub", "testdata/fix", "vendor/dep", ".hidden/inner", "_skipped/inner",
+	} {
+		full := filepath.Join(dir, filepath.FromSlash(sub))
+		if err := os.MkdirAll(full, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(full, "p.go"), []byte("package p\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, p := range pkgs {
+		rel, _ := filepath.Rel(dir, p.Dir)
+		dirs = append(dirs, filepath.ToSlash(rel))
+	}
+	want := []string{"pkg", "pkg/sub"}
+	if len(dirs) != len(want) || dirs[0] != want[0] || dirs[1] != want[1] {
+		t.Fatalf("loaded %v, want %v", dirs, want)
+	}
+}

@@ -1,0 +1,125 @@
+// Package linttest is the project's analysistest: it runs one analyzer
+// over a testdata source directory and checks its diagnostics against
+// want-comments, mirroring golang.org/x/tools/go/analysis/analysistest
+// (same comment syntax) without the dependency.
+//
+// A want-comment annotates the line it sits on:
+//
+//	err == ErrClosed // want `use errors\.Is`
+//	ok()             // no comment: any diagnostic here fails the test
+//
+// The pattern is a regexp matched against the diagnostic message;
+// several patterns on one line expect several diagnostics. Both
+// `backquoted` and "quoted" patterns are accepted. //qlint:ignore
+// directives are honored, so testdata can demonstrate suppression.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/lint"
+)
+
+// wantRe pulls the expectation list out of a comment; patternRe then
+// splits the quoted/backquoted patterns.
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	patternRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+)
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the single package in dir, runs the analyzer with
+// //qlint:ignore filtering applied (the production pipeline), and
+// reports every mismatch between diagnostics and want-comments as a
+// test error.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, dir, []string{"."})
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loading %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	wants := collectWants(t, fset, pkg)
+	findings := lint.RunPackage(fset, pkg, []*lint.Analyzer{a})
+
+	for _, f := range findings {
+		key := lineKey{f.Pos.Filename, f.Pos.Line}
+		if !claim(wants[key], f.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.Pos.Filename, f.Pos.Line, f.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, e := range exps {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", key.file, key.line, e.re.String())
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// claim marks the first unmatched expectation whose pattern matches the
+// message, reporting whether one was found.
+func claim(exps []*expectation, message string) bool {
+	for _, e := range exps {
+		if !e.matched && e.re.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants scans every comment of the package for want-comments.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *lint.Package) map[lineKey][]*expectation {
+	t.Helper()
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range patternRe.FindAllString(m[1], -1) {
+					pat, err := unquotePattern(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, raw, err)
+					}
+					key := lineKey{pos.Filename, pos.Line}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquotePattern(raw string) (string, error) {
+	if strings.HasPrefix(raw, "`") {
+		return strings.Trim(raw, "`"), nil
+	}
+	return strconv.Unquote(raw)
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/lint"
+	"github.com/querygraph/querygraph/internal/lint/linttest"
+)
+
+func TestRefpair(t *testing.T) {
+	linttest.Run(t, "testdata/src/refpair", lint.Refpair)
+}

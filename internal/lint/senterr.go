@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Senterr enforces the sentinel-error discipline of the public API
+// (errors.go: "test with errors.Is"): the package's guarantees are
+// stated in terms of errors.Is-able sentinels, and both runtimes wrap
+// them (`fmt.Errorf("%w: %v", ErrBadSnapshot, err)`), so identity
+// comparison against a sentinel is latently wrong — it works until the
+// first wrap, then silently stops matching.
+//
+// Flagged forms:
+//
+//   - err == ErrX / err != ErrX (any expression compared to an
+//     identifier matching the sentinel naming convention ^Err[A-Z],
+//     bare or package-qualified) — use errors.Is(err, ErrX),
+//   - switch err { case ErrX: } — error identity switching,
+//   - fmt.Errorf with a sentinel argument but no %w verb — the wrap
+//     severs the errors.Is chain.
+//
+// Constructing or returning sentinels, and errors.Is/As, are clean.
+var Senterr = &Analyzer{
+	Name: "senterr",
+	Doc: "error comparisons against Err* sentinels use errors.Is, never ==/!= or switch; " +
+		"fmt.Errorf wrapping a sentinel uses %w",
+	Run: runSenterr,
+}
+
+// sentinelNameRe is the package convention for sentinel error variables
+// (errors.go, internal/stats, ...): Err followed by an upper-case
+// letter. "Err" alone (a field or variable holding an error string)
+// does not match.
+var sentinelNameRe = regexp.MustCompile(`^Err[A-Z]`)
+
+func runSenterr(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				name, ok := sentinelRef(n.X)
+				if !ok {
+					name, ok = sentinelRef(n.Y)
+				}
+				if ok {
+					pass.Reportf(n.Pos(),
+						"sentinel compared with %s: use errors.Is(err, %s) — identity comparison breaks on the first fmt.Errorf(%%w) wrap",
+						n.Op, name)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinelRef(e); ok {
+							pass.Reportf(e.Pos(),
+								"switch on error identity with case %s: use an errors.Is chain (switch { case errors.Is(err, %s): ... })",
+								name, name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that pass a sentinel but never
+// use %w, severing the errors.Is chain.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" || !isPkgIdent(sel.X, "fmt") || len(call.Args) < 2 {
+		return
+	}
+	format, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || format.Kind != token.STRING || strings.Contains(format.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if name, ok := sentinelRef(arg); ok {
+			pass.Reportf(arg.Pos(),
+				"fmt.Errorf formats sentinel %s without %%w: the result no longer matches errors.Is(err, %s)", name, name)
+			return
+		}
+	}
+}
+
+// sentinelRef reports whether e syntactically references a sentinel
+// error: a bare identifier ErrX or a package-qualified pkg.ErrX.
+func sentinelRef(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if sentinelNameRe.MatchString(e.Name) {
+			return e.Name, true
+		}
+	case *ast.SelectorExpr:
+		// Only package qualifiers (lower-case identifier receivers)
+		// count: x.ErrSomething on a struct value is possible but the
+		// convention reserves Err[A-Z] names for package-level
+		// sentinels either way.
+		if sentinelNameRe.MatchString(e.Sel.Name) {
+			if id, ok := e.X.(*ast.Ident); ok {
+				return id.Name + "." + e.Sel.Name, true
+			}
+		}
+	}
+	return "", false
+}

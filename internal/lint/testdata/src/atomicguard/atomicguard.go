@@ -1,0 +1,59 @@
+// Package atomicguard is the atomicguard analyzer's fixture: stores to
+// mutex-guarded atomic fields.
+package atomicguard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type generation struct{}
+
+// Pool mirrors the real pool: lock-free loads, mutex-serialized swaps.
+type Pool struct {
+	// gen is the serving generation.
+	//
+	//qlint:guarded-by mu
+	gen atomic.Pointer[generation]
+
+	mu sync.Mutex
+}
+
+// Close is the corrected form: the store happens under the mutex.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gen.Store(nil)
+}
+
+// swapLocked is the annotated-helper form: the caller holds mu.
+//
+//qlint:locked mu
+func (p *Pool) swapLocked(next *generation) {
+	p.gen.Swap(next)
+}
+
+func (p *Pool) rogueStore(next *generation) {
+	p.gen.Store(next) // want `neither calls p\.mu\.Lock\(\) nor is annotated`
+}
+
+func (p *Pool) rogueSwap(next *generation) *generation {
+	return p.gen.Swap(next) // want `neither calls p\.mu\.Lock\(\) nor is annotated`
+}
+
+// Loads are lock-free by design: never flagged.
+func (p *Pool) load() *generation { return p.gen.Load() }
+
+// newPool stores before the value escapes; the suppression names why.
+func newPool() *Pool {
+	p := &Pool{}
+	p.gen.Store(&generation{}) //qlint:ignore atomicguard constructor, pool not shared yet
+	return p
+}
+
+// Unannotated fields are unconstrained.
+type Counter struct {
+	n atomic.Int64
+}
+
+func (c *Counter) bump() { c.n.Store(1) }

@@ -1,0 +1,70 @@
+// Package ctxflow is the ctxflow analyzer's fixture: context threading
+// violations and their corrected forms.
+package ctxflow
+
+import "context"
+
+// --- rule 1: context.Context must be the first parameter ---
+
+func firstOK(ctx context.Context, query string) error { _ = ctx; _ = query; return nil }
+
+func notFirst(query string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_ = ctx
+	_ = query
+	return nil
+}
+
+// Iface demonstrates the same rule on interface methods.
+type Iface interface {
+	Good(ctx context.Context, k int) error
+	Bad(k int, ctx context.Context) error // want `context\.Context must be the first parameter`
+}
+
+// --- rule 2: no context.Background()/TODO() outside main and tests ---
+
+func freshContexts() {
+	_ = context.Background() // want `detaches this call from the caller's deadline`
+	_ = context.TODO()       // want `detaches this call from the caller's deadline`
+}
+
+func threaded(ctx context.Context) context.Context {
+	return ctx // the corrected form: use what the caller handed over
+}
+
+func suppressed() context.Context {
+	//qlint:ignore ctxflow startup path, no caller ctx exists yet
+	return context.Background()
+}
+
+// --- rule 3: Search*/Expand* on //qlint:serving types take ctx first ---
+
+// Serving is a serving-path runtime.
+//
+//qlint:serving
+type Serving struct{}
+
+func (s *Serving) Search(ctx context.Context, q string, k int) error { // corrected form
+	_ = ctx
+	_ = q
+	_ = k
+	return nil
+}
+
+func (s *Serving) ExpandAll(keywords []string) error { // want `must take ctx context\.Context as its first parameter`
+	_ = keywords
+	return nil
+}
+
+// Helper is not annotated, so its methods are unconstrained.
+type Helper struct{}
+
+func (h *Helper) SearchIndex(q string) error { _ = q; return nil }
+
+// Contract shows the rule on an annotated interface.
+//
+//qlint:serving
+type Contract interface {
+	Expand(ctx context.Context, keywords string) error
+	SearchExpansion(exp string, k int) error // want `must take ctx context\.Context as its first parameter`
+	Title(id int) string
+}

@@ -1,0 +1,9 @@
+package ctxflow
+
+import "context"
+
+// Test files may build fresh contexts: there is no caller to inherit a
+// deadline from.
+func testishHelper() context.Context {
+	return context.Background()
+}

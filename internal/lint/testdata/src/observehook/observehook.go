@@ -1,0 +1,67 @@
+// Package observehook is the observehook analyzer's fixture: Observer
+// hook coverage on the query-path methods of an observed runtime.
+package observehook
+
+import (
+	"context"
+	"time"
+)
+
+type observers struct{}
+
+func (observers) search(start time.Time, k, shards int, expanded bool, err error) {}
+func (observers) batch(start time.Time, kind string, size, k, shards int, err error) {
+}
+func (observers) expand(start time.Time, features, shards int, err error) {}
+func (observers) reload(start time.Time, generation uint64, shards int, err error) {
+}
+
+// Runtime is a serving runtime whose request paths must be observed.
+//
+//qlint:observed
+type Runtime struct {
+	obs observers
+}
+
+func (r *Runtime) searchText(ctx context.Context, q string, k int) error { return nil }
+
+// Search is the enforced wrapper shape: one hook, top level, after the
+// inner call that contains every early return.
+func (r *Runtime) Search(ctx context.Context, q string, k int) error {
+	start := time.Now()
+	err := r.searchText(ctx, q, k)
+	r.obs.search(start, k, 1, false, err)
+	return err
+}
+
+func (r *Runtime) SearchAll(ctx context.Context, qs []string, k int) error { // want `fires no Observe\* hook`
+	return r.searchText(ctx, "", k)
+}
+
+func (r *Runtime) Expand(ctx context.Context, kw string) error { // want `fires 2 Observe\* hooks`
+	start := time.Now()
+	err := r.searchText(ctx, kw, 0)
+	r.obs.expand(start, 0, 1, err)
+	r.obs.expand(start, 0, 1, err)
+	return err
+}
+
+func (r *Runtime) ExpandAll(ctx context.Context, kws []string) error { // want `nested inside a conditional`
+	start := time.Now()
+	err := r.searchText(ctx, "", 0)
+	if err == nil {
+		// The error path skips the hook: exactly the bug class the
+		// analyzer exists for.
+		r.obs.batch(start, "expand", len(kws), 0, 1, err)
+	}
+	return err
+}
+
+// Reload with the method-value form p.obs().reload(...) is recognized
+// too.
+func (r *Runtime) obsList() observers { return r.obs }
+
+// Unobserved types are unconstrained.
+type Plain struct{ obs observers }
+
+func (p *Plain) Search(ctx context.Context, q string, k int) error { return nil }

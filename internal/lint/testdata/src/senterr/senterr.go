@@ -1,0 +1,64 @@
+// Package senterr is the senterr analyzer's fixture: sentinel-error
+// discipline (errors.Is, %w wrapping).
+package senterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrClosed = errors.New("backend closed")
+var ErrBadSnapshot = errors.New("bad snapshot")
+
+type qg struct{}
+
+func (qg) do() error { return nil }
+
+func compare() {
+	err := qg{}.do()
+	if err == ErrClosed { // want `use errors\.Is\(err, ErrClosed\)`
+		return
+	}
+	if err != ErrBadSnapshot { // want `use errors\.Is\(err, ErrBadSnapshot\)`
+		return
+	}
+	if errors.Is(err, ErrClosed) { // the corrected form
+		return
+	}
+	if err == nil { // nil checks are not sentinel comparisons
+		return
+	}
+}
+
+func qualified(err error) bool {
+	return err == fmtpkg.ErrRemote // want `use errors\.Is\(err, fmtpkg\.ErrRemote\)`
+}
+
+var fmtpkg struct{ ErrRemote error }
+
+func switching(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrClosed: // want `switch on error identity`
+		return "closed"
+	}
+	switch { // the corrected form
+	case errors.Is(err, ErrClosed):
+		return "closed"
+	}
+	return ""
+}
+
+func wrapping(err error) error {
+	if err != nil {
+		return fmt.Errorf("decode failed: %v (%v)", ErrBadSnapshot, err) // want `without %w`
+	}
+	return fmt.Errorf("%w: decode failed: %v", ErrBadSnapshot, err) // the corrected form
+}
+
+func suppressed(err error) bool {
+	// Identity comparison is the point of this assertion: the API
+	// promises the un-wrapped sentinel itself.
+	return err == ErrClosed //qlint:ignore senterr asserts identity, not class
+}
