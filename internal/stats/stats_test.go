@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -10,7 +11,7 @@ import (
 func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
 
 func TestSummarizeEmpty(t *testing.T) {
-	if _, err := Summarize(nil); err != ErrEmpty {
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
 		t.Fatalf("Summarize(nil) err = %v, want ErrEmpty", err)
 	}
 }
