@@ -10,14 +10,14 @@ import (
 // metricClasses array below keeps it coupled to the label list at compile
 // time (growing ErrorClass's taxonomy without bumping this fails to
 // build, instead of indexing out of range at serve time).
-const numErrorClasses = 8
+const numErrorClasses = 9
 
 // metricClasses is the closed label set ErrorClass can produce (minus the
 // empty success class), so the per-class counters are fixed-size atomics
 // instead of a locked map.
 var metricClasses = [numErrorClasses]string{
 	"timeout", "canceled", "closed", "invalid_query", "invalid_options",
-	"bad_manifest", "bad_snapshot", "internal",
+	"bad_manifest", "bad_snapshot", "no_benchmark", "internal",
 }
 
 func classIndex(class string) int {

@@ -92,9 +92,12 @@ type ReloadObservation struct {
 
 // ErrorClass maps an error from the serving API onto a small, stable label
 // set for instrumentation: "" (success), "timeout", "canceled", "closed",
-// "invalid_query", "invalid_options", "bad_manifest", "bad_snapshot", or
-// "internal" for anything else. The classes mirror the sentinel errors and
-// the HTTP error model cmd/qserve serves.
+// "invalid_query", "invalid_options", "bad_manifest", "bad_snapshot",
+// "no_benchmark", or "internal" for anything else. Every sentinel in
+// errors.go has a class of its own — TestErrorClassTaxonomy parses the
+// sentinel declarations and fails when a new sentinel is added without
+// classifying it here — and the classes mirror the HTTP error model
+// cmd/qserve serves.
 func ErrorClass(err error) string {
 	switch {
 	case err == nil:
@@ -113,6 +116,8 @@ func ErrorClass(err error) string {
 		return "bad_manifest"
 	case errors.Is(err, ErrBadSnapshot):
 		return "bad_snapshot"
+	case errors.Is(err, ErrNoBenchmark):
+		return "no_benchmark"
 	default:
 		return "internal"
 	}
