@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test qlint lint check fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -shuffle=on ./...
+
+# qlint is the project-native analyzer suite (internal/lint): the
+# serving-stack invariants, run over the whole module. Exits non-zero on
+# any finding; needs no network and no installed tools.
+qlint:
+	$(GO) run ./cmd/qlint ./...
+
+# lint = everything CI's lint job runs that works offline. staticcheck
+# and govulncheck are added by scripts/check.sh when installed.
+lint: qlint
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# check mirrors the CI gates locally (see scripts/check.sh).
+check:
+	./scripts/check.sh

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# check.sh — run the CI gates locally, in the same order as
+# .github/workflows/ci.yml. Fails fast on the first broken gate.
+#
+# staticcheck and govulncheck run only when installed (CI pins their
+# versions via STATICCHECK_VERSION / GOVULNCHECK_VERSION in ci.yml;
+# install the same ones locally with `go install`). Everything else is
+# stdlib-only and always runs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+step() {
+	echo "==> $*"
+}
+
+step gofmt
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$out" >&2
+	exit 1
+fi
+
+step "go build"
+go build ./...
+
+step "go vet"
+go vet ./...
+
+step "qlint (serving-stack invariants)"
+go run ./cmd/qlint ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	step staticcheck
+	staticcheck ./...
+else
+	step "staticcheck (skipped: not installed)"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	step govulncheck
+	govulncheck ./...
+else
+	step "govulncheck (skipped: not installed)"
+fi
+
+step "go test"
+go test -shuffle=on ./...
+
+step "flake smoke (close/reload lifecycle, -count=2)"
+go test -count=2 -shuffle=on -run '^(TestCloseLifecycle|TestPoolCloseExtras|TestPoolCloseDrainsInFlight|TestCloseConcurrentWithRequests|TestPoolReloadUnderLoad|TestPoolReloadSwitchesWorlds)$' .
+
+echo "all checks passed"
