@@ -35,6 +35,13 @@ import (
 //qlint:serving
 type Backend interface {
 	Search(ctx context.Context, query string, k int) ([]Result, error)
+	// SearchInto is Search reusing dst's storage for the returned ranking
+	// (dst may be nil). It exists for allocation-sensitive front ends: on a
+	// *Client the steady-state path — warm query-plan cache, recycled dst —
+	// allocates nothing, which is what cmd/qserve's /v1/search handler
+	// builds its zero-garbage request loop on. The backend does not retain
+	// query or dst beyond the call.
+	SearchInto(ctx context.Context, query string, k int, dst []Result) ([]Result, error)
 	SearchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, error)
 	Expand(ctx context.Context, keywords string, opts ...ExpandOption) (*Expansion, error)
 	ExpandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts ...ExpandOption) ([]*Expansion, error)

@@ -142,6 +142,37 @@ func TestBackendConformance(t *testing.T) {
 				}
 			}
 
+			// SearchInto matches Search bit for bit, with a nil dst, a
+			// reused dst, and an undersized dst; the reused storage is
+			// actually reused (no fresh backing array when cap suffices).
+			var dst []Result
+			for i, q := range qs {
+				rs, err := be.SearchInto(ctx, q.Keywords, MaxRank, nil)
+				if err != nil {
+					t.Fatalf("SearchInto %q: %v", q.Keywords, err)
+				}
+				if rs == nil || !reflect.DeepEqual(rs, wantSearch[i]) {
+					t.Fatalf("SearchInto %q (nil dst) diverges:\n got %v\nwant %v", q.Keywords, rs, wantSearch[i])
+				}
+				dst, err = be.SearchInto(ctx, q.Keywords, MaxRank, dst)
+				if err != nil {
+					t.Fatalf("SearchInto %q (reused dst): %v", q.Keywords, err)
+				}
+				if !reflect.DeepEqual(dst, wantSearch[i]) {
+					t.Fatalf("SearchInto %q (reused dst) diverges:\n got %v\nwant %v", q.Keywords, dst, wantSearch[i])
+				}
+			}
+			if len(wantSearch) > 0 && len(wantSearch[0]) > 0 {
+				prev := dst[:0]
+				got, err := be.SearchInto(ctx, qs[0].Keywords, MaxRank, prev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if cap(prev) >= len(got) && &got[0] != &prev[:1][0] {
+					t.Error("SearchInto did not reuse the provided dst storage")
+				}
+			}
+
 			batch, err := be.SearchAll(ctx, keywords, MaxRank, BatchOptions{})
 			if err != nil {
 				t.Fatal(err)

@@ -189,20 +189,33 @@ func (c *Client) parse(query string) (search.Node, error) {
 // A done ctx returns ctx.Err() without searching.
 func (c *Client) Search(ctx context.Context, query string, k int) ([]Result, error) {
 	start := time.Now()
-	rs, err := c.searchText(ctx, query, k)
+	rs, err := c.searchText(ctx, query, k, nil)
 	c.obs.search(start, k, c.shardCount(), false, err)
 	return rs, err
 }
 
-func (c *Client) searchText(ctx context.Context, query string, k int) ([]Result, error) {
+// SearchInto is Search reusing dst's storage for the returned ranking
+// (dst may be nil). At steady state — the query's parsed plan already in
+// the engine's memoized cache, dst recycled by the caller — the whole
+// path allocates nothing: parse, postings planning, scoring scratch and
+// the top-k heap all come from pools. Neither query nor dst is retained
+// beyond the call.
+func (c *Client) SearchInto(ctx context.Context, query string, k int, dst []Result) ([]Result, error) {
+	start := time.Now()
+	rs, err := c.searchText(ctx, query, k, dst)
+	c.obs.search(start, k, c.shardCount(), false, err)
+	return rs, err
+}
+
+func (c *Client) searchText(ctx context.Context, query string, k int, dst []Result) ([]Result, error) {
 	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
-	node, err := c.parse(query)
+	leaves, err := c.sys.Engine.LeavesForQuery(query)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 	}
-	return c.sys.Engine.Search(node, k)
+	return c.sys.Engine.SearchLeaves(leaves, k, dst)
 }
 
 // SearchAll evaluates a batch of query texts on a bounded worker pool and

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"math/bits"
+	"time"
+)
+
+// hist is an HDR-style log-linear latency histogram: values are bucketed
+// by octave with histSub linear sub-buckets per octave, giving a bounded
+// relative error (≤ 1/histSub ≈ 3%) across the whole range instead of a
+// fixed absolute resolution. Each worker records into its own hist with
+// plain (uncontended) increments; the driver merges them when the run
+// ends, so the hot loop never shares a cache line, let alone a lock.
+//
+// The unit is ~1µs (1024ns, a shift instead of a divide); the bucket
+// table spans past multi-hour latencies, far beyond any plausible
+// request.
+type hist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    uint64 // total ns; 2^64 ns ≈ 584 years, no overflow concern
+	max    uint64 // ns
+}
+
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // 32 linear sub-buckets per octave
+	histBuckets = 50 * histSub     // covers 1024ns << 49 ≈ 6.6 days
+	histUnit    = 10               // ns → ~µs shift
+)
+
+// bucketOf maps a latency in ns to its bucket index. Monotone: the
+// linear range [0, histSub) flows directly into the first log octave.
+func bucketOf(ns uint64) int {
+	u := ns >> histUnit
+	if u < histSub {
+		return int(u)
+	}
+	exp := bits.Len64(u) - histSubBits - 1
+	idx := exp*histSub + int(u>>exp)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper is the inclusive upper bound of a bucket, in ns — the
+// value a quantile landing in the bucket reports.
+func bucketUpper(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx+1) << histUnit
+	}
+	exp := idx/histSub - 1
+	sub := idx - exp*histSub
+	return uint64(sub+1) << (exp + histUnit)
+}
+
+func (h *hist) record(d time.Duration) {
+	ns := uint64(d)
+	h.counts[bucketOf(ns)]++
+	h.n++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// merge folds other into h.
+func (h *hist) merge(other *hist) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// quantile returns the latency at quantile q in [0,1]: the upper bound
+// of the bucket holding the q·n-th observation (capped at the true max,
+// which is tracked exactly).
+func (h *hist) quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			if v := bucketUpper(i); v < h.max {
+				return time.Duration(v)
+			}
+			return time.Duration(h.max)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+func (h *hist) mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.n)
+}

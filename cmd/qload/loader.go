@@ -1,0 +1,346 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// opPaths are the endpoints qload can drive; the mix flag weights them.
+var opPaths = map[string]string{
+	"search":       "/v1/search",
+	"search_batch": "/v1/search/batch",
+	"expand":       "/v1/expand",
+	"expand_batch": "/v1/expand/batch",
+}
+
+type mixEntry struct {
+	name   string
+	weight int
+}
+
+// parseMix parses "search=90,expand=10" into weighted entries. Order is
+// preserved so the deterministic ticket→op mapping is reproducible.
+func parseMix(s string) ([]mixEntry, error) {
+	var mix []mixEntry
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, w, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not name=weight", part)
+		}
+		if _, known := opPaths[name]; !known {
+			return nil, fmt.Errorf("mix entry %q: unknown op (have search, search_batch, expand, expand_batch)", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("mix names %s twice", name)
+		}
+		seen[name] = true
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight <= 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a positive integer", part)
+		}
+		mix = append(mix, mixEntry{name: name, weight: weight})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return mix, nil
+}
+
+// buildBodies pre-encodes one request body per query for an op, so the
+// load loop never marshals JSON — the driver must not become the
+// bottleneck it is measuring.
+func buildBodies(op string, queries []string, k, batch int) ([][]byte, error) {
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		var payload any
+		switch op {
+		case "search":
+			payload = map[string]any{"query": q, "k": k}
+		case "search_batch":
+			payload = map[string]any{"queries": rotate(queries, i, batch), "k": k}
+		case "expand":
+			payload = map[string]any{"keywords": q}
+		case "expand_batch":
+			payload = map[string]any{"keywords": rotate(queries, i, batch)}
+		default:
+			return nil, fmt.Errorf("unknown op %q", op)
+		}
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+// rotate returns n queries starting at offset i, wrapping around.
+func rotate(queries []string, i, n int) []string {
+	if n > len(queries) {
+		n = len(queries)
+	}
+	out := make([]string, n)
+	for j := range out {
+		out[j] = queries[(i+j)%len(queries)]
+	}
+	return out
+}
+
+type loadConfig struct {
+	Target      string // base URL, e.g. http://127.0.0.1:8080
+	Connections int
+	TargetRPS   float64 // 0 = unthrottled
+	Duration    time.Duration
+	Warmup      time.Duration
+	Mix         []mixEntry
+	K           int
+	Batch       int
+	Queries     []string
+}
+
+// opStats is one worker's view of one op — unshared until the final
+// merge.
+type opStats struct {
+	hist     hist
+	requests uint64
+	errors   uint64
+	statuses map[int]uint64
+}
+
+type latencySummary struct {
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+func summarize(h *hist) latencySummary {
+	toMS := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	return latencySummary{
+		P50MS:  toMS(h.quantile(0.50)),
+		P90MS:  toMS(h.quantile(0.90)),
+		P99MS:  toMS(h.quantile(0.99)),
+		P999MS: toMS(h.quantile(0.999)),
+		MaxMS:  toMS(time.Duration(h.max)),
+		MeanMS: toMS(h.mean()),
+	}
+}
+
+type opReport struct {
+	Requests uint64            `json:"requests"`
+	Errors   uint64            `json:"errors"`
+	Latency  latencySummary    `json:"latency"`
+	Status   map[string]uint64 `json:"status"`
+}
+
+type report struct {
+	Target      string              `json:"target"`
+	Mix         string              `json:"mix"`
+	K           int                 `json:"k"`
+	Connections int                 `json:"connections"`
+	TargetRPS   float64             `json:"target_rps"`
+	WarmupS     float64             `json:"warmup_s"`
+	DurationS   float64             `json:"duration_s"`
+	Requests    uint64              `json:"requests"`
+	Errors      uint64              `json:"errors"`
+	AchievedRPS float64             `json:"achieved_rps"`
+	Latency     latencySummary      `json:"latency"`
+	Ops         map[string]opReport `json:"ops"`
+	Meta        map[string]any      `json:"meta,omitempty"`
+}
+
+// run executes the load: an optional unrecorded warmup phase, then the
+// measured phase. Workers share nothing but an atomic ticket counter —
+// the ticket both paces the send (at -rps) and deterministically selects
+// the op and query, so a run's request stream is reproducible.
+func run(cfg loadConfig) (*report, error) {
+	if len(cfg.Queries) == 0 {
+		return nil, fmt.Errorf("no queries to send")
+	}
+	if cfg.Connections <= 0 {
+		cfg.Connections = 1
+	}
+	bodies := map[string][][]byte{}
+	totalWeight := 0
+	for _, m := range cfg.Mix {
+		b, err := buildBodies(m.name, cfg.Queries, cfg.K, cfg.Batch)
+		if err != nil {
+			return nil, err
+		}
+		bodies[m.name] = b
+		totalWeight += m.weight
+	}
+	client := &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Connections,
+			MaxIdleConnsPerHost: cfg.Connections,
+		},
+		Timeout: 30 * time.Second,
+	}
+	defer client.CloseIdleConnections()
+
+	// pickOp maps a ticket to an op by walking the cumulative weights:
+	// ticket t sends op i iff t mod totalWeight falls in i's weight span.
+	pickOp := func(t int64) string {
+		r := int(t % int64(totalWeight))
+		for _, m := range cfg.Mix {
+			if r < m.weight {
+				return m.name
+			}
+			r -= m.weight
+		}
+		return cfg.Mix[len(cfg.Mix)-1].name
+	}
+
+	phase := func(d time.Duration) ([]map[string]*opStats, time.Duration) {
+		var tickets atomic.Int64
+		start := time.Now()
+		deadline := start.Add(d)
+		perWorker := make([]map[string]*opStats, cfg.Connections)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Connections; w++ {
+			stats := map[string]*opStats{}
+			for _, m := range cfg.Mix {
+				stats[m.name] = &opStats{statuses: map[int]uint64{}}
+			}
+			perWorker[w] = stats
+			wg.Add(1)
+			go func(stats map[string]*opStats) {
+				defer wg.Done()
+				for {
+					t := tickets.Add(1) - 1
+					if cfg.TargetRPS > 0 {
+						sched := start.Add(time.Duration(float64(t) / cfg.TargetRPS * float64(time.Second)))
+						if sched.After(deadline) {
+							return
+						}
+						if wait := time.Until(sched); wait > 0 {
+							time.Sleep(wait)
+						}
+					} else if !time.Now().Before(deadline) {
+						return
+					}
+					op := pickOp(t)
+					st := stats[op]
+					ob := bodies[op]
+					body := ob[int(t)%len(ob)]
+					req, err := http.NewRequest(http.MethodPost, cfg.Target+opPaths[op], bytes.NewReader(body))
+					if err != nil {
+						st.errors++
+						continue
+					}
+					req.Header.Set("Content-Type", "application/json")
+					t0 := time.Now()
+					resp, err := client.Do(req)
+					lat := time.Since(t0)
+					st.requests++
+					if err != nil {
+						st.errors++
+						continue
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+					st.hist.record(lat)
+					st.statuses[resp.StatusCode]++
+					if resp.StatusCode != http.StatusOK {
+						st.errors++
+					}
+				}
+			}(stats)
+		}
+		wg.Wait()
+		return perWorker, time.Since(start)
+	}
+
+	if cfg.Warmup > 0 {
+		phase(cfg.Warmup) // discarded: pools, caches and conns warm up
+	}
+	perWorker, elapsed := phase(cfg.Duration)
+
+	// Merge the unshared per-worker stats into the report.
+	rep := &report{
+		Target:      cfg.Target,
+		Mix:         mixString(cfg.Mix),
+		K:           cfg.K,
+		Connections: cfg.Connections,
+		TargetRPS:   cfg.TargetRPS,
+		WarmupS:     cfg.Warmup.Seconds(),
+		DurationS:   elapsed.Seconds(),
+		Ops:         map[string]opReport{},
+	}
+	var total hist
+	for _, m := range cfg.Mix {
+		merged := &opStats{statuses: map[int]uint64{}}
+		for _, stats := range perWorker {
+			st := stats[m.name]
+			merged.hist.merge(&st.hist)
+			merged.requests += st.requests
+			merged.errors += st.errors
+			for code, n := range st.statuses {
+				merged.statuses[code] += n
+			}
+		}
+		statusJSON := map[string]uint64{}
+		for code, n := range merged.statuses {
+			statusJSON[strconv.Itoa(code)] = n
+		}
+		rep.Ops[m.name] = opReport{
+			Requests: merged.requests,
+			Errors:   merged.errors,
+			Latency:  summarize(&merged.hist),
+			Status:   statusJSON,
+		}
+		rep.Requests += merged.requests
+		rep.Errors += merged.errors
+		total.merge(&merged.hist)
+	}
+	rep.Latency = summarize(&total)
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+func mixString(mix []mixEntry) string {
+	parts := make([]string, len(mix))
+	for i, m := range mix {
+		parts[i] = fmt.Sprintf("%s=%d", m.name, m.weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// summary renders the human-readable run report.
+func (r *report) summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests in %.2fs (%.0f req/s, %d errors)\n",
+		r.Requests, r.DurationS, r.AchievedRPS, r.Errors)
+	fmt.Fprintf(&b, "latency: p50 %.3fms  p90 %.3fms  p99 %.3fms  p99.9 %.3fms  max %.3fms  mean %.3fms\n",
+		r.Latency.P50MS, r.Latency.P90MS, r.Latency.P99MS, r.Latency.P999MS, r.Latency.MaxMS, r.Latency.MeanMS)
+	names := make([]string, 0, len(r.Ops))
+	for name := range r.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		op := r.Ops[name]
+		fmt.Fprintf(&b, "  %-13s %8d reqs  %3d errors  p50 %.3fms  p99 %.3fms\n",
+			name, op.Requests, op.Errors, op.Latency.P50MS, op.Latency.P99MS)
+	}
+	return b.String()
+}

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHistQuantiles checks the log-linear histogram against an exact
+// sorted-slice oracle on a deterministic latency population: every
+// quantile must land within the structure's ~3% relative error (plus one
+// sub-bucket of absolute slack at the low end).
+func TestHistQuantiles(t *testing.T) {
+	var h hist
+	// Deterministic LCG covering several orders of magnitude, µs to
+	// seconds — the shape of real latency populations.
+	var state uint64 = 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state
+	}
+	exact := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Spread exponents 10..30 → 1µs..1s.
+		exp := 10 + next()%21
+		ns := (1 << exp) + next()%(1<<exp)
+		exact = append(exact, ns)
+		h.record(time.Duration(ns))
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		idx := int(q * float64(len(exact)))
+		if idx >= len(exact) {
+			idx = len(exact) - 1
+		}
+		want := exact[idx]
+		got := uint64(h.quantile(q))
+		// The reported value is the bucket's upper bound: never below the
+		// true quantile's own bucket, and within one sub-bucket width
+		// (1/histSub relative) above it.
+		lo := want - want/histSub - (1 << histUnit)
+		hi := want + want/histSub*2 + (2 << histUnit)
+		if got < lo || got > hi {
+			t.Errorf("q%.3f: hist %d, exact %d (allowed [%d, %d])", q, got, want, lo, hi)
+		}
+	}
+	if h.n != 20000 {
+		t.Errorf("n = %d, want 20000", h.n)
+	}
+	if got, want := uint64(h.quantile(1.0)), exact[len(exact)-1]; got != want {
+		t.Errorf("q1.0 = %d, want exact max %d", got, want)
+	}
+}
+
+// TestHistMerge pins that merging per-worker histograms is lossless:
+// recording a population into one histogram and spreading it across
+// several then merging must agree exactly.
+func TestHistMerge(t *testing.T) {
+	var one hist
+	parts := make([]hist, 4)
+	for i := 0; i < 10000; i++ {
+		d := time.Duration((i%977)*1000 + 500)
+		one.record(d)
+		parts[i%len(parts)].record(d)
+	}
+	var merged hist
+	for i := range parts {
+		merged.merge(&parts[i])
+	}
+	if merged != one {
+		t.Fatal("merged per-worker histograms differ from single-histogram recording")
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for ns := uint64(1); ns < 1<<40; ns = ns*3/2 + 1 {
+		idx := bucketOf(ns)
+		if idx < prev {
+			t.Fatalf("bucketOf not monotone at %dns: %d after %d", ns, idx, prev)
+		}
+		if upper := bucketUpper(idx); upper < ns {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", idx, upper, ns)
+		}
+		prev = idx
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("search=80, expand=15,search_batch=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mixEntry{{"search", 80}, {"expand", 15}, {"search_batch", 5}}
+	if len(mix) != len(want) {
+		t.Fatalf("mix = %v, want %v", mix, want)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Fatalf("mix[%d] = %v, want %v", i, mix[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "search", "search=0", "search=-1", "search=x", "unknown=5", "search=1,search=2"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMetaFlag(t *testing.T) {
+	m := metaFlag{}
+	for _, kv := range []string{"allocs_before=31", "allocs_after=0", "label=fastpath"} {
+		if err := m.Set(kv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m["allocs_before"] != 31.0 || m["allocs_after"] != 0.0 {
+		t.Errorf("numeric meta not parsed as numbers: %v", m)
+	}
+	if m["label"] != "fastpath" {
+		t.Errorf("string meta mangled: %v", m)
+	}
+	if err := m.Set("nokey"); err == nil {
+		t.Error("meta without '=' accepted")
+	}
+}
+
+// TestRunAgainstServer drives the loader end to end against a stub
+// server and checks the report's accounting: every request lands on a
+// known endpoint with a well-formed body, the mix is honored
+// deterministically, and the totals balance.
+func TestRunAgainstServer(t *testing.T) {
+	var searches, expands atomic.Uint64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Query string `json:"query"`
+			K     int    `json:"k"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Query == "" || req.K != 7 {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		searches.Add(1)
+		w.Write([]byte(`{"results":[],"took_ms":0.1}`))
+	})
+	mux.HandleFunc("POST /v1/expand/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Keywords []string `json:"keywords"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Keywords) != 2 {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		expands.Add(1)
+		w.Write([]byte(`{"expansions":[],"took_ms":0.1}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep, err := run(loadConfig{
+		Target:      srv.URL,
+		Connections: 4,
+		Duration:    300 * time.Millisecond,
+		Mix:         []mixEntry{{"search", 3}, {"expand_batch", 1}},
+		K:           7,
+		Batch:       2,
+		Queries:     []string{"alpha", "beta", "gamma"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d (report %+v)", rep.Errors, rep)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests sent")
+	}
+	if got := searches.Load() + expands.Load(); got != rep.Requests {
+		t.Errorf("server saw %d requests, report says %d", got, rep.Requests)
+	}
+	if rep.Ops["search"].Requests != searches.Load() {
+		t.Errorf("search op count %d, server saw %d", rep.Ops["search"].Requests, searches.Load())
+	}
+	// 3:1 mix — the deterministic ticket mapping keeps the ratio within
+	// one round of the weight total.
+	if s, e := float64(searches.Load()), float64(expands.Load()); e > 0 && (s/e < 2 || s/e > 4) {
+		t.Errorf("mix ratio search:expand_batch = %.2f, want ≈3", s/e)
+	}
+	if rep.Latency.P50MS <= 0 || rep.Latency.MaxMS < rep.Latency.P50MS {
+		t.Errorf("implausible latency summary: %+v", rep.Latency)
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Errorf("achieved RPS = %v", rep.AchievedRPS)
+	}
+	if rep.Ops["search"].Status["200"] != searches.Load() {
+		t.Errorf("status accounting: %v", rep.Ops["search"].Status)
+	}
+}
+
+// TestRunPaced pins the ticket pacer: at -rps R for duration D the fleet
+// sends ≈ R·D requests regardless of how many connections it has.
+func TestRunPaced(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"results":[],"took_ms":0}`))
+	}))
+	defer srv.Close()
+	rep, err := run(loadConfig{
+		Target:      srv.URL,
+		Connections: 8,
+		TargetRPS:   200,
+		Duration:    500 * time.Millisecond,
+		Mix:         []mixEntry{{"search", 1}},
+		K:           1,
+		Batch:       1,
+		Queries:     []string{"q"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 rps × 0.5s = 100 tickets; allow generous scheduling slop.
+	if rep.Requests < 60 || rep.Requests > 140 {
+		t.Errorf("paced run sent %d requests, want ≈100", rep.Requests)
+	}
+}
+
+// TestReportJSONShape pins the committed-benchmark contract: the fields
+// BENCH_7.json consumers read must survive a marshal round trip.
+func TestReportJSONShape(t *testing.T) {
+	rep := &report{
+		Target:      "http://x",
+		Mix:         "search=100",
+		Requests:    10,
+		AchievedRPS: 123.4,
+		Latency:     latencySummary{P50MS: 1, P99MS: 2},
+		Ops:         map[string]opReport{"search": {Requests: 10}},
+		Meta:        map[string]any{"search_handler_allocs_after": 0.0},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"target", "mix", "requests", "achieved_rps", "latency", "ops", "meta"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("report JSON missing %q: %s", key, data)
+		}
+	}
+	if lat, ok := decoded["latency"].(map[string]any); !ok || lat["p50_ms"] != 1.0 {
+		t.Errorf("latency block malformed: %s", data)
+	}
+}

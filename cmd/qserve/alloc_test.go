@@ -1,0 +1,113 @@
+//go:build !race
+
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	querygraph "github.com/querygraph/querygraph"
+)
+
+// nullWriter is a reusable ResponseWriter: httptest's recorder allocates
+// its body buffer per response, which would drown the number under test.
+type nullWriter struct {
+	header http.Header
+	status int
+	body   []byte
+}
+
+func (w *nullWriter) Header() http.Header  { return w.header }
+func (w *nullWriter) WriteHeader(code int) { w.status = code }
+func (w *nullWriter) Write(p []byte) (int, error) {
+	w.body = append(w.body[:0], p...)
+	return len(p), nil
+}
+
+// replayBody is a rewindable in-memory request body.
+type replayBody struct {
+	data []byte
+	off  int
+}
+
+func (b *replayBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+func (b *replayBody) Close() error { return nil }
+
+// TestSearchHandlerZeroAlloc pins the tentpole number of the load-test
+// round: at steady state — warm scratch pool, interned query, warm
+// query-plan cache — the /v1/search handler performs zero heap
+// allocations per request, with the metrics observer attached (its hooks
+// are atomic-only by design). The handler is invoked directly rather
+// than through the mux so the number is the handler's own, independent of
+// routing internals. Excluded under -race because the race runtime
+// instruments allocation.
+func TestSearchHandlerZeroAlloc(t *testing.T) {
+	cfg := querygraph.DefaultWorldConfig()
+	cfg.Topics = 6
+	cfg.ArticlesPerTopic = 10
+	cfg.DocsPerTopic = 16
+	cfg.Queries = 6
+	cfg.NoiseVocab = 60
+	w, err := querygraph.GenerateWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := querygraph.NewMetricsObserver()
+	c, err := querygraph.Build(w, querygraph.WithObserver(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := newServer(c, 5*time.Second, metrics)
+
+	raw, err := json.Marshal(searchRequest{Query: c.Queries()[0].Keywords, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := &replayBody{data: raw}
+	req := &http.Request{
+		Method: http.MethodPost,
+		URL:    &url.URL{Path: "/v1/search"},
+		Header: http.Header{"Content-Type": {"application/json"}},
+		Body:   body,
+	}
+	rw := &nullWriter{header: make(http.Header)}
+
+	run := func() {
+		body.off = 0
+		rw.status = 0
+		s.handleSearch(rw, req)
+		if rw.status != http.StatusOK {
+			t.Fatalf("status = %d, body %s", rw.status, rw.body)
+		}
+	}
+	// Warm every pooled resource the steady state relies on: the scratch
+	// pool, the intern map, the engine's query-plan cache and the response
+	// buffer.
+	for i := 0; i < 64; i++ {
+		run()
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rw.body, &resp); err != nil {
+		t.Fatalf("bad response %q: %v", rw.body, err)
+	}
+	if len(resp.Results) == 0 {
+		t.Fatal("warmed search returned no results; the measurement below would be vacuous")
+	}
+
+	if avg := testing.AllocsPerRun(1000, run); avg != 0 {
+		t.Fatalf("search handler allocs/op = %v, want 0", avg)
+	}
+}

@@ -1,0 +1,516 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	querygraph "github.com/querygraph/querygraph"
+)
+
+// The /v1/search fast path: profiling qserve under qload showed the
+// steady-state request loop dominated by per-request garbage — the JSON
+// decoder and its query string, the context.WithTimeout timer, the
+// resultsJSON translation slice and the JSON encoder — all of it
+// allocated per call and all of it immediately dead. This file removes
+// every one of those allocations: request bodies are read into pooled
+// buffers, the three-field search request is parsed by hand, the query
+// string is interned per scratch, the deadline is a pooled lazy-checked
+// context instead of a timer, the ranking lands in a pooled dst via
+// Backend.SearchInto, and the response is appended to a pooled byte
+// buffer. At steady state (repeated query shapes, warm pools) the handler
+// performs zero heap allocations per request — pinned by
+// TestSearchHandlerZeroAlloc.
+
+// scratch is the pooled per-request working state of the fast path. One
+// scratch serves one request at a time; the pool bounds live scratches by
+// the number of concurrent requests.
+type scratch struct {
+	body    []byte              // raw request body
+	qbuf    []byte              // unescaped query text (aliased by req.query)
+	results []querygraph.Result // ranking storage handed to SearchInto
+	out     []byte              // response encode buffer
+	intern  map[string]string   // query-bytes → durable string, bounded
+	dctx    deadlineCtx         // pooled lazy-deadline context
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{
+		body:   make([]byte, 0, 4096),
+		qbuf:   make([]byte, 0, 256),
+		out:    make([]byte, 0, 4096),
+		intern: make(map[string]string),
+	}
+}}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func putScratch(sc *scratch) {
+	sc.dctx.parent = nil // do not pin the request context across reuse
+	scratchPool.Put(sc)
+}
+
+// internMax bounds both the length of interned query strings and the
+// entry count of a scratch's intern map: queries longer than this are
+// materialized per request (one allocation, pathological shapes only),
+// and a full map is cleared rather than grown without bound.
+const internMax = 1024
+
+// internQuery returns a durable string for the query bytes without
+// allocating on repeat: the map lookup with a string-converted []byte key
+// compiles to a no-allocation probe, so only the first sighting of a
+// query (or a post-clear re-sighting) pays for the string.
+func (sc *scratch) internQuery(b []byte) string {
+	if len(b) > internMax {
+		return string(b)
+	}
+	if s, ok := sc.intern[string(b)]; ok {
+		return s
+	}
+	if len(sc.intern) >= internMax {
+		clear(sc.intern)
+	}
+	s := string(b)
+	sc.intern[s] = s
+	return s
+}
+
+// deadlineCtx imposes a lazily-checked deadline over a parent context
+// without allocating a timer: Err answers from the clock, Deadline
+// reports the earlier of the two deadlines, and Done deliberately returns
+// the parent's channel — the deadline itself never fires Done. That is
+// sound for the single-search path, whose only context use is polling
+// Err() before work (Client.Search/SearchInto never select on Done); the
+// batch and expansion paths, which do select, keep the timer-backed
+// context.WithTimeout plumbing.
+type deadlineCtx struct {
+	parent   context.Context
+	deadline time.Time
+}
+
+func (d *deadlineCtx) Deadline() (time.Time, bool) {
+	if pd, ok := d.parent.Deadline(); ok && pd.Before(d.deadline) {
+		return pd, true
+	}
+	return d.deadline, true
+}
+
+func (d *deadlineCtx) Done() <-chan struct{} { return d.parent.Done() }
+
+func (d *deadlineCtx) Err() error {
+	if err := d.parent.Err(); err != nil {
+		return err
+	}
+	if !time.Now().Before(d.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+func (d *deadlineCtx) Value(key any) any { return d.parent.Value(key) }
+
+// reset arms the pooled context for one request.
+func (d *deadlineCtx) reset(parent context.Context, timeout time.Duration) {
+	d.parent = parent
+	d.deadline = time.Now().Add(timeout)
+}
+
+// --- request body ------------------------------------------------------
+
+// readBody reads the whole request body into the scratch's pooled buffer,
+// enforcing maxRequestBody exactly like the MaxBytesReader path of the
+// generic handlers (413 with the same error envelope). On false, the
+// error response has been written.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request, sc *scratch) ([]byte, bool) {
+	buf := sc.body[:0]
+	for {
+		if len(buf) > maxRequestBody {
+			sc.body = buf
+			s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: errorBody{
+				Code:    "request_too_large",
+				Message: fmt.Sprintf("request body exceeds %d bytes", maxRequestBody),
+			}})
+			return nil, false
+		}
+		if len(buf) == cap(buf) {
+			next := make([]byte, len(buf), min(max(2*cap(buf), 4096), maxRequestBody+1))
+			copy(next, buf)
+			buf = next
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			sc.body = buf
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: errorBody{
+				Code:    "invalid_body",
+				Message: "bad request body: " + err.Error(),
+			}})
+			return nil, false
+		}
+	}
+	sc.body = buf
+	if len(buf) > maxRequestBody {
+		s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: errorBody{
+			Code:    "request_too_large",
+			Message: fmt.Sprintf("request body exceeds %d bytes", maxRequestBody),
+		}})
+		return nil, false
+	}
+	return buf, true
+}
+
+// requireJSONFast accepts the overwhelmingly common exact Content-Type
+// without running the allocating media-type parser; anything else goes
+// through the full requireJSON check.
+func (s *server) requireJSONFast(w http.ResponseWriter, r *http.Request) bool {
+	if r.Header.Get("Content-Type") == "application/json" {
+		return true
+	}
+	return s.requireJSON(w, r)
+}
+
+// --- hand-rolled search request parser ---------------------------------
+
+// fastSearchReq is the decoded wire searchRequest; query aliases the
+// scratch's qbuf and must be interned (or copied) before it can outlive
+// the request.
+type fastSearchReq struct {
+	query     []byte
+	k         int64
+	timeoutMS int64
+}
+
+// parseSearchBody decodes {"query": string, "k": int, "timeout_ms": int}
+// with encoding/json's observable semantics for this shape: leading
+// "null" is a no-op, unknown fields are rejected (the generic handlers
+// run DisallowUnknownFields), duplicate fields are last-wins, string
+// escapes (including surrogate pairs) are honored, numbers must be JSON
+// integers, field values may be null, and trailing bytes after the value
+// are ignored (json.Decoder.Decode reads one value). It allocates nothing
+// on well-formed input.
+func parseSearchBody(body []byte, sc *scratch, req *fastSearchReq) error {
+	p := jsonParser{b: body}
+	p.skipWS()
+	if p.lit("null") {
+		return nil
+	}
+	if !p.byte('{') {
+		return p.errAt("expected a JSON object")
+	}
+	for field := 0; ; field++ {
+		p.skipWS()
+		if p.byte('}') {
+			return nil
+		}
+		if field > 0 {
+			if !p.byte(',') {
+				return p.errAt("expected ',' or '}' in object")
+			}
+			p.skipWS()
+		}
+		key, err := p.rawKey()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		if !p.byte(':') {
+			return p.errAt("expected ':' after object key")
+		}
+		p.skipWS()
+		switch string(key) {
+		case "query":
+			if p.lit("null") {
+				continue
+			}
+			sc.qbuf, err = p.string(sc.qbuf[:0])
+			if err != nil {
+				return err
+			}
+			req.query = sc.qbuf
+		case "k":
+			if p.lit("null") {
+				continue
+			}
+			req.k, err = p.integer()
+			if err != nil {
+				return err
+			}
+		case "timeout_ms":
+			if p.lit("null") {
+				continue
+			}
+			req.timeoutMS, err = p.integer()
+			if err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("json: unknown field %q", key)
+		}
+	}
+}
+
+type jsonParser struct {
+	b []byte
+	i int
+}
+
+func (p *jsonParser) errAt(msg string) error {
+	return fmt.Errorf("invalid JSON at offset %d: %s", p.i, msg)
+}
+
+func (p *jsonParser) skipWS() {
+	for p.i < len(p.b) {
+		switch p.b[p.i] {
+		case ' ', '\t', '\r', '\n':
+			p.i++
+		default:
+			return
+		}
+	}
+}
+
+// byte consumes c if it is next.
+func (p *jsonParser) byte(c byte) bool {
+	if p.i < len(p.b) && p.b[p.i] == c {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// lit consumes the literal s if it is next.
+func (p *jsonParser) lit(s string) bool {
+	if len(p.b)-p.i >= len(s) && string(p.b[p.i:p.i+len(s)]) == s {
+		p.i += len(s)
+		return true
+	}
+	return false
+}
+
+// rawKey parses an object key without unescaping: the known keys contain
+// no escapes, so a key with a backslash simply fails the field-name match
+// (reported as an unknown field, which the endpoint rejects anyway).
+func (p *jsonParser) rawKey() ([]byte, error) {
+	if !p.byte('"') {
+		return nil, p.errAt("expected object key")
+	}
+	start := p.i
+	for p.i < len(p.b) {
+		switch c := p.b[p.i]; {
+		case c == '"':
+			key := p.b[start:p.i]
+			p.i++
+			return key, nil
+		case c == '\\':
+			// Escaped keys cannot match a known field; skip the escape so
+			// the key still terminates at its real closing quote.
+			p.i += 2
+		case c < 0x20:
+			return nil, p.errAt("control character in string")
+		default:
+			p.i++
+		}
+	}
+	return nil, p.errAt("unterminated string")
+}
+
+// string parses a JSON string, unescaping into buf.
+func (p *jsonParser) string(buf []byte) ([]byte, error) {
+	if !p.byte('"') {
+		return nil, p.errAt("expected string")
+	}
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		switch {
+		case c == '"':
+			p.i++
+			return buf, nil
+		case c == '\\':
+			p.i++
+			var err error
+			buf, err = p.escape(buf)
+			if err != nil {
+				return nil, err
+			}
+		case c < 0x20:
+			return nil, p.errAt("control character in string")
+		default:
+			buf = append(buf, c)
+			p.i++
+		}
+	}
+	return nil, p.errAt("unterminated string")
+}
+
+// escape decodes one backslash escape (the backslash is already
+// consumed), appending the decoded bytes to buf. Unpaired surrogates
+// decode to U+FFFD, matching encoding/json.
+func (p *jsonParser) escape(buf []byte) ([]byte, error) {
+	if p.i >= len(p.b) {
+		return nil, p.errAt("unterminated escape")
+	}
+	c := p.b[p.i]
+	p.i++
+	switch c {
+	case '"', '\\', '/':
+		return append(buf, c), nil
+	case 'b':
+		return append(buf, '\b'), nil
+	case 'f':
+		return append(buf, '\f'), nil
+	case 'n':
+		return append(buf, '\n'), nil
+	case 'r':
+		return append(buf, '\r'), nil
+	case 't':
+		return append(buf, '\t'), nil
+	case 'u':
+		r, err := p.hex4()
+		if err != nil {
+			return nil, err
+		}
+		if utf16.IsSurrogate(r) {
+			if p.i+1 < len(p.b) && p.b[p.i] == '\\' && p.b[p.i+1] == 'u' {
+				save := p.i
+				p.i += 2
+				r2, err := p.hex4()
+				if err != nil {
+					return nil, err
+				}
+				if dec := utf16.DecodeRune(r, r2); dec != utf8.RuneError {
+					return utf8.AppendRune(buf, dec), nil
+				}
+				p.i = save // second escape was not the pair's low half
+			}
+			r = utf8.RuneError
+		}
+		return utf8.AppendRune(buf, r), nil
+	default:
+		return nil, p.errAt("invalid escape character")
+	}
+}
+
+func (p *jsonParser) hex4() (rune, error) {
+	if p.i+4 > len(p.b) {
+		return 0, p.errAt("truncated \\u escape")
+	}
+	var r rune
+	for _, c := range p.b[p.i : p.i+4] {
+		r <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			r |= rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			r |= rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			r |= rune(c-'A') + 10
+		default:
+			return 0, p.errAt("invalid \\u escape")
+		}
+	}
+	p.i += 4
+	return r, nil
+}
+
+// integer parses a JSON integer (the grammar's number production minus
+// fractions and exponents, which cannot unmarshal into an int field).
+func (p *jsonParser) integer() (int64, error) {
+	start := p.i
+	neg := p.byte('-')
+	digits := 0
+	var v int64
+	for p.i < len(p.b) {
+		c := p.b[p.i]
+		if c < '0' || c > '9' {
+			break
+		}
+		if digits > 0 && p.b[start+btoi(neg)] == '0' {
+			return 0, p.errAt("number with leading zero")
+		}
+		if v > (math.MaxInt64-int64(c-'0'))/10 {
+			return 0, p.errAt("integer overflow")
+		}
+		v = v*10 + int64(c-'0')
+		digits++
+		p.i++
+	}
+	if digits == 0 {
+		return 0, p.errAt("expected integer")
+	}
+	if p.i < len(p.b) {
+		if c := p.b[p.i]; c == '.' || c == 'e' || c == 'E' {
+			return 0, p.errAt("number is not an integer")
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- response encoder --------------------------------------------------
+
+// jsonContentType is the pre-built Content-Type value the fast path
+// assigns directly into the header map — http.Header.Set allocates a
+// fresh one-element slice per call; this shared slice is read-only by
+// contract (net/http only reads header values when writing the response).
+var jsonContentType = []string{"application/json"}
+
+// appendSearchResponse renders searchResponse exactly as
+// json.NewEncoder(w).Encode does — same field order, same float
+// formatting, same trailing newline — into a reusable buffer.
+func appendSearchResponse(b []byte, rs []querygraph.Result, took time.Duration) []byte {
+	b = append(b, `{"results":[`...)
+	for i, r := range rs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"doc":`...)
+		b = strconv.AppendInt(b, int64(r.Doc), 10)
+		b = append(b, `,"score":`...)
+		b = appendJSONFloat(b, r.Score)
+		b = append(b, '}')
+	}
+	b = append(b, `],"took_ms":`...)
+	b = appendJSONFloat(b, tookMS(took))
+	b = append(b, '}', '\n')
+	return b
+}
+
+// appendJSONFloat formats a float64 with encoding/json's algorithm:
+// shortest round-trip representation, %f for the ES6-conventional
+// magnitude window and %e outside it, with the exponent's leading zero
+// trimmed. Scores (log-likelihoods) and took_ms are always finite, so the
+// NaN/Inf error path of encoding/json cannot arise here.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	querygraph "github.com/querygraph/querygraph"
+)
+
+// TestParseSearchBodyParity feeds the same bodies to the hand-rolled
+// parser and to the encoding/json configuration the generic handlers use
+// (DisallowUnknownFields, one value per Decode) and demands they agree on
+// accept/reject and on every decoded field. The fast path is only
+// allowed to be faster, not different.
+func TestParseSearchBodyParity(t *testing.T) {
+	cases := []string{
+		`{}`,
+		`null`,
+		`  null  `,
+		`{"query":"graph databases","k":15,"timeout_ms":250}`,
+		`{"timeout_ms":250,"k":15,"query":"order independent"}`,
+		`{"query":"dup","query":"last wins"}`,
+		`{"query":null,"k":null,"timeout_ms":null}`,
+		`{"query":"esc \" \\ \/ \b \f \n \r \t"}`,
+		`{"query":"\u0041\u00e9\u4e2d"}`,
+		`{"query":"\ud83d\ude00 pair"}`,
+		`{"query":"lone \ud800 high"}`,
+		`{"query":"low first \udc00\ud800"}`,
+		`{"k":-7}`,
+		`{"k":0}`,
+		`{"timeout_ms":0}`,
+		`{"k":9223372036854775807}`,
+		"\t {\n\"query\" : \"ws\" ,\n\"k\" : 2 }",
+		`{"query":"trailing"} garbage after`,
+		`{"query":"trailing"}{"k":1}`,
+		// rejects
+		``,
+		`   `,
+		`[]`,
+		`"just a string"`,
+		`42`,
+		`true`,
+		`{`,
+		`{"query"}`,
+		`{"query":}`,
+		`{"query":"unterminated`,
+		`{"query":"bad \x escape"}`,
+		`{"query":"trunc \u12"}`,
+		`{"unknown_field":1}`,
+		`{"query":"a","extra":true}`,
+		`{"k":1.5}`,
+		`{"k":1e3}`,
+		`{"k":01}`,
+		`{"k":"5"}`,
+		`{"k":9223372036854775808}`,
+		`{"query":7}`,
+		`{"query":"a",}`,
+		`{"query":"a" "k":1}`,
+		`{"timeout_ms":true}`,
+		"{\"query\":\"raw ctrl \x01\"}",
+	}
+	for _, body := range cases {
+		var want searchRequest
+		dec := json.NewDecoder(bytes.NewReader([]byte(body)))
+		dec.DisallowUnknownFields()
+		wantErr := dec.Decode(&want)
+
+		sc := getScratch()
+		var got fastSearchReq
+		gotErr := parseSearchBody([]byte(body), sc, &got)
+		if (gotErr != nil) != (wantErr != nil) {
+			putScratch(sc)
+			t.Errorf("%q: fast err = %v, encoding/json err = %v", body, gotErr, wantErr)
+			continue
+		}
+		if wantErr == nil {
+			if string(got.query) != want.Query || int(got.k) != want.K || got.timeoutMS != want.TimeoutMS {
+				t.Errorf("%q: fast = (%q, %d, %d), encoding/json = (%q, %d, %d)",
+					body, got.query, got.k, got.timeoutMS, want.Query, want.K, want.TimeoutMS)
+			}
+		}
+		putScratch(sc)
+	}
+}
+
+// TestAppendSearchResponseParity renders rankings through the hand-rolled
+// encoder and through the json.Encoder the handler used to call, byte for
+// byte — including the float corner cases that pick encoding/json's 'e'
+// form and its trimmed exponent.
+func TestAppendSearchResponseParity(t *testing.T) {
+	cases := [][]querygraph.Result{
+		nil,
+		{{Doc: 0, Score: 0}},
+		{{Doc: 1, Score: -3.514223422}, {Doc: 2147483647, Score: 0.25}},
+		{{Doc: 7, Score: 1e-7}, {Doc: 8, Score: -9.5e-7}},
+		{{Doc: 9, Score: 3e21}, {Doc: 10, Score: -1e21}},
+		{{Doc: 11, Score: 1e-6}, {Doc: 12, Score: 0.999999999999}},
+		{{Doc: 13, Score: math.SmallestNonzeroFloat64}, {Doc: 14, Score: math.MaxFloat64}},
+		{{Doc: 15, Score: -0.0000033333}},
+	}
+	for _, rs := range cases {
+		took := 1234567 * time.Nanosecond
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(searchResponse{
+			Results: resultsJSON(rs),
+			TookMS:  tookMS(took),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		got := appendSearchResponse(nil, rs, took)
+		if string(got) != buf.String() {
+			t.Errorf("results %v:\nfast:          %q\nencoding/json: %q", rs, got, buf.String())
+		}
+	}
+}
+
+// TestDeadlineCtxSemantics pins the pooled context's contract: the
+// earliest deadline wins, Err answers from the clock without a timer, and
+// a canceled parent takes precedence over an expired deadline.
+func TestDeadlineCtxSemantics(t *testing.T) {
+	var d deadlineCtx
+	d.reset(t.Context(), time.Hour)
+	if err := d.Err(); err != nil {
+		t.Fatalf("fresh deadlineCtx.Err() = %v", err)
+	}
+	if dl, ok := d.Deadline(); !ok || time.Until(dl) > time.Hour {
+		t.Fatalf("Deadline() = %v, %v", dl, ok)
+	}
+
+	d.reset(t.Context(), -time.Nanosecond)
+	if err := d.Err(); err == nil || err.Error() != "context deadline exceeded" {
+		t.Fatalf("expired deadlineCtx.Err() = %v, want deadline exceeded", err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	d.reset(canceled, -time.Nanosecond)
+	if err := d.Err(); err == nil || err.Error() != "context canceled" {
+		t.Fatalf("canceled-parent Err() = %v, want canceled (parent outranks the deadline)", err)
+	}
+}
+
+// TestScratchInternBounded pins the intern map's two bounds: oversized
+// queries are never interned, and a full map is cleared instead of
+// growing without limit.
+func TestScratchInternBounded(t *testing.T) {
+	sc := getScratch()
+	defer putScratch(sc)
+	clear(sc.intern)
+
+	huge := bytes.Repeat([]byte("q"), internMax+1)
+	_ = sc.internQuery(huge)
+	if len(sc.intern) != 0 {
+		t.Fatalf("oversized query was interned (%d entries)", len(sc.intern))
+	}
+
+	var b [8]byte
+	for i := 0; i < internMax; i++ {
+		n := copy(b[:], "q")
+		for v, j := i, n; j < len(b); v, j = v/10, j+1 {
+			b[j] = byte('0' + v%10)
+		}
+		_ = sc.internQuery(b[:])
+	}
+	if len(sc.intern) != internMax {
+		t.Fatalf("intern entries = %d, want %d", len(sc.intern), internMax)
+	}
+	_ = sc.internQuery([]byte("overflow"))
+	if len(sc.intern) != 1 {
+		t.Fatalf("intern entries after overflow = %d, want 1 (cleared then re-added)", len(sc.intern))
+	}
+}

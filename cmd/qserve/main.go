@@ -32,8 +32,15 @@
 // surface as 408 JSON errors (499 when the client itself went away).
 // When serving a sharded pool, SIGHUP hot-reloads the manifest with zero
 // downtime (in-flight requests finish on the old generation), like
-// POST /v1/admin/reload. SIGINT/SIGTERM drain in-flight requests and
-// Close the backend before exiting.
+// POST /v1/admin/reload. SIGINT/SIGTERM drain in-flight requests, retire
+// the SIGHUP reload loop, and Close the backend before exiting.
+//
+// -admin ADDR starts a second listener serving Go's net/http/pprof
+// endpoints under /debug/pprof/ — CPU and heap profiles of the live
+// server, which is how the zero-allocation /v1/search fast path was
+// found and verified (see DESIGN.md, "Load testing & profiling"). Keep
+// the admin address off the public network; it is deliberately a separate
+// listener so the serving port never exposes profiling.
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +63,7 @@ func main() {
 	log.SetPrefix("qserve: ")
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
+		admin   = flag.String("admin", "", "optional admin listen address serving net/http/pprof under /debug/pprof/ (disabled when empty; keep it private)")
 		load    = flag.String("load", "", "serving state: a .qgs snapshot (qgen -out FILE.qgs) or a shard manifest .json (qgen -shards N -out DIR); required")
 		timeout = flag.Duration("timeout", 5*time.Second, "default per-request timeout (requests may lower it via timeout_ms)")
 		cache   = flag.Int("cache", 0, "expansion cache capacity (0 = default 1024, negative disables)")
@@ -85,28 +94,32 @@ func main() {
 			*load, time.Since(start).Round(time.Millisecond), st.Articles, st.Documents, st.BenchmarkQueries)
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newServer(be, *timeout, metrics),
-		ReadHeaderTimeout: 5 * time.Second,
+	srv := newHTTPServer(*addr, newServer(be, *timeout, metrics), *timeout)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		adminSrv = newAdminServer(*admin)
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("admin server: %v", err)
+			}
+		}()
+		log.Printf("admin endpoints (pprof) on %s", *admin)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	var (
+		hup     chan os.Signal
+		hupDone chan struct{}
+	)
 	if pool != nil {
-		hup := make(chan os.Signal, 1)
+		hup = make(chan os.Signal, 1)
+		hupDone = make(chan struct{})
 		signal.Notify(hup, syscall.SIGHUP)
 		go func() {
-			for range hup {
-				t0 := time.Now()
-				if err := pool.Reload(""); err != nil {
-					log.Printf("SIGHUP reload failed (still serving generation %d): %v", pool.Generation(), err)
-					continue
-				}
-				log.Printf("SIGHUP reload: now serving generation %d (%d shards, %d documents) after %v",
-					pool.Generation(), pool.NumShards(), pool.Stats().Documents,
-					time.Since(t0).Round(time.Millisecond))
-			}
+			defer close(hupDone)
+			reloadLoop(pool, hup)
 		}()
 	}
 	errc := make(chan error, 1)
@@ -119,6 +132,19 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Print("shutting down: draining in-flight requests")
+	// Retire the SIGHUP loop before draining: signal.Stop ends delivery,
+	// closing the channel exits the loop, and waiting on hupDone guarantees
+	// no reload is mid-flight when the backend is closed. The loop used to
+	// simply outlive the drain, leaving a window where a SIGHUP could
+	// reload a pool that shutdown was concurrently retiring.
+	if pool != nil {
+		signal.Stop(hup)
+		close(hup)
+		<-hupDone
+	}
+	if adminSrv != nil {
+		_ = adminSrv.Close()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := drainAndClose(shutdownCtx, srv, be); err != nil {
@@ -128,6 +154,65 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Print("bye")
+}
+
+// newHTTPServer builds the serving http.Server with its full timeout
+// set. The server used to set only ReadHeaderTimeout, which left two
+// holes: a client could trickle a request body forever (no ReadTimeout),
+// and an idle keep-alive connection was held open indefinitely (no
+// IdleTimeout). ReadTimeout is sized above the per-request deadline so a
+// legitimate slow request hits the 408 JSON error from its own deadline,
+// never a silently killed connection.
+func newHTTPServer(addr string, handler http.Handler, reqTimeout time.Duration) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       reqTimeout + readTimeoutPad,
+		IdleTimeout:       idleTimeout,
+	}
+}
+
+// The timeout components are package vars only so the slow-client tests
+// can scale them down to milliseconds; production always runs the values
+// below. ReadTimeout's pad keeps it strictly above the request deadline.
+var (
+	readHeaderTimeout = 5 * time.Second
+	readTimeoutPad    = 10 * time.Second
+	idleTimeout       = 2 * time.Minute
+)
+
+// newAdminServer builds the private admin listener: Go's pprof handlers
+// on an explicit mux (never the default mux, so nothing else leaks onto
+// this port and pprof never leaks onto the serving port).
+func newAdminServer(addr string) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+}
+
+// reloadLoop services SIGHUP hot reloads until its channel closes. Main
+// retires it during shutdown — signal.Stop, close(hup), wait — so a
+// reload can never race the drain or touch a closed pool.
+func reloadLoop(pool *querygraph.Pool, hup <-chan os.Signal) {
+	for range hup {
+		t0 := time.Now()
+		if err := pool.Reload(""); err != nil {
+			log.Printf("SIGHUP reload failed (still serving generation %d): %v", pool.Generation(), err)
+			continue
+		}
+		log.Printf("SIGHUP reload: now serving generation %d (%d shards, %d documents) after %v",
+			pool.Generation(), pool.NumShards(), pool.Stats().Documents,
+			time.Since(t0).Round(time.Millisecond))
+	}
 }
 
 // drainAndClose is the shutdown sequence: drain in-flight HTTP requests

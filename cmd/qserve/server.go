@@ -6,9 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"mime"
 	"net/http"
+	"sync"
 	"time"
 
 	querygraph "github.com/querygraph/querygraph"
@@ -76,12 +76,30 @@ func (s *server) requestContext(r *http.Request) (context.Context, context.Cance
 }
 
 // requestTimeout converts a wire timeout_ms into the typed requests'
-// Timeout field (0 = inherit the server deadline unchanged).
+// Timeout field (0 = inherit the server deadline unchanged). Negative
+// values never reach here: every endpoint rejects them first via
+// validTimeout.
 func requestTimeout(timeoutMS int64) time.Duration {
 	if timeoutMS <= 0 {
 		return 0
 	}
 	return time.Duration(timeoutMS) * time.Millisecond
+}
+
+// validTimeout rejects a negative timeout_ms with 400 invalid_timeout.
+// Before this check existed, a negative value slid through requestTimeout's
+// "<= 0 means inherit" clamp and silently behaved like an absent field —
+// the opposite of what a client asking for a nonsensical deadline should
+// see.
+func (s *server) validTimeout(w http.ResponseWriter, timeoutMS int64) bool {
+	if timeoutMS >= 0 {
+		return true
+	}
+	s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: errorBody{
+		Code:    "invalid_timeout",
+		Message: fmt.Sprintf("timeout_ms must be >= 0, got %d", timeoutMS),
+	}})
+	return false
 }
 
 // --- wire types --------------------------------------------------------
@@ -261,31 +279,57 @@ type expandBatchResponse struct {
 
 // --- handlers ----------------------------------------------------------
 
+// handleSearch is the zero-allocation fast path (see fastpath.go): pooled
+// body and encode buffers, a hand-rolled parser and encoder for the two
+// wire structs, an interned query string, a timer-free pooled deadline
+// context and Backend.SearchInto over pooled result storage. At steady
+// state the handler allocates nothing per request — pinned by
+// TestSearchHandlerZeroAlloc.
 func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	var req searchRequest
-	if !s.decode(w, r, &req) {
+	if !s.requireJSONFast(w, r) {
 		return
 	}
-	ctx, cancel := s.requestContext(r)
-	defer cancel()
-	resp, err := querygraph.SearchRequest{
-		Query:   req.Query,
-		K:       s.rank(req.K),
-		Timeout: requestTimeout(req.TimeoutMS),
-	}.Do(ctx, s.backend)
+	sc := getScratch()
+	defer putScratch(sc)
+	body, ok := s.readBody(w, r, sc)
+	if !ok {
+		return
+	}
+	var req fastSearchReq
+	if err := parseSearchBody(body, sc, &req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: errorBody{
+			Code:    "invalid_body",
+			Message: "bad request body: " + err.Error(),
+		}})
+		return
+	}
+	if !s.validTimeout(w, req.timeoutMS) {
+		return
+	}
+	timeout := s.timeout
+	if t := requestTimeout(req.timeoutMS); t > 0 && t < timeout {
+		timeout = t
+	}
+	sc.dctx.reset(r.Context(), timeout)
+	start := time.Now()
+	rs, err := s.backend.SearchInto(&sc.dctx, sc.internQuery(req.query), s.rank(int(req.k)), sc.results[:0])
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, searchResponse{
-		Results: resultsJSON(resp.Results),
-		TookMS:  tookMS(resp.Took),
-	})
+	sc.results = rs
+	sc.out = appendSearchResponse(sc.out[:0], rs, time.Since(start))
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(sc.out)
 }
 
 func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	var req searchBatchRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.validTimeout(w, req.TimeoutMS) {
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -310,6 +354,9 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	var req expandRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.validTimeout(w, req.TimeoutMS) {
 		return
 	}
 	opts, err := req.options()
@@ -348,6 +395,9 @@ func (s *server) handleExpand(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleExpandBatch(w http.ResponseWriter, r *http.Request) {
 	var req expandBatchRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.validTimeout(w, req.TimeoutMS) {
 		return
 	}
 	opts, err := req.options()
@@ -412,20 +462,10 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req reloadRequest
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			s.writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{Error: errorBody{
-				Code:    "request_too_large",
-				Message: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-			}})
-			return
-		}
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: errorBody{
-			Code:    "invalid_body",
-			Message: "bad request body: " + err.Error(),
-		}})
+	sc := getScratch()
+	defer putScratch(sc)
+	body, ok := s.readBody(w, r, sc)
+	if !ok {
 		return
 	}
 	if len(bytes.TrimSpace(body)) > 0 {
@@ -640,10 +680,19 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 	s.writeJSON(w, status, errorResponse{Error: errorBody{Code: code, Message: err.Error()}})
 }
 
+// encoderBufPool recycles the staging buffers writeJSON encodes into; the
+// per-response json.Encoder is unavoidable on this generic path, but the
+// buffer (the larger allocation) is not.
+var encoderBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (s *server) writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json")
+	buf := encoderBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_ = json.NewEncoder(buf).Encode(body)
+	w.Header()["Content-Type"] = jsonContentType
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(body)
+	_, _ = w.Write(buf.Bytes())
+	encoderBufPool.Put(buf)
 }
 
 func ms(start time.Time) float64 {

@@ -553,31 +553,35 @@ func TestMetricsEndpoint(t *testing.T) {
 // poolServer builds a sharded pool over a small world and wraps it in a
 // server; it returns the pool and a second manifest (a different world)
 // to reload into.
+// buildManifest generates a small sharded world and returns its manifest
+// path.
+func buildManifest(t *testing.T, seed int64, shards int) string {
+	t.Helper()
+	cfg := querygraph.DefaultWorldConfig()
+	cfg.Seed = seed
+	cfg.Topics = 6
+	cfg.ArticlesPerTopic = 10
+	cfg.DocsPerTopic = 12
+	cfg.Queries = 6
+	w, err := querygraph.GenerateWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := querygraph.Build(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := c.SaveShards(dir, shards); err != nil {
+		t.Fatal(err)
+	}
+	return dir + "/manifest.json"
+}
+
 func poolServer(t *testing.T) (*server, *querygraph.Pool, string) {
 	t.Helper()
-	build := func(seed int64, shards int) (*querygraph.Client, string) {
-		cfg := querygraph.DefaultWorldConfig()
-		cfg.Seed = seed
-		cfg.Topics = 6
-		cfg.ArticlesPerTopic = 10
-		cfg.DocsPerTopic = 12
-		cfg.Queries = 6
-		w, err := querygraph.GenerateWorld(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		c, err := querygraph.Build(w)
-		if err != nil {
-			t.Fatal(err)
-		}
-		dir := t.TempDir()
-		if err := c.SaveShards(dir, shards); err != nil {
-			t.Fatal(err)
-		}
-		return c, dir + "/manifest.json"
-	}
-	_, manifestA := build(3, 2)
-	_, manifestB := build(9, 3)
+	manifestA := buildManifest(t, 3, 2)
+	manifestB := buildManifest(t, 9, 3)
 	pool, err := querygraph.OpenPool(manifestA)
 	if err != nil {
 		t.Fatal(err)

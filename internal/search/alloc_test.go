@@ -1,0 +1,31 @@
+// Allocation regression tests are meaningless under the race detector —
+// its instrumentation allocates on paths that are clean in normal builds.
+//go:build !race
+
+package search
+
+import "testing"
+
+// TestSearchTextSteadyStateAllocs pins the engine-level zero-allocation
+// contract the qserve fast path builds on: with a warm leaves cache and a
+// reused dst, SearchText allocates nothing.
+func TestSearchTextSteadyStateAllocs(t *testing.T) {
+	e := buildEngine(t,
+		"venice grand canal gondola",
+		"venice carnival mask",
+		"canal water transport venice",
+	)
+	dst := make([]Result, 0, 16)
+	if _, err := e.SearchText("venice canal", 2, dst); err != nil { // warm
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		rs, err := e.SearchText("venice canal", 2, dst)
+		if err != nil || len(rs) == 0 {
+			t.Fatal("unexpected result", rs, err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SearchText steady state allocates %v per op, want 0", allocs)
+	}
+}

@@ -35,6 +35,12 @@ type Engine struct {
 	// scratch pools the dense per-search accumulators so concurrent
 	// searches don't contend and repeated searches don't reallocate.
 	scratch sync.Pool
+
+	// planPool recycles Plan values for SearchLeaves, and leaves caches
+	// parsed+flattened query text, so the text search path allocates
+	// nothing at steady state.
+	planPool sync.Pool
+	leaves   leafCache
 }
 
 // Option configures an Engine.
@@ -162,7 +168,8 @@ type scorerScratch struct {
 	acc   []float64 // acc[doc]: tf-dependent score mass of this search
 	epoch []uint32  // epoch[doc] == cur marks doc as a candidate
 	cur   uint32
-	docs  []int32 // candidate docs in first-touch order
+	docs  []int32  // candidate docs in first-touch order
+	heap  []Result // top-k heap storage, reused across searches
 }
 
 func (e *Engine) getScratch() *scorerScratch {
@@ -264,7 +271,51 @@ func (e *Engine) Search(q Node, k int) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.SearchPlan(e.PlanLeaves(leaves), k, nil)
+	return e.SearchLeaves(leaves, k, nil)
+}
+
+// LeavesForQuery parses and flattens raw query text into scoring leaves,
+// memoized in the engine's bounded LRU so repeated query strings skip the
+// parse entirely (the steady-state serving case). The returned leaves are
+// shared and must be treated as read-only; errors are never cached.
+func (e *Engine) LeavesForQuery(query string) ([]Leaf, error) {
+	if leaves, ok := e.leaves.get(query); ok {
+		return leaves, nil
+	}
+	node, err := ParseQuery(query, e.an)
+	if err != nil {
+		return nil, err
+	}
+	leaves, err := Flatten(node)
+	if err != nil {
+		return nil, err
+	}
+	e.leaves.put(query, leaves)
+	return leaves, nil
+}
+
+// SearchText evaluates raw query text under the Search contract, reusing
+// dst's storage for the returned ranking (dst may be nil). With a warm
+// leaves cache and a caller-pooled dst this path allocates nothing.
+func (e *Engine) SearchText(query string, k int, dst []Result) ([]Result, error) {
+	leaves, err := e.LeavesForQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.SearchLeaves(leaves, k, dst)
+}
+
+// SearchLeaves evaluates pre-flattened scoring leaves under the Search
+// contract, reusing dst's storage for the returned ranking (dst may be
+// nil). The plan is drawn from a pool, so repeated searches do not
+// reallocate postings tables.
+func (e *Engine) SearchLeaves(leaves []Leaf, k int, dst []Result) ([]Result, error) {
+	p, _ := e.planPool.Get().(*Plan)
+	p = e.PlanLeavesInto(p, leaves)
+	rs, err := e.SearchPlanInto(p, k, nil, dst)
+	p.leaves = nil // do not pin caller (or cached) leaves across pool reuse
+	e.planPool.Put(p)
+	return rs, err
 }
 
 // SearchPlan scores a planned query under the given collection statistics
@@ -282,6 +333,14 @@ func (e *Engine) Search(q Node, k int) ([]Result, error) {
 // per candidate. Ranking uses a bounded top-k heap instead of sorting every
 // candidate.
 func (e *Engine) SearchPlan(p *Plan, k int, stats *Stats) ([]Result, error) {
+	return e.SearchPlanInto(p, k, stats, nil)
+}
+
+// SearchPlanInto is SearchPlan reusing dst's storage for the returned
+// ranking (dst may be nil, in which case a fresh slice is allocated). The
+// top-k heap itself lives in the engine's pooled scratch, so a caller that
+// recycles dst completes the whole scoring pass without allocating.
+func (e *Engine) SearchPlanInto(p *Plan, k int, stats *Stats, dst []Result) ([]Result, error) {
 	totalTokens := e.ix.TotalTokens()
 	leafCF := p.localCF
 	if stats != nil {
@@ -295,7 +354,7 @@ func (e *Engine) SearchPlan(p *Plan, k int, stats *Stats) ([]Result, error) {
 		}
 	}
 	if e.ix.NumDocs() == 0 || totalTokens == 0 {
-		return []Result{}, nil
+		return emptyResults(dst), nil
 	}
 	total := float64(totalTokens)
 
@@ -320,13 +379,13 @@ func (e *Engine) SearchPlan(p *Plan, k int, stats *Stats) ([]Result, error) {
 		}
 	}
 	if len(sc.docs) == 0 {
-		return []Result{}, nil
+		return emptyResults(dst), nil
 	}
 
 	if k <= 0 || k > len(sc.docs) {
 		k = len(sc.docs)
 	}
-	top := newTopK(k)
+	top := topK{k: k, h: sc.heap[:0]}
 	for _, doc := range sc.docs {
 		dl, err := e.ix.DocLen(doc)
 		if err != nil {
@@ -335,7 +394,23 @@ func (e *Engine) SearchPlan(p *Plan, k int, stats *Stats) ([]Result, error) {
 		score := zeroSum + sc.acc[doc] - weightSum*math.Log(float64(dl)+e.mu)
 		top.offer(Result{Doc: doc, Score: score})
 	}
-	return top.ranked(), nil
+	out := top.ranked()
+	sc.heap = out[:0] // the drained heap's storage stays pooled
+	if dst == nil {
+		res := make([]Result, len(out))
+		copy(res, out)
+		return res, nil
+	}
+	return append(dst[:0], out...), nil
+}
+
+// emptyResults is the no-candidates ranking under the Search contract: an
+// empty, non-nil slice, reusing dst's storage when the caller supplied one.
+func emptyResults(dst []Result) []Result {
+	if dst != nil {
+		return dst[:0]
+	}
+	return []Result{}
 }
 
 // Docs extracts the document IDs of results in rank order.

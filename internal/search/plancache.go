@@ -1,0 +1,167 @@
+package search
+
+import (
+	"strings"
+	"sync"
+)
+
+// The leaf cache memoizes LeavesForQuery: parsing and flattening raw query
+// text is the only per-request work of the text search path that cannot
+// reuse pooled storage, so serving traffic — which repeats query strings —
+// would otherwise pay an AST's worth of garbage on every request. The
+// cache is sharded like the expansion cache to keep lock contention off
+// the hot path, and a hit costs a hash, one shard lock and two pointer
+// swaps: no allocation.
+//
+// Entries are immutable once inserted: leaves are deep-copied on insert
+// (slice, terms and strings), so a cached entry never aliases caller
+// memory — in particular the reusable request buffers cmd/qserve parses
+// query text out of.
+
+// leafCacheShards must be a power of two (the hash is masked, not
+// modulo'd).
+const leafCacheShards = 16
+
+// leafCacheCapacity bounds the total number of cached query strings
+// across all shards; beyond it the least recently used entry of the
+// insert's shard is evicted.
+const leafCacheCapacity = 4096
+
+// leafCacheMaxKey bounds the cached query length: pathological
+// multi-kilobyte queries flow through uncached rather than evicting the
+// working set.
+const leafCacheMaxKey = 1024
+
+type leafEntry struct {
+	key        string
+	leaves     []Leaf
+	prev, next *leafEntry
+}
+
+type leafShard struct {
+	mu      sync.Mutex
+	entries map[string]*leafEntry
+	// head is the most recently used entry, tail the eviction candidate.
+	head, tail *leafEntry
+}
+
+type leafCache struct {
+	shards [leafCacheShards]leafShard
+}
+
+// fnv1a hashes the query to a shard without allocating.
+func fnv1a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *leafCache) shard(query string) *leafShard {
+	return &c.shards[fnv1a(query)&(leafCacheShards-1)]
+}
+
+// get returns the cached leaves for query, refreshing its recency.
+func (c *leafCache) get(query string) ([]Leaf, bool) {
+	if len(query) > leafCacheMaxKey {
+		return nil, false
+	}
+	s := c.shard(query)
+	s.mu.Lock()
+	e, ok := s.entries[query]
+	if ok {
+		s.moveToFront(e)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return e.leaves, true
+}
+
+// put inserts a deep copy of leaves under a cloned key, evicting the
+// shard's least recently used entry at capacity. Concurrent duplicate
+// inserts keep the first entry.
+func (c *leafCache) put(query string, leaves []Leaf) {
+	if len(query) > leafCacheMaxKey {
+		return
+	}
+	e := &leafEntry{key: strings.Clone(query), leaves: cloneLeaves(leaves)}
+	s := c.shard(query)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.entries == nil {
+		s.entries = make(map[string]*leafEntry)
+	}
+	if _, dup := s.entries[e.key]; dup {
+		return
+	}
+	if len(s.entries) >= leafCacheCapacity/leafCacheShards {
+		s.evictTail()
+	}
+	s.entries[e.key] = e
+	s.pushFront(e)
+}
+
+// cloneLeaves deep-copies leaves so the cache shares no memory with the
+// query they were flattened from.
+func cloneLeaves(leaves []Leaf) []Leaf {
+	out := make([]Leaf, len(leaves))
+	for i, lf := range leaves {
+		terms := make([]string, len(lf.Terms))
+		for j, t := range lf.Terms {
+			terms[j] = strings.Clone(t)
+		}
+		out[i] = Leaf{Terms: terms, Weight: lf.Weight}
+	}
+	return out
+}
+
+func (s *leafShard) pushFront(e *leafEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *leafShard) unlink(e *leafEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *leafShard) moveToFront(e *leafEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *leafShard) evictTail() {
+	e := s.tail
+	if e == nil {
+		return
+	}
+	s.unlink(e)
+	delete(s.entries, e.key)
+}

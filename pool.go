@@ -272,6 +272,29 @@ func (p *Pool) Search(ctx context.Context, query string, k int) ([]Result, error
 	return rs, err
 }
 
+// SearchInto is Search reusing dst's storage for the returned ranking
+// (dst may be nil). The scatter-gather itself still allocates per-shard
+// merge state — the zero-allocation steady state is a *Client property —
+// but the contract (results copied into dst, query and dst not retained)
+// is identical, so front ends program against one Backend shape.
+func (p *Pool) SearchInto(ctx context.Context, query string, k int, dst []Result) ([]Result, error) {
+	start := time.Now()
+	rs, shards, err := p.searchIntoText(ctx, query, k, dst)
+	p.obs().search(start, k, shards, false, err)
+	return rs, err
+}
+
+func (p *Pool) searchIntoText(ctx context.Context, query string, k int, dst []Result) ([]Result, int, error) {
+	rs, shards, err := p.searchText(ctx, query, k)
+	if err != nil {
+		return nil, shards, err
+	}
+	if dst == nil && rs != nil {
+		return rs, shards, nil
+	}
+	return append(dst[:0], rs...), shards, nil
+}
+
 func (p *Pool) searchText(ctx context.Context, query string, k int) ([]Result, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
