@@ -3,6 +3,7 @@ package querygraph
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -55,28 +56,36 @@ type Backend interface {
 	Close() error
 }
 
-// Both runtimes satisfy the contract — enforced at compile time.
+// All three runtimes satisfy the contract — enforced at compile time.
 var (
 	_ Backend = (*Client)(nil)
 	_ Backend = (*Pool)(nil)
+	_ Backend = (*Remote)(nil)
 )
 
-// OpenBackend opens either serving artifact behind one constructor: a .qgs
+// OpenBackend opens any serving artifact behind one constructor: a .qgs
 // snapshot file (qgen -out FILE.qgs, Client.Save) yields a *Client, a
-// shard manifest (qgen -shards N, Client.SaveShards) yields a *Pool. The
-// artifact kind is sniffed from the file's leading bytes — the snapshot
-// magic versus JSON — with the path's extension as the tiebreak for
-// unreadably short files, so callers never branch on deployment shape.
-// Open and OpenPool remain the thin, concrete-typed forms.
+// shard manifest (qgen -shards N, Client.SaveShards) yields a *Pool, and
+// a shard-fleet topology (shards with "addrs" instead of "path") yields a
+// *Remote fan-out coordinator. The artifact kind is sniffed from the
+// file's leading bytes — the snapshot magic versus JSON, with the two
+// JSON schemas told apart by their shard entries — and the path's
+// extension breaks ties for unreadably short files, so callers never
+// branch on deployment shape. Open, OpenPool and OpenTopology remain the
+// thin, concrete-typed forms.
 func OpenBackend(path string, opts ...Option) (Backend, error) {
 	kind, err := sniffArtifact(path)
 	if err != nil {
 		return nil, err
 	}
-	if kind == artifactManifest {
+	switch kind {
+	case artifactManifest:
 		return OpenPool(path, opts...)
+	case artifactTopology:
+		return OpenTopology(path, opts...)
+	default:
+		return Open(path, opts...)
 	}
-	return Open(path, opts...)
 }
 
 type artifactKind int
@@ -84,14 +93,16 @@ type artifactKind int
 const (
 	artifactSnapshot artifactKind = iota
 	artifactManifest
+	artifactTopology
 )
 
 // sniffArtifact classifies the serving artifact at path by content: the
-// snapshot store's magic bytes mean a .qgs snapshot, a leading '{' means a
-// JSON shard manifest. Files too short or too ambiguous for either fall
-// back to the extension (.json = manifest), and a miss on every rule is
-// reported as a bad snapshot — the decoder's error domain for "not a
-// serving artifact".
+// snapshot store's magic bytes mean a .qgs snapshot, a leading '{' means
+// one of the JSON artifacts — a shard manifest (shard entries carry a
+// "path") or a fleet topology (shard entries carry "addrs"). Files too
+// short or too ambiguous for any rule fall back to the extension
+// (.json = manifest), and a miss on every rule is reported as a bad
+// snapshot — the decoder's error domain for "not a serving artifact".
 func sniffArtifact(path string) (artifactKind, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -107,7 +118,7 @@ func sniffArtifact(path string) (artifactKind, error) {
 		return artifactSnapshot, nil
 	}
 	if trimmed := bytes.TrimLeft(header, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
-		return artifactManifest, nil
+		return classifyJSON(f)
 	}
 	if strings.HasSuffix(path, ".json") {
 		return artifactManifest, nil
@@ -119,4 +130,29 @@ func sniffArtifact(path string) (artifactKind, error) {
 	// Neither magic nor JSON nor a .json path: let the snapshot decoder
 	// produce its precise bad-magic error.
 	return artifactSnapshot, nil
+}
+
+// classifyJSON tells the two JSON artifacts apart by probing the shard
+// entries: addresses mean a fleet topology, paths (or anything else,
+// including malformed JSON) mean a shard manifest, whose strict decoder
+// owns the error reporting.
+func classifyJSON(f *os.File) (artifactKind, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return artifactManifest, nil
+	}
+	var probe struct {
+		Shards []struct {
+			Path  string   `json:"path"`
+			Addrs []string `json:"addrs"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(f).Decode(&probe); err != nil {
+		return artifactManifest, nil
+	}
+	for _, sh := range probe.Shards {
+		if len(sh.Addrs) > 0 && sh.Path == "" {
+			return artifactTopology, nil
+		}
+	}
+	return artifactManifest, nil
 }

@@ -37,7 +37,8 @@ func conformanceWorld(t *testing.T) *Client {
 // conformanceBackends returns the reference client plus every runtime
 // under test, each opened through OpenBackend so the constructor's
 // artifact sniffing is on the conformance path too: the snapshot-backed
-// Client and the sharded Pool at 1 and 4 shards.
+// Client, the sharded Pool at 1 and 4 shards, and the fan-out Remote
+// coordinator over a live 2-shard qshard fleet on loopback.
 func conformanceBackends(t *testing.T, opts ...Option) (*Client, map[string]Backend) {
 	t.Helper()
 	ref := conformanceWorld(t)
@@ -79,6 +80,21 @@ func conformanceBackends(t *testing.T, opts ...Option) (*Client, map[string]Back
 		}
 		backends[fmt.Sprintf("pool-%d", shards)] = be
 	}
+
+	fleetDir := filepath.Join(dir, "fleet")
+	if err := ref.SaveShards(fleetDir, 2); err != nil {
+		t.Fatal(err)
+	}
+	topo, _ := startShardFleet(t, fleetDir, 2, nil)
+	be, err = OpenBackend(topo, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := be.(*Remote); !ok {
+		t.Fatalf("OpenBackend(topology) = %T, want *Remote", be)
+	}
+	backends["remote-2"] = be
+
 	t.Cleanup(func() {
 		for _, be := range backends {
 			_ = be.Close()
@@ -332,6 +348,24 @@ func TestOpenBackendSniffs(t *testing.T) {
 	}
 	if _, err := OpenBackend(filepath.Join(dir, "missing.qgs")); !errors.Is(err, os.ErrNotExist) {
 		t.Fatalf("missing file err = %v, want os.ErrNotExist", err)
+	}
+
+	// A fleet topology is the third artifact kind: JSON whose shard
+	// entries carry addresses, not snapshot paths.
+	topo := filepath.Join(dir, "topology.json")
+	if err := os.WriteFile(topo, []byte(`{"version":1,"shards":[{"id":0,"addrs":["127.0.0.1:1"]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if kind, err := sniffArtifact(topo); err != nil || kind != artifactTopology {
+		t.Fatalf("topology sniffed as %v (err %v), want artifactTopology", kind, err)
+	}
+	if kind, err := sniffArtifact(manifest); err != nil || kind != artifactManifest {
+		t.Fatalf("manifest sniffed as %v (err %v), want artifactManifest", kind, err)
+	}
+	// Opening a topology whose only shard is unreachable fails with the
+	// shard-unavailable sentinel — proof the sniff routed to OpenTopology.
+	if _, err := OpenBackend(topo); !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("unreachable topology err = %v, want ErrShardUnavailable", err)
 	}
 }
 

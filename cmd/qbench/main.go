@@ -19,9 +19,10 @@
 // With -load, the world is decoded from a binary snapshot written by
 // qgen -out world.qgs — or, when the path ends in .json, from a sharded
 // snapshot manifest written by qgen -shards N (served through the
-// scatter-gather pool; batch experiment only) — instead of being
-// regenerated and re-indexed; -seed and -queries are ignored in that
-// mode.
+// in-process scatter-gather pool) or a shard-fleet topology (served
+// through the networked fan-out coordinator over qshard servers); both
+// JSON artifacts drive the batch experiment only. -seed and -queries
+// are ignored in -load mode.
 package main
 
 import (
@@ -46,7 +47,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "world seed (0 = the default benchmark seed)")
 		queries = flag.Int("queries", 0, "number of benchmark queries (0 = default 50)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		load    = flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs) or a shard manifest (qgen -shards N -out DIR) instead of generating")
+		load    = flag.String("load", "", "load a binary world snapshot (qgen -out FILE.qgs), a shard manifest (qgen -shards N -out DIR), or a shard-fleet topology .json instead of generating")
 		jsonOut = flag.String("json", "", "write a machine-readable batch summary to this file (\"-\" = stdout); requires the batch experiment")
 	)
 	flag.Parse()
@@ -58,7 +59,7 @@ func main() {
 
 	if strings.HasSuffix(*load, ".json") {
 		if *exp != "batch" {
-			log.Fatalf("a shard manifest serves the batch experiment only; run with -exp batch, not %q", *exp)
+			log.Fatalf("a shard manifest or topology serves the batch experiment only; run with -exp batch, not %q", *exp)
 		}
 		runPool(ctx, *load, *workers, *jsonOut)
 		return
@@ -141,29 +142,40 @@ func main() {
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-// runPool serves the batch experiment over a sharded snapshot manifest
-// through the scatter-gather pool, driven through the one Backend
-// contract (OpenBackend sniffs the artifact kind).
-func runPool(ctx context.Context, manifest string, workers int, jsonOut string) {
+// runPool serves the batch experiment over a sharded serving artifact —
+// a snapshot manifest (in-process scatter-gather pool) or a shard-fleet
+// topology (networked fan-out over qshard servers) — driven through the
+// one Backend contract (OpenBackend sniffs the artifact kind), so the
+// two deployment shapes are benchmarked by the same harness and their
+// summaries compare like for like.
+func runPool(ctx context.Context, path string, workers int, jsonOut string) {
 	start := time.Now()
-	be, err := querygraph.OpenBackend(manifest)
+	be, err := querygraph.OpenBackend(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer be.Close()
-	pool, ok := be.(*querygraph.Pool)
-	if !ok {
-		log.Fatalf("%s did not open as a sharded pool; pass the manifest.json written by qgen -shards", manifest)
+	var (
+		shards int
+		source string
+	)
+	switch b := be.(type) {
+	case *querygraph.Pool:
+		shards, source = b.NumShards(), "manifest "+path
+	case *querygraph.Remote:
+		shards, source = b.NumShards(), "topology "+path
+	default:
+		log.Fatalf("%s did not open as a sharded artifact; pass a manifest.json (qgen -shards) or a shard-fleet topology.json", path)
 	}
 	qs := be.Queries()
 	if len(qs) == 0 {
-		log.Fatalf("manifest %s carries no query benchmark", manifest)
+		log.Fatalf("%s carries no query benchmark", source)
 	}
 	st := be.Stats()
-	fmt.Printf("world: manifest %s (%d shards), %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (ready in %v)\n\n",
-		manifest, pool.NumShards(), st.Articles, st.Redirects, st.Categories, st.Links,
+	fmt.Printf("world: %s (%d shards), %d articles, %d redirects, %d categories, %d links, %d docs, %d queries (ready in %v)\n\n",
+		source, shards, st.Articles, st.Redirects, st.Categories, st.Links,
 		st.Documents, len(qs), time.Since(start).Round(time.Millisecond))
-	if err := runBatch(ctx, be, qs, workers, "manifest "+manifest, pool.NumShards(), jsonOut); err != nil {
+	if err := runBatch(ctx, be, qs, workers, source, shards, jsonOut); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("total wall time: %v\n", time.Since(start).Round(time.Millisecond))

@@ -1,13 +1,15 @@
 // Command qserve is the HTTP front end of the reproduction: it loads a
-// binary serving snapshot (qgen -out world.qgs) or a sharded snapshot
-// manifest (qgen -shards N -out DIR) at boot and serves search and
-// cycle-based query expansion as a JSON API — the online half of the
-// paper's offline-mine / online-serve split.
+// binary serving snapshot (qgen -out world.qgs), a sharded snapshot
+// manifest (qgen -shards N -out DIR), or a shard-fleet topology (shards
+// served remotely by qshard) at boot and serves search and cycle-based
+// query expansion as a JSON API — the online half of the paper's
+// offline-mine / online-serve split.
 //
 // Usage:
 //
 //	qserve -load world.qgs           [-addr :8080] [-timeout 5s] [-cache N]
 //	qserve -load DIR/manifest.json   (sharded pool: scatter-gather + hot reload)
+//	qserve -load topology.json       (fan-out coordinator over qshard servers)
 //
 // Endpoints:
 //
@@ -34,6 +36,13 @@
 // downtime (in-flight requests finish on the old generation), like
 // POST /v1/admin/reload. SIGINT/SIGTERM drain in-flight requests, retire
 // the SIGHUP reload loop, and Close the backend before exiting.
+//
+// When serving a topology, the backend is a querygraph.Remote fan-out
+// coordinator: searches scatter to the qshard fleet and merge
+// bit-identically with the in-process runtimes. Under the degrade policy
+// a fleet that lost shards (but kept quorum) answers 200 with
+// "partial": true; below quorum the coordinator's shard_unavailable
+// errors surface as 503.
 //
 // -admin ADDR starts a second listener serving Go's net/http/pprof
 // endpoints under /debug/pprof/ — CPU and heap profiles of the live
@@ -64,13 +73,13 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		admin   = flag.String("admin", "", "optional admin listen address serving net/http/pprof under /debug/pprof/ (disabled when empty; keep it private)")
-		load    = flag.String("load", "", "serving state: a .qgs snapshot (qgen -out FILE.qgs) or a shard manifest .json (qgen -shards N -out DIR); required")
+		load    = flag.String("load", "", "serving state: a .qgs snapshot (qgen -out FILE.qgs), a shard manifest .json (qgen -shards N -out DIR), or a shard-fleet topology .json (remote qshard servers); required")
 		timeout = flag.Duration("timeout", 5*time.Second, "default per-request timeout (requests may lower it via timeout_ms)")
 		cache   = flag.Int("cache", 0, "expansion cache capacity (0 = default 1024, negative disables)")
 	)
 	flag.Parse()
 	if *load == "" {
-		log.Fatal("-load is required: a snapshot (qgen -out world.qgs) or a shard manifest (qgen -shards 4 -out worlddir)")
+		log.Fatal("-load is required: a snapshot (qgen -out world.qgs), a shard manifest (qgen -shards 4 -out worlddir), or a shard-fleet topology json")
 	}
 
 	metrics := querygraph.NewMetricsObserver()
@@ -84,12 +93,18 @@ func main() {
 		log.Fatal(err)
 	}
 	pool, _ := be.(*querygraph.Pool)
+	remote, _ := be.(*querygraph.Remote)
 	st := be.Stats()
-	if pool != nil {
+	switch {
+	case pool != nil:
 		log.Printf("loaded %s in %v: %d shards, %d articles, %d documents, %d benchmark queries",
 			*load, time.Since(start).Round(time.Millisecond), pool.NumShards(),
 			st.Articles, st.Documents, st.BenchmarkQueries)
-	} else {
+	case remote != nil:
+		log.Printf("connected to %s in %v: %d remote shards, %d articles, %d documents, %d benchmark queries",
+			*load, time.Since(start).Round(time.Millisecond), remote.NumShards(),
+			st.Articles, st.Documents, st.BenchmarkQueries)
+	default:
 		log.Printf("loaded %s in %v: %d articles, %d documents, %d benchmark queries",
 			*load, time.Since(start).Round(time.Millisecond), st.Articles, st.Documents, st.BenchmarkQueries)
 	}

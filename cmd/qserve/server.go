@@ -32,6 +32,9 @@ type server struct {
 	// pool is non-nil when the backend is a sharded Pool: it unlocks
 	// /v1/admin/reload and the per-shard stats.
 	pool *querygraph.Pool
+	// remote is non-nil when the backend is a topology-backed fan-out
+	// coordinator: healthz and stats report the fleet's shard count.
+	remote *querygraph.Remote
 	// metrics is the observer attached to the backend at Open time; when
 	// non-nil its counters are served at GET /v1/metrics.
 	metrics *querygraph.MetricsObserver
@@ -51,6 +54,7 @@ func newServer(be querygraph.Backend, timeout time.Duration, metrics *querygraph
 		mux:     http.NewServeMux(),
 	}
 	s.pool, _ = be.(*querygraph.Pool)
+	s.remote, _ = be.(*querygraph.Remote)
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	s.mux.HandleFunc("POST /v1/expand", s.handleExpand)
@@ -136,6 +140,11 @@ type searchRequest struct {
 type searchResponse struct {
 	Results []resultJSON `json:"results"`
 	TookMS  float64      `json:"took_ms"`
+	// Partial marks a degraded answer: a topology-backed coordinator lost
+	// shards but its policy allowed serving the survivors' merge. Absent
+	// (false) on every complete response, so the zero-allocation fast path
+	// never has to encode it.
+	Partial bool `json:"partial,omitempty"`
 }
 
 type searchBatchRequest struct {
@@ -148,6 +157,8 @@ type searchBatchRequest struct {
 type searchBatchResponse struct {
 	Results [][]resultJSON `json:"results"`
 	TookMS  float64        `json:"took_ms"`
+	// Partial marks a degraded answer (see searchResponse.Partial).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // expandParams are the optional expansion knobs; pointers distinguish
@@ -260,6 +271,9 @@ func (s *server) expansionJSON(exp *querygraph.Expansion, results []querygraph.R
 type expandResponse struct {
 	expansionJSON
 	TookMS float64 `json:"took_ms"`
+	// Partial marks a degraded retrieval leg (see searchResponse.Partial);
+	// the expansion itself is never partial.
+	Partial bool `json:"partial,omitempty"`
 }
 
 type expandBatchRequest struct {
@@ -275,6 +289,8 @@ type expandBatchRequest struct {
 type expandBatchResponse struct {
 	Expansions []expansionJSON `json:"expansions"`
 	TookMS     float64         `json:"took_ms"`
+	// Partial marks a degraded retrieval leg (see searchResponse.Partial).
+	Partial bool `json:"partial,omitempty"`
 }
 
 // --- handlers ----------------------------------------------------------
@@ -314,6 +330,19 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	rs, err := s.backend.SearchInto(&sc.dctx, sc.internQuery(req.query), s.rank(int(req.k)), sc.results[:0])
 	if err != nil {
+		// A degraded coordinator (ErrPartialResult) still delivered the
+		// survivors' ranking: serve it with the partial flag on the generic
+		// slow path. The fast path below stays reserved for complete
+		// answers, so its hand-rolled encoder never learns about the flag.
+		if errors.Is(err, querygraph.ErrPartialResult) {
+			sc.results = rs
+			s.writeJSON(w, http.StatusOK, searchResponse{
+				Results: resultsJSON(rs),
+				TookMS:  tookMS(time.Since(start)),
+				Partial: true,
+			})
+			return
+		}
 		s.writeError(w, err)
 		return
 	}
@@ -340,7 +369,7 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		Workers: req.Workers,
 		Timeout: requestTimeout(req.TimeoutMS),
 	}.Do(ctx, s.backend)
-	if err != nil {
+	if err != nil && !errors.Is(err, querygraph.ErrPartialResult) {
 		s.writeError(w, err)
 		return
 	}
@@ -348,7 +377,11 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	for i, rs := range resp.Results {
 		out[i] = resultsJSON(rs)
 	}
-	s.writeJSON(w, http.StatusOK, searchBatchResponse{Results: out, TookMS: tookMS(resp.Took)})
+	s.writeJSON(w, http.StatusOK, searchBatchResponse{
+		Results: out,
+		TookMS:  tookMS(resp.Took),
+		Partial: err != nil,
+	})
 }
 
 func (s *server) handleExpand(w http.ResponseWriter, r *http.Request) {
@@ -375,7 +408,7 @@ func (s *server) handleExpand(w http.ResponseWriter, r *http.Request) {
 		treq.K = s.rank(req.K)
 	}
 	resp, err := treq.Do(ctx, s.backend)
-	if err != nil {
+	if err != nil && !errors.Is(err, querygraph.ErrPartialResult) {
 		s.writeError(w, err)
 		return
 	}
@@ -389,6 +422,7 @@ func (s *server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, expandResponse{
 		expansionJSON: s.expansionJSON(resp.Expansion, results),
 		TookMS:        tookMS(resp.Took),
+		Partial:       err != nil,
 	})
 }
 
@@ -417,7 +451,7 @@ func (s *server) handleExpandBatch(w http.ResponseWriter, r *http.Request) {
 		treq.K = s.rank(req.K)
 	}
 	resp, err := treq.Do(ctx, s.backend)
-	if err != nil {
+	if err != nil && !errors.Is(err, querygraph.ErrPartialResult) {
 		s.writeError(w, err)
 		return
 	}
@@ -429,7 +463,11 @@ func (s *server) handleExpandBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = s.expansionJSON(exp, rs)
 	}
-	s.writeJSON(w, http.StatusOK, expandBatchResponse{Expansions: out, TookMS: tookMS(resp.Took)})
+	s.writeJSON(w, http.StatusOK, expandBatchResponse{
+		Expansions: out,
+		TookMS:     tookMS(resp.Took),
+		Partial:    err != nil,
+	})
 }
 
 // --- admin: hot reload --------------------------------------------------
@@ -505,7 +543,8 @@ type healthzResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Articles      int     `json:"articles"`
 	Documents     int     `json:"documents"`
-	// Shards and Generation are present when serving a sharded pool.
+	// Shards is present when serving a sharded pool or a shard-fleet
+	// topology; Generation only when serving a pool.
 	Shards     int    `json:"shards,omitempty"`
 	Generation uint64 `json:"generation,omitempty"`
 }
@@ -527,6 +566,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		st := s.backend.Stats()
 		resp.Articles = st.Articles
 		resp.Documents = st.Documents
+		if s.remote != nil {
+			resp.Shards = s.remote.NumShards()
+		}
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
@@ -659,8 +701,9 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 // use (one switch can't drift from the other): 408 for a deadline the
 // request ran into, 499 (nginx convention) for a client that went away,
 // 400 for invalid queries or options, 503 for a backend already retired
-// by shutdown, 500 for everything else. The body is always an
-// errorResponse.
+// by shutdown or a shard fleet below quorum, 500 for everything else.
+// The body is always an errorResponse. ErrPartialResult never reaches
+// here: the handlers serve a degraded 200 with the partial flag instead.
 func (s *server) writeError(w http.ResponseWriter, err error) {
 	var status int
 	class := querygraph.ErrorClass(err)
@@ -674,6 +717,11 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case "closed":
 		status, code = http.StatusServiceUnavailable, "shutting_down"
+	case "shard_unavailable":
+		// The fan-out coordinator could not reach quorum: the data plane is
+		// down or degraded past policy, which is a service condition (retry
+		// against a healthier fleet), not a caller mistake.
+		status = http.StatusServiceUnavailable
 	default:
 		status, code = http.StatusInternalServerError, "internal"
 	}

@@ -1,0 +1,78 @@
+// Command qshard serves one shard snapshot over the compact binary RPC
+// protocol (internal/rpc) — the per-shard half of the distributed
+// serving runtime. A fleet of qshard processes, one per shard of a
+// partition written by qgen -shards N, is fronted by the fan-out
+// coordinator (querygraph.OpenTopology / qserve -load topology.json),
+// which scatters plan-leaves and top-k requests across them and merges
+// the per-shard rankings bit-identically to the in-process pool.
+//
+// Usage:
+//
+//	qshard -load DIR/shard-000.qgs -addr :9000 [-cache N]
+//
+// -load accepts either a per-shard snapshot (one slice of a qgen -shards
+// partition) or a complete single snapshot (qgen -out world.qgs), which
+// serves as the sole shard of a one-shard fleet. The same shard file may
+// be served by several qshard processes on different addresses —
+// replicas — which the coordinator uses for retry failover and hedged
+// requests.
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting,
+// requests already being handled finish writing their responses, then
+// the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/rpc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qshard: ")
+	var (
+		addr  = flag.String("addr", ":9000", "listen address")
+		load  = flag.String("load", "", "shard snapshot to serve (qgen -shards N slice, or a complete .qgs as a one-shard fleet); required")
+		cache = flag.Int("cache", 0, "expansion cache capacity (0 = default 1024, negative disables)")
+	)
+	flag.Parse()
+	if *load == "" {
+		log.Fatal("-load is required: a shard snapshot (qgen -shards N -out DIR) or a complete snapshot (qgen -out world.qgs)")
+	}
+
+	var opts []core.SystemOption
+	if *cache != 0 {
+		opts = append(opts, core.WithExpandCache(*cache))
+	}
+	start := time.Now()
+	srv, err := rpc.LoadServerFile(*load, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	id := srv.Identity()
+	log.Printf("loaded %s in %v: shard %d/%d, %d local documents of %d global, %d benchmark queries",
+		*load, time.Since(start).Round(time.Millisecond),
+		id.ShardID, id.ShardCount, id.LocalDocs, id.GlobalDocs, id.NumQueries)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serving shard %d/%d on %s (protocol v%d)", id.ShardID, id.ShardCount, ln.Addr(), rpc.Version)
+	// Serve closes itself when ctx fires (signal received) and returns
+	// nil after the drain; anything else is a real listener failure.
+	if err := srv.Serve(ctx, ln); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("bye")
+}

@@ -39,4 +39,27 @@ var (
 	// its Close: the handle is retired and will never serve again. Close
 	// itself is idempotent — a second Close returns nil, not ErrClosed.
 	ErrClosed = errors.New("querygraph: backend closed")
+
+	// ErrBadTopology wraps every failure to assemble a remote coordinator
+	// from a topology file: an unreadable or unparsable file, a missing or
+	// duplicate shard slot, no addresses for a shard, an unknown policy,
+	// or shards whose handshakes disagree on partition identity or engine
+	// configuration (mixed generations). OpenTopology returns it.
+	ErrBadTopology = errors.New("querygraph: bad shard topology")
+
+	// ErrShardUnavailable wraps a remote fan-out failure: a shard could
+	// not be reached (dial, transport, per-shard deadline) or reported a
+	// server-side failure on every configured address and retry, and the
+	// topology's partial-failure policy did not permit degrading. Under
+	// the "degrade" policy it is returned only when the surviving shard
+	// count falls below the configured quorum.
+	ErrShardUnavailable = errors.New("querygraph: shard unavailable")
+
+	// ErrPartialResult marks a degraded remote response: one or more
+	// shards were dropped under the "degrade" partial-failure policy and
+	// the returned ranking covers the surviving shards only. It is the one
+	// sentinel returned ALONGSIDE results — callers that accept degraded
+	// service check errors.Is(err, ErrPartialResult) and keep the results;
+	// cmd/qserve surfaces it as "partial": true.
+	ErrPartialResult = errors.New("querygraph: partial result (one or more shards dropped)")
 )

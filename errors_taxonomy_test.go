@@ -19,12 +19,15 @@ var sentinelClasses = map[string]struct {
 	err   error
 	class string
 }{
-	"ErrBadSnapshot":    {ErrBadSnapshot, "bad_snapshot"},
-	"ErrInvalidOptions": {ErrInvalidOptions, "invalid_options"},
-	"ErrInvalidQuery":   {ErrInvalidQuery, "invalid_query"},
-	"ErrNoBenchmark":    {ErrNoBenchmark, "no_benchmark"},
-	"ErrBadManifest":    {ErrBadManifest, "bad_manifest"},
-	"ErrClosed":         {ErrClosed, "closed"},
+	"ErrBadSnapshot":      {ErrBadSnapshot, "bad_snapshot"},
+	"ErrInvalidOptions":   {ErrInvalidOptions, "invalid_options"},
+	"ErrInvalidQuery":     {ErrInvalidQuery, "invalid_query"},
+	"ErrNoBenchmark":      {ErrNoBenchmark, "no_benchmark"},
+	"ErrBadManifest":      {ErrBadManifest, "bad_manifest"},
+	"ErrClosed":           {ErrClosed, "closed"},
+	"ErrBadTopology":      {ErrBadTopology, "bad_topology"},
+	"ErrShardUnavailable": {ErrShardUnavailable, "shard_unavailable"},
+	"ErrPartialResult":    {ErrPartialResult, "partial_result"},
 }
 
 // declaredSentinels parses errors.go and returns every package-level

@@ -1,0 +1,343 @@
+package rpc
+
+import (
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/search"
+)
+
+// This file holds the message bodies both endpoints speak: the shard
+// identity handshake, the plan/top-k query union, expansion payloads and
+// the replicated benchmark. Encoders and decoders live side by side so a
+// field added to one cannot be forgotten in the other.
+//
+// Nil-ness of slices is preserved with a presence byte wherever the
+// public conformance contract compares decoded structs with
+// reflect.DeepEqual (an Expansion's QueryArticles and Features, a
+// benchmark query's Relevant): a nil slice must come back nil, an empty
+// one empty.
+
+// Identity is the shard's partition identity plus the engine
+// configuration fixed at build time. The coordinator handshakes every
+// shard with OpHealthz and refuses topologies whose shards disagree —
+// the network analogue of shard.Load's cross-validation.
+type Identity struct {
+	ShardID      int
+	ShardCount   int
+	GlobalDocs   int
+	GlobalTokens int64
+	LocalDocs    int
+	NumQueries   int
+
+	Mu                  float64
+	IncludeKeywordTerms bool
+	RemoveStopwords     bool
+	Stem                bool
+}
+
+// AppendIdentity encodes an OpHealthz response body.
+func AppendIdentity(b []byte, id Identity) []byte {
+	b = AppendUvarint(b, uint64(id.ShardID))
+	b = AppendUvarint(b, uint64(id.ShardCount))
+	b = AppendUvarint(b, uint64(id.GlobalDocs))
+	b = AppendUvarint(b, uint64(id.GlobalTokens))
+	b = AppendUvarint(b, uint64(id.LocalDocs))
+	b = AppendUvarint(b, uint64(id.NumQueries))
+	b = AppendF64(b, id.Mu)
+	var flags byte
+	if id.IncludeKeywordTerms {
+		flags |= 1
+	}
+	if id.RemoveStopwords {
+		flags |= 2
+	}
+	if id.Stem {
+		flags |= 4
+	}
+	return append(b, flags)
+}
+
+// ReadIdentity decodes an OpHealthz response body.
+func ReadIdentity(r *Reader) Identity {
+	id := Identity{
+		ShardID:      r.Int(),
+		ShardCount:   r.Int(),
+		GlobalDocs:   r.Int(),
+		GlobalTokens: int64(r.Uvarint()),
+		LocalDocs:    r.Int(),
+		NumQueries:   r.Int(),
+		Mu:           r.F64(),
+	}
+	flags := r.Byte()
+	id.IncludeKeywordTerms = flags&1 != 0
+	id.RemoveStopwords = flags&2 != 0
+	id.Stem = flags&4 != 0
+	return id
+}
+
+// --- query union -------------------------------------------------------
+
+// AppendTextQuery encodes the plan/top-k query union's raw-text arm.
+func AppendTextQuery(b []byte, query string) []byte {
+	b = append(b, QueryText)
+	return AppendString(b, query)
+}
+
+// AppendExpansionQuery encodes the union's expansion arm: the keywords
+// plus the combined article list (query articles, then feature nodes) —
+// everything a shard needs to rebuild the expanded title query on its
+// replicated graph.
+func AppendExpansionQuery(b []byte, exp *core.Expansion) []byte {
+	b = append(b, QueryExpansion)
+	b = AppendString(b, exp.Keywords)
+	b = AppendUvarint(b, uint64(len(exp.QueryArticles)+len(exp.Features)))
+	for _, a := range exp.QueryArticles {
+		b = AppendUvarint(b, uint64(a))
+	}
+	for _, f := range exp.Features {
+		b = AppendUvarint(b, uint64(f.Node))
+	}
+	return b
+}
+
+// ReadQueryLeaves decodes the query union against a serving system and
+// derives the scoring leaves. ok=false means the query is valid but has
+// nothing to search for (an empty expansion). A parse failure returns a
+// RemoteError of class invalid_query; a malformed body, class internal.
+func ReadQueryLeaves(r *Reader, sys *core.System) (leaves []search.Leaf, ok bool, rerr *RemoteError) {
+	switch kind := r.Byte(); kind {
+	case QueryText:
+		text := r.String()
+		if err := r.Err(); err != nil {
+			return nil, false, &RemoteError{Class: ClassInternal, Msg: err.Error()}
+		}
+		leaves, err := sys.Engine.LeavesForQuery(text)
+		if err != nil {
+			return nil, false, &RemoteError{Class: ClassInvalidQuery, Msg: err.Error()}
+		}
+		return leaves, true, nil
+	case QueryExpansion:
+		keywords := r.String()
+		n := r.Int()
+		if r.Err() == nil && n > len(r.Rest()) {
+			r.fail("article count beyond body")
+		}
+		arts := make([]graph.NodeID, 0, n)
+		for i := 0; i < n; i++ {
+			arts = append(arts, graph.NodeID(r.Uvarint()))
+		}
+		if err := r.Err(); err != nil {
+			return nil, false, &RemoteError{Class: ClassInternal, Msg: err.Error()}
+		}
+		exp := &core.Expansion{Keywords: keywords, QueryArticles: arts}
+		node, searchable := exp.Query(sys)
+		if !searchable {
+			return nil, false, nil
+		}
+		leaves, err := search.Flatten(node)
+		if err != nil {
+			return nil, false, &RemoteError{Class: ClassInternal, Msg: err.Error()}
+		}
+		return leaves, true, nil
+	default:
+		return nil, false, &RemoteError{Class: ClassInternal, Msg: "unknown query kind"}
+	}
+}
+
+// --- expander options --------------------------------------------------
+
+// AppendExpanderOptions encodes the full option set, so the shard expands
+// under exactly the coordinator's normalized options (cache keys on both
+// ends agree).
+func AppendExpanderOptions(b []byte, o core.ExpanderOptions) []byte {
+	b = AppendVarint(b, int64(o.MaxCycleLen))
+	b = AppendVarint(b, int64(o.Radius))
+	b = AppendVarint(b, int64(o.MaxNeighborhood))
+	b = AppendVarint(b, int64(o.MaxFeatures))
+	b = AppendF64(b, o.MinCategoryRatio)
+	b = AppendF64(b, o.MaxCategoryRatio)
+	b = AppendF64(b, o.MinDensity)
+	var flags byte
+	if o.ExplicitBand {
+		flags |= 1
+	}
+	if o.KeepTwoCycles {
+		flags |= 2
+	}
+	if o.RankByFrequency {
+		flags |= 4
+	}
+	if o.IncludeRedirectAliases {
+		flags |= 8
+	}
+	return append(b, flags)
+}
+
+// ReadExpanderOptions decodes AppendExpanderOptions.
+func ReadExpanderOptions(r *Reader) core.ExpanderOptions {
+	o := core.ExpanderOptions{
+		MaxCycleLen:      int(r.Varint()),
+		Radius:           int(r.Varint()),
+		MaxNeighborhood:  int(r.Varint()),
+		MaxFeatures:      int(r.Varint()),
+		MinCategoryRatio: r.F64(),
+		MaxCategoryRatio: r.F64(),
+		MinDensity:       r.F64(),
+	}
+	flags := r.Byte()
+	o.ExplicitBand = flags&1 != 0
+	o.KeepTwoCycles = flags&2 != 0
+	o.RankByFrequency = flags&4 != 0
+	o.IncludeRedirectAliases = flags&8 != 0
+	return o
+}
+
+// --- expansions --------------------------------------------------------
+
+// AppendExpansion encodes an expansion result (OpExpand response body,
+// after the cache-outcome byte).
+func AppendExpansion(b []byte, exp *core.Expansion) []byte {
+	b = AppendString(b, exp.Keywords)
+	b = appendNodeList(b, exp.QueryArticles)
+	if exp.Features == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = AppendUvarint(b, uint64(len(exp.Features)))
+		for _, f := range exp.Features {
+			b = AppendUvarint(b, uint64(f.Node))
+			b = AppendString(b, f.Title)
+			b = AppendUvarint(b, uint64(f.CycleLen))
+			b = AppendF64(b, f.Density)
+			b = AppendF64(b, f.CategoryRatio)
+		}
+	}
+	b = AppendUvarint(b, uint64(exp.CyclesConsidered))
+	return AppendUvarint(b, uint64(exp.CyclesAccepted))
+}
+
+// ReadExpansion decodes AppendExpansion.
+func ReadExpansion(r *Reader) *core.Expansion {
+	exp := &core.Expansion{Keywords: r.String()}
+	exp.QueryArticles = readNodeList(r)
+	if r.Byte() == 1 {
+		n := r.Int()
+		if r.Err() == nil && n > len(r.Rest()) {
+			r.fail("feature count beyond body")
+		}
+		exp.Features = make([]core.Feature, 0, n)
+		for i := 0; i < n; i++ {
+			exp.Features = append(exp.Features, core.Feature{
+				Node:          graph.NodeID(r.Uvarint()),
+				Title:         r.String(),
+				CycleLen:      r.Int(),
+				Density:       r.F64(),
+				CategoryRatio: r.F64(),
+			})
+		}
+	}
+	exp.CyclesConsidered = r.Int()
+	exp.CyclesAccepted = r.Int()
+	return exp
+}
+
+func appendNodeList(b []byte, ids []graph.NodeID) []byte {
+	if ids == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = AppendUvarint(b, uint64(id))
+	}
+	return b
+}
+
+func readNodeList(r *Reader) []graph.NodeID {
+	if r.Byte() == 0 {
+		return nil
+	}
+	n := r.Int()
+	if r.Err() == nil && n > len(r.Rest()) {
+		r.fail("node count beyond body")
+	}
+	ids := make([]graph.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, graph.NodeID(r.Uvarint()))
+	}
+	return ids
+}
+
+// --- benchmark queries -------------------------------------------------
+
+// AppendQueries encodes the replicated benchmark (OpQueries response).
+func AppendQueries(b []byte, qs []core.Query) []byte {
+	b = AppendUvarint(b, uint64(len(qs)))
+	for _, q := range qs {
+		b = AppendVarint(b, int64(q.ID))
+		b = AppendString(b, q.Keywords)
+		if q.Relevant == nil {
+			b = append(b, 0)
+			continue
+		}
+		b = append(b, 1)
+		b = AppendUvarint(b, uint64(len(q.Relevant)))
+		for _, d := range q.Relevant {
+			b = AppendUvarint(b, uint64(d))
+		}
+	}
+	return b
+}
+
+// ReadQueries decodes AppendQueries.
+func ReadQueries(r *Reader) []core.Query {
+	n := r.Int()
+	if r.Err() == nil && n > len(r.Rest()) {
+		r.fail("query count beyond body")
+	}
+	qs := make([]core.Query, 0, n)
+	for i := 0; i < n; i++ {
+		q := core.Query{ID: int(r.Varint()), Keywords: r.String()}
+		if r.Byte() == 1 {
+			m := r.Int()
+			if r.Err() == nil && m > len(r.Rest()) {
+				r.fail("relevance count beyond body")
+			}
+			q.Relevant = make([]int32, 0, m)
+			for j := 0; j < m; j++ {
+				q.Relevant = append(q.Relevant, int32(r.Uvarint()))
+			}
+		}
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+// --- results -----------------------------------------------------------
+
+// AppendResults encodes a ranking in the global doc-id space (OpTopK
+// response body, after the searchable byte).
+func AppendResults(b []byte, rs []search.Result) []byte {
+	b = AppendUvarint(b, uint64(len(rs)))
+	for _, r := range rs {
+		b = AppendUvarint(b, uint64(r.Doc))
+		b = AppendF64(b, r.Score)
+	}
+	return b
+}
+
+// ReadResults decodes AppendResults. The ranking decodes non-nil even
+// when empty — the public Search contract returns an empty, non-nil
+// slice on no match.
+func ReadResults(r *Reader) []search.Result {
+	n := r.Int()
+	// Each entry is at least 9 bytes (one-byte doc uvarint + 8-byte score).
+	if r.Err() == nil && n > len(r.Rest())/9 {
+		r.fail("result count beyond body")
+	}
+	rs := make([]search.Result, 0, n)
+	for i := 0; i < n; i++ {
+		rs = append(rs, search.Result{Doc: int32(r.Uvarint()), Score: r.F64()})
+	}
+	return rs
+}

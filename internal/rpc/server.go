@@ -1,0 +1,422 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/graph"
+	"github.com/querygraph/querygraph/internal/search"
+	"github.com/querygraph/querygraph/internal/store"
+)
+
+// ErrServerClosed is returned by Serve after Close retires the server.
+var ErrServerClosed = errors.New("rpc: server closed")
+
+// Server serves one shard snapshot over the binary protocol: the
+// stateless plan/top-k scatter surface, expansion on the replicated
+// graph, and the handshake/stats/benchmark accessors. One Server handles
+// many concurrent connections, each pipelining requests sequentially.
+//
+// The protocol is deliberately stateless — OpTopK re-derives the query's
+// scoring leaves rather than referencing an OpPlan result — so the
+// coordinator may retry or hedge any request on any replica without a
+// session handshake.
+type Server struct {
+	sys     *core.System
+	queries []core.Query
+	ident   Identity
+	// docGlobal maps local doc ids to global (nil for an unsharded
+	// snapshot, where local ids are global).
+	docGlobal []int32
+
+	mu     sync.Mutex
+	closed bool
+	ln     net.Listener
+	conns  map[net.Conn]*connState
+	wg     sync.WaitGroup
+}
+
+// connState tracks whether a connection is mid-request, so Close can
+// hard-close idle connections while busy ones finish their response
+// first (the drain contract).
+type connState struct {
+	busy bool
+}
+
+// NewServer assembles a shard server around a decoded archive. A sharded
+// snapshot (qgen -shards N) carries its partition identity; a complete
+// single snapshot serves as the sole shard of a one-shard fleet.
+func NewServer(arch *store.Archive, opts ...core.SystemOption) (*Server, error) {
+	sys, queries, err := core.SystemFromArchive(arch, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		sys:     sys,
+		queries: queries,
+		conns:   make(map[net.Conn]*connState),
+	}
+	s.ident = Identity{
+		ShardID:             0,
+		ShardCount:          1,
+		GlobalDocs:          arch.Collection.Len(),
+		GlobalTokens:        arch.Index.TotalTokens(),
+		LocalDocs:           arch.Collection.Len(),
+		NumQueries:          len(queries),
+		Mu:                  arch.Mu,
+		IncludeKeywordTerms: arch.IncludeKeywordTerms,
+		RemoveStopwords:     arch.RemoveStopwords,
+		Stem:                arch.Stem,
+	}
+	if sh := arch.Shard; sh != nil {
+		s.ident.ShardID = sh.ShardID
+		s.ident.ShardCount = sh.ShardCount
+		s.ident.GlobalDocs = sh.GlobalDocs
+		s.ident.GlobalTokens = sh.GlobalTokens
+		s.docGlobal = sh.DocGlobal
+	}
+	return s, nil
+}
+
+// LoadServerFile is NewServer over a snapshot file path — what cmd/qshard
+// boots from.
+func LoadServerFile(path string, opts ...core.SystemOption) (*Server, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	arch, err := store.Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: %s: %w", path, err)
+	}
+	return NewServer(arch, opts...)
+}
+
+// Identity returns the served shard's partition identity.
+func (s *Server) Identity() Identity { return s.ident }
+
+// Serve accepts connections on ln until Close or ctx cancellation (which
+// triggers Close). It returns nil on a clean shutdown. ctx is also the
+// base context every per-request deadline derives from.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = s.Close()
+		case <-watchDone:
+		}
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		st := &connState{}
+		s.conns[conn] = st
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(ctx, conn, st)
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close drains and retires the server: the listener stops accepting,
+// idle connections are closed immediately, connections mid-request
+// finish writing their response first, and Close returns once every
+// connection goroutine has exited. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn, st := range s.conns {
+		if !st.busy {
+			_ = conn.Close()
+		}
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serveConn services one connection's request loop: read a frame, handle
+// it, write the response, repeat — until the peer disconnects or Close
+// drains the server.
+func (s *Server) serveConn(ctx context.Context, conn net.Conn, st *connState) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		payload, err := ReadFrame(br)
+		if err != nil {
+			return // peer gone, torn frame, or Close interrupted the read
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		st.busy = true
+		s.mu.Unlock()
+
+		resp := s.handle(ctx, payload)
+		werr := WriteFrame(bw, resp)
+		if werr == nil {
+			werr = bw.Flush()
+		}
+
+		s.mu.Lock()
+		st.busy = false
+		closed := s.closed
+		s.mu.Unlock()
+		if werr != nil || closed {
+			return
+		}
+	}
+}
+
+// handle decodes the request header, derives the per-request deadline
+// from the propagated milliseconds-remaining, and dispatches the op.
+func (s *Server) handle(ctx context.Context, payload []byte) []byte {
+	r := NewReader(payload)
+	ver := r.Byte()
+	op := Op(r.Byte())
+	millis := r.Uvarint()
+	if r.Err() != nil {
+		return AppendErrorResponse(nil, ClassInternal, "short request header")
+	}
+	if ver != Version {
+		return AppendErrorResponse(nil, ClassInternal,
+			fmt.Sprintf("request speaks protocol version %d, this shard speaks %d", ver, Version))
+	}
+	if millis > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(millis)*time.Millisecond)
+		defer cancel()
+	}
+	resp, rerr := s.dispatch(ctx, op, r)
+	if rerr != nil {
+		return AppendErrorResponse(nil, rerr.Class, rerr.Msg)
+	}
+	return resp
+}
+
+func (s *Server) dispatch(ctx context.Context, op Op, r *Reader) ([]byte, *RemoteError) {
+	if err := ctx.Err(); err != nil {
+		return nil, remoteErr(err)
+	}
+	switch op {
+	case OpHealthz:
+		return AppendIdentity(AppendOKHeader(nil), s.ident), nil
+	case OpPlan:
+		return s.handlePlan(r)
+	case OpTopK:
+		return s.handleTopK(r)
+	case OpExpand:
+		return s.handleExpand(ctx, r)
+	case OpStats:
+		return s.handleStats()
+	case OpQueries:
+		return AppendQueries(AppendOKHeader(nil), s.queries), nil
+	case OpLink:
+		return s.handleLink(r)
+	case OpTitle:
+		return s.handleTitle(r)
+	default:
+		return nil, &RemoteError{Class: ClassInternal, Msg: fmt.Sprintf("unknown op %d", op)}
+	}
+}
+
+// remoteErr classifies an application error for the wire.
+func remoteErr(err error) *RemoteError {
+	class := ClassInternal
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		class = ClassTimeout
+	case errors.Is(err, context.Canceled):
+		class = ClassCanceled
+	}
+	return &RemoteError{Class: class, Msg: err.Error()}
+}
+
+// handlePlan is scatter phase one: derive the query's scoring leaves and
+// return this shard's per-leaf local collection frequencies. Response
+// body: [searchable byte][uvarint numLeaves][uvarint cf]... — searchable
+// 0 means an empty expansion with nothing to search for.
+func (s *Server) handlePlan(r *Reader) ([]byte, *RemoteError) {
+	leaves, ok, rerr := ReadQueryLeaves(r, s.sys)
+	if rerr != nil {
+		return nil, rerr
+	}
+	if err := r.Done(); err != nil {
+		return nil, &RemoteError{Class: ClassInternal, Msg: err.Error()}
+	}
+	b := AppendOKHeader(nil)
+	if !ok {
+		return append(b, 0), nil
+	}
+	plan := s.sys.Engine.PlanLeaves(leaves)
+	b = append(b, 1)
+	b = AppendUvarint(b, uint64(plan.NumLeaves()))
+	for i := 0; i < plan.NumLeaves(); i++ {
+		b = AppendUvarint(b, uint64(plan.LocalCF(i)))
+	}
+	return b, nil
+}
+
+// handleTopK is scatter phase two: re-derive the leaves (stateless — any
+// replica can serve the retry), score under the supplied global
+// statistics and return this shard's top k in the global doc-id space.
+// Request body: query union, zigzag k, uvarint global tokens, leaf CF
+// list. Response body: [searchable byte][results].
+func (s *Server) handleTopK(r *Reader) ([]byte, *RemoteError) {
+	leaves, ok, rerr := ReadQueryLeaves(r, s.sys)
+	if rerr != nil {
+		return nil, rerr
+	}
+	k := int(r.Varint())
+	totalTokens := int64(r.Uvarint())
+	n := r.Int()
+	if r.Err() == nil && n > len(r.Rest()) {
+		r.fail("leaf count beyond body")
+	}
+	leafCF := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		leafCF = append(leafCF, int64(r.Uvarint()))
+	}
+	if err := r.Done(); err != nil {
+		return nil, &RemoteError{Class: ClassInternal, Msg: err.Error()}
+	}
+	b := AppendOKHeader(nil)
+	if !ok {
+		return append(b, 0), nil
+	}
+	if n != len(leaves) {
+		return nil, &RemoteError{Class: ClassInternal,
+			Msg: fmt.Sprintf("query plans %d leaves on this shard, request carries %d collection frequencies", len(leaves), n)}
+	}
+	plan := s.sys.Engine.PlanLeaves(leaves)
+	rs, err := s.sys.Engine.SearchPlan(plan, k, &search.Stats{TotalTokens: totalTokens, LeafCF: leafCF})
+	if err != nil {
+		return nil, remoteErr(err)
+	}
+	if s.docGlobal != nil {
+		for i := range rs {
+			rs[i].Doc = s.docGlobal[rs[i].Doc]
+		}
+	}
+	b = append(b, 1)
+	return AppendResults(b, rs), nil
+}
+
+// handleExpand runs the expansion pipeline on the replicated graph.
+// Request body: keywords + full expander options. Response body:
+// [cache-outcome byte][expansion].
+func (s *Server) handleExpand(ctx context.Context, r *Reader) ([]byte, *RemoteError) {
+	keywords := r.String()
+	opts := ReadExpanderOptions(r)
+	if err := r.Done(); err != nil {
+		return nil, &RemoteError{Class: ClassInternal, Msg: err.Error()}
+	}
+	exp, outcome, err := s.sys.ExpandOutcome(ctx, keywords, opts)
+	if err != nil {
+		return nil, remoteErr(err)
+	}
+	b := AppendOKHeader(nil)
+	b = append(b, byte(outcome))
+	return AppendExpansion(b, exp), nil
+}
+
+// handleStats returns the shard's serving-state summary: the replicated
+// knowledge-base shape, global document count, benchmark size and this
+// shard's expansion-cache counters.
+func (s *Server) handleStats() ([]byte, *RemoteError) {
+	st := s.sys.Snapshot.Stats()
+	cs := s.sys.ExpandCacheStats()
+	b := AppendOKHeader(nil)
+	b = AppendUvarint(b, uint64(st.Articles))
+	b = AppendUvarint(b, uint64(st.Redirects))
+	b = AppendUvarint(b, uint64(st.Categories))
+	b = AppendUvarint(b, uint64(st.Links))
+	b = AppendUvarint(b, uint64(s.ident.GlobalDocs))
+	b = AppendUvarint(b, uint64(len(s.queries)))
+	b = AppendUvarint(b, cs.Hits)
+	b = AppendUvarint(b, cs.Misses)
+	b = AppendUvarint(b, cs.Deduped)
+	b = AppendUvarint(b, uint64(cs.Entries))
+	b = AppendUvarint(b, uint64(cs.Capacity))
+	return b, nil
+}
+
+// handleLink entity-links keywords against the replicated graph.
+// Response body: uvarint n, then n × (uvarint node id, title).
+func (s *Server) handleLink(r *Reader) ([]byte, *RemoteError) {
+	keywords := r.String()
+	if err := r.Done(); err != nil {
+		return nil, &RemoteError{Class: ClassInternal, Msg: err.Error()}
+	}
+	ids := s.sys.LinkKeywords(keywords)
+	b := AppendOKHeader(nil)
+	b = AppendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = AppendUvarint(b, uint64(id))
+		b = AppendString(b, s.sys.Snapshot.Name(id))
+	}
+	return b, nil
+}
+
+// handleTitle resolves one node id to its display title.
+func (s *Server) handleTitle(r *Reader) ([]byte, *RemoteError) {
+	id := r.Uvarint()
+	if err := r.Done(); err != nil {
+		return nil, &RemoteError{Class: ClassInternal, Msg: err.Error()}
+	}
+	b := AppendOKHeader(nil)
+	return AppendString(b, s.sys.Snapshot.Name(graph.NodeID(id))), nil
+}

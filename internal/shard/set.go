@@ -353,6 +353,15 @@ func mergeRanked(locals [][]search.Result, k int, cursors []int) []search.Result
 	return merged
 }
 
+// MergeRanked merges per-shard rankings — each ordered by (score desc,
+// global doc asc) — into the global top k, exactly like the in-process
+// scatter-gather path. Exported for the network coordinator
+// (querygraph.Remote), whose remote shards return rankings of the same
+// shape; sharing the merge is what keeps the two runtimes bit-identical.
+func MergeRanked(locals [][]search.Result, k int) []search.Result {
+	return mergeRanked(locals, k, make([]int, len(locals)))
+}
+
 // Expand runs the online expansion pipeline once on the replicated graph
 // (shard 0), through shard 0's memoizing single-flight cache. The graph
 // is identical in every shard, so this is bit-identical to the

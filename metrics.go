@@ -10,14 +10,15 @@ import (
 // metricClasses array below keeps it coupled to the label list at compile
 // time (growing ErrorClass's taxonomy without bumping this fails to
 // build, instead of indexing out of range at serve time).
-const numErrorClasses = 9
+const numErrorClasses = 12
 
 // metricClasses is the closed label set ErrorClass can produce (minus the
 // empty success class), so the per-class counters are fixed-size atomics
 // instead of a locked map.
 var metricClasses = [numErrorClasses]string{
 	"timeout", "canceled", "closed", "invalid_query", "invalid_options",
-	"bad_manifest", "bad_snapshot", "no_benchmark", "internal",
+	"bad_manifest", "bad_snapshot", "no_benchmark",
+	"bad_topology", "shard_unavailable", "partial_result", "internal",
 }
 
 func classIndex(class string) int {
@@ -68,16 +69,52 @@ type MetricsObserver struct {
 	// generation tracks the most recently observed reload generation
 	// (a gauge; 0 until the first reload).
 	generation atomic.Uint64
+
+	// rpc[rpcOpIndex] counts the remote coordinator's per-shard RPC
+	// attempts by protocol op; retries, hedges and deadline hits are the
+	// fleet-health counters of the distributed serving path. Partials
+	// counts requests answered degraded (class "partial_result" on the
+	// search/batch hooks).
+	rpc          [numRPCOps]opCounters
+	rpcRetries   atomic.Uint64
+	rpcHedges    atomic.Uint64
+	rpcDeadlines atomic.Uint64
+	partials     atomic.Uint64
+}
+
+// numRPCOps sizes the per-op RPC counter array; rpcOpNames keeps it
+// coupled to the label list at compile time like metricClasses.
+const numRPCOps = 8
+
+// rpcOpNames is the closed op label set of the shard protocol
+// (internal/rpc), in wire order.
+var rpcOpNames = [numRPCOps]string{
+	"healthz", "plan", "topk", "expand", "stats", "queries", "link", "title",
+}
+
+func rpcOpIndex(op string) int {
+	for i, o := range rpcOpNames {
+		if o == op {
+			return i
+		}
+	}
+	return 0 // unknown ops count as healthz (cannot happen for in-tree callers)
 }
 
 // NewMetricsObserver returns a fresh, zeroed metrics observer.
 func NewMetricsObserver() *MetricsObserver { return &MetricsObserver{} }
 
-var _ Observer = (*MetricsObserver)(nil)
+var (
+	_ Observer    = (*MetricsObserver)(nil)
+	_ RPCObserver = (*MetricsObserver)(nil)
+)
 
 // ObserveSearch implements Observer.
 func (m *MetricsObserver) ObserveSearch(o SearchObservation) {
 	m.search.observe(int64(o.Duration), o.Err)
+	if o.Err == "partial_result" {
+		m.partials.Add(1)
+	}
 }
 
 // ObserveExpand implements Observer.
@@ -92,6 +129,24 @@ func (m *MetricsObserver) ObserveExpand(o ExpandObservation) {
 func (m *MetricsObserver) ObserveBatch(o BatchObservation) {
 	m.batch.observe(int64(o.Duration), o.Err)
 	m.batchItems.Add(uint64(o.Size))
+	if o.Err == "partial_result" {
+		m.partials.Add(1)
+	}
+}
+
+// ObserveRPC implements RPCObserver: per-shard RPC attempts from the
+// remote coordinator.
+func (m *MetricsObserver) ObserveRPC(o RPCObservation) {
+	m.rpc[rpcOpIndex(o.Op)].observe(int64(o.Duration), o.Err)
+	if o.Attempt > 0 {
+		m.rpcRetries.Add(1)
+	}
+	if o.Hedged {
+		m.rpcHedges.Add(1)
+	}
+	if o.DeadlineHit {
+		m.rpcDeadlines.Add(1)
+	}
 }
 
 // ObserveReload implements Observer.
@@ -114,6 +169,10 @@ type MetricsSnapshot struct {
 	Cache [4]uint64
 	// Generation is the most recently observed reload generation.
 	Generation uint64
+	// RPC counters of the remote coordinator's fan-out path.
+	RPCs, RPCErrors                     uint64
+	RPCRetries, RPCHedges, RPCDeadlines uint64
+	PartialResults                      uint64
 }
 
 // Snapshot reads the current counter values.
@@ -129,6 +188,14 @@ func (m *MetricsObserver) Snapshot() MetricsSnapshot {
 	for i := range s.Cache {
 		s.Cache[i] = m.cache[i].Load()
 	}
+	for i := range m.rpc {
+		s.RPCs += m.rpc[i].total.Load()
+		s.RPCErrors += m.rpc[i].errsTotal.Load()
+	}
+	s.RPCRetries = m.rpcRetries.Load()
+	s.RPCHedges = m.rpcHedges.Load()
+	s.RPCDeadlines = m.rpcDeadlines.Load()
+	s.PartialResults = m.partials.Load()
 	return s
 }
 
@@ -193,6 +260,53 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 		}
 	}
 	if err := p("# HELP querygraph_batch_items_total Items submitted across all batches.\n# TYPE querygraph_batch_items_total counter\nquerygraph_batch_items_total %d\n", m.batchItems.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP querygraph_rpc_total Shard RPC attempts from the remote coordinator, by protocol op.\n# TYPE querygraph_rpc_total counter\n"); err != nil {
+		return err
+	}
+	for i, op := range rpcOpNames {
+		if n := m.rpc[i].total.Load(); n > 0 {
+			if err := p("querygraph_rpc_total{op=%q} %d\n", op, n); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("# HELP querygraph_rpc_errors_total Failed shard RPC attempts, by protocol op and error class.\n# TYPE querygraph_rpc_errors_total counter\n"); err != nil {
+		return err
+	}
+	for i, op := range rpcOpNames {
+		for j, class := range metricClasses {
+			if n := m.rpc[i].errors[j].Load(); n > 0 {
+				if err := p("querygraph_rpc_errors_total{op=%q,class=%q} %d\n", op, class, n); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := p("# HELP querygraph_rpc_duration_seconds Wall time of shard RPC attempts, by protocol op.\n# TYPE querygraph_rpc_duration_seconds summary\n"); err != nil {
+		return err
+	}
+	for i, op := range rpcOpNames {
+		if n := m.rpc[i].total.Load(); n > 0 {
+			if err := p("querygraph_rpc_duration_seconds_sum{op=%q} %g\n", op, float64(m.rpc[i].durNanos.Load())/1e9); err != nil {
+				return err
+			}
+			if err := p("querygraph_rpc_duration_seconds_count{op=%q} %d\n", op, n); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p("# HELP querygraph_rpc_retries_total Shard RPC retry attempts (attempt > 0).\n# TYPE querygraph_rpc_retries_total counter\nquerygraph_rpc_retries_total %d\n", m.rpcRetries.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP querygraph_rpc_hedges_total Speculative hedged shard RPCs to replicas.\n# TYPE querygraph_rpc_hedges_total counter\nquerygraph_rpc_hedges_total %d\n", m.rpcHedges.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP querygraph_rpc_deadline_hits_total Shard RPC attempts that died on their per-shard deadline.\n# TYPE querygraph_rpc_deadline_hits_total counter\nquerygraph_rpc_deadline_hits_total %d\n", m.rpcDeadlines.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP querygraph_partial_results_total Requests answered degraded under the partial-failure policy.\n# TYPE querygraph_partial_results_total counter\nquerygraph_partial_results_total %d\n", m.partials.Load()); err != nil {
 		return err
 	}
 	return p("# HELP querygraph_pool_generation Most recently observed reload generation (0 before any reload).\n# TYPE querygraph_pool_generation gauge\nquerygraph_pool_generation %d\n", m.generation.Load())

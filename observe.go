@@ -90,10 +90,68 @@ type ReloadObservation struct {
 	Err    string
 }
 
+// RPCObservation describes one completed shard RPC attempt of the remote
+// coordinator (*Remote): every attempt is observed individually — first
+// tries, retries and hedges alike — so per-shard latency and failure
+// structure are visible even when the request as a whole succeeds.
+type RPCObservation struct {
+	// Shard is the target shard's id; Addr the address this attempt hit.
+	Shard int
+	Addr  string
+	// Op is the protocol operation ("plan", "topk", "expand", ...).
+	Op string
+	// Duration is the attempt's wall time including connection checkout.
+	Duration time.Duration
+	// Attempt numbers the tries within one logical call (0 = first).
+	Attempt int
+	// Hedged is true for a speculative replica request launched because
+	// the primary exceeded the hedge threshold.
+	Hedged bool
+	// DeadlineHit is true when the attempt failed on its per-shard
+	// deadline (the hanging-shard signal).
+	DeadlineHit bool
+	// Err is the attempt's error class ("" on success); see ErrorClass.
+	Err string
+}
+
+// RPCObserver is an optional extension of Observer: implementations that
+// also want per-shard RPC attempts (latency, retries, hedges, deadline
+// hits) implement it and are fed by the remote coordinator. Plain
+// Observers are untouched — the coordinator type-asserts per observer.
+type RPCObserver interface {
+	ObserveRPC(RPCObservation)
+}
+
+// rpc feeds one RPC attempt to every attached observer that opted into
+// RPCObserver. Unlike the Observe* hooks this is per attempt, not per
+// request — it deliberately does not count toward the one-hook contract
+// of the query-path methods.
+func (os observers) rpc(start time.Time, shardID int, addr, op string, attempt int, hedged bool, err error) {
+	if len(os) == 0 {
+		return
+	}
+	obs := RPCObservation{
+		Shard:       shardID,
+		Addr:        addr,
+		Op:          op,
+		Duration:    time.Since(start),
+		Attempt:     attempt,
+		Hedged:      hedged,
+		DeadlineHit: errors.Is(err, context.DeadlineExceeded),
+		Err:         ErrorClass(err),
+	}
+	for _, o := range os {
+		if ro, ok := o.(RPCObserver); ok {
+			ro.ObserveRPC(obs)
+		}
+	}
+}
+
 // ErrorClass maps an error from the serving API onto a small, stable label
 // set for instrumentation: "" (success), "timeout", "canceled", "closed",
 // "invalid_query", "invalid_options", "bad_manifest", "bad_snapshot",
-// "no_benchmark", or "internal" for anything else. Every sentinel in
+// "no_benchmark", "bad_topology", "shard_unavailable", "partial_result",
+// or "internal" for anything else. Every sentinel in
 // errors.go has a class of its own — TestErrorClassTaxonomy parses the
 // sentinel declarations and fails when a new sentinel is added without
 // classifying it here — and the classes mirror the HTTP error model
@@ -118,6 +176,12 @@ func ErrorClass(err error) string {
 		return "bad_snapshot"
 	case errors.Is(err, ErrNoBenchmark):
 		return "no_benchmark"
+	case errors.Is(err, ErrBadTopology):
+		return "bad_topology"
+	case errors.Is(err, ErrShardUnavailable):
+		return "shard_unavailable"
+	case errors.Is(err, ErrPartialResult):
+		return "partial_result"
 	default:
 		return "internal"
 	}

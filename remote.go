@@ -1,0 +1,978 @@
+package querygraph
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/rpc"
+	"github.com/querygraph/querygraph/internal/shard"
+)
+
+// Topology describes a fleet of qshard servers: which shard of the
+// partition each serves, on which addresses (first is the primary,
+// the rest replicas), and the coordinator's fan-out policy. It is the
+// JSON schema of the topology file OpenBackend sniffs alongside
+// snapshots and manifests.
+type Topology struct {
+	// Version is the topology schema version (1).
+	Version int `json:"version"`
+	// Shards lists one entry per shard slot, ids 0..N-1.
+	Shards []TopologyShard `json:"shards"`
+	// Policy is the partial-failure policy: "fail" (default — any shard
+	// down fails the request with ErrShardUnavailable) or "degrade"
+	// (serve the surviving shards' merged ranking alongside an error
+	// wrapping ErrPartialResult).
+	Policy string `json:"policy,omitempty"`
+	// MinShards is the degrade policy's quorum: fewer surviving shards
+	// than this fails the request even under "degrade" (default 1).
+	MinShards int `json:"min_shards,omitempty"`
+	// TimeoutMS bounds each shard RPC attempt (default 2000). The
+	// caller's ctx deadline still applies when sooner.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Retries is how many additional attempts a failed shard call gets,
+	// rotating through the shard's addresses (default 1).
+	Retries int `json:"retries,omitempty"`
+	// RetryBackoffMS is the pause before each retry (default 10).
+	RetryBackoffMS int `json:"retry_backoff_ms,omitempty"`
+	// HedgeAfterMS, when > 0 and a shard has replicas, launches a
+	// speculative duplicate of a slow first attempt against a replica
+	// after this many milliseconds; the first response wins.
+	HedgeAfterMS int `json:"hedge_after_ms,omitempty"`
+}
+
+// TopologyShard is one shard slot of a topology.
+type TopologyShard struct {
+	ID int `json:"id"`
+	// Addrs are the host:port addresses serving this shard; the first is
+	// the primary, later ones replicas used for retry failover and
+	// hedged requests.
+	Addrs []string `json:"addrs"`
+}
+
+// ReadTopology reads and validates a topology file. Every failure —
+// unreadable file, malformed JSON, unknown fields, missing or duplicate
+// shard slots, a shard with no addresses, an unknown policy — returns an
+// error wrapping ErrBadTopology.
+func ReadTopology(path string) (Topology, error) {
+	var t Topology
+	f, err := os.Open(path)
+	if err != nil {
+		return t, fmt.Errorf("%w: %v", ErrBadTopology, err)
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return t, fmt.Errorf("%w: %s: %v", ErrBadTopology, path, err)
+	}
+	if err := t.validate(); err != nil {
+		return t, fmt.Errorf("%w: %s: %v", ErrBadTopology, path, err)
+	}
+	t.applyDefaults()
+	return t, nil
+}
+
+func (t *Topology) validate() error {
+	if t.Version != 1 {
+		return fmt.Errorf("unsupported topology version %d (this build speaks 1)", t.Version)
+	}
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("topology names no shards")
+	}
+	seen := make([]bool, len(t.Shards))
+	for _, sh := range t.Shards {
+		if sh.ID < 0 || sh.ID >= len(t.Shards) {
+			return fmt.Errorf("shard id %d outside 0..%d", sh.ID, len(t.Shards)-1)
+		}
+		if seen[sh.ID] {
+			return fmt.Errorf("shard id %d appears twice", sh.ID)
+		}
+		seen[sh.ID] = true
+		if len(sh.Addrs) == 0 {
+			return fmt.Errorf("shard %d has no addresses", sh.ID)
+		}
+		for _, a := range sh.Addrs {
+			if a == "" {
+				return fmt.Errorf("shard %d has an empty address", sh.ID)
+			}
+		}
+	}
+	switch t.Policy {
+	case "", "fail", "degrade":
+	default:
+		return fmt.Errorf("unknown policy %q (want \"fail\" or \"degrade\")", t.Policy)
+	}
+	if t.MinShards < 0 || t.MinShards > len(t.Shards) {
+		return fmt.Errorf("min_shards %d outside 0..%d", t.MinShards, len(t.Shards))
+	}
+	if t.TimeoutMS < 0 || t.Retries < 0 || t.RetryBackoffMS < 0 || t.HedgeAfterMS < 0 {
+		return fmt.Errorf("timeout_ms, retries, retry_backoff_ms and hedge_after_ms must be non-negative")
+	}
+	return nil
+}
+
+func (t *Topology) applyDefaults() {
+	if t.Policy == "" {
+		t.Policy = "fail"
+	}
+	if t.MinShards == 0 {
+		t.MinShards = 1
+	}
+	if t.TimeoutMS == 0 {
+		t.TimeoutMS = 2000
+	}
+	if t.Retries == 0 {
+		t.Retries = 1
+	}
+	if t.RetryBackoffMS == 0 {
+		t.RetryBackoffMS = 10
+	}
+	// Shards may be listed in any order in the file; index by id.
+	ordered := make([]TopologyShard, len(t.Shards))
+	for _, sh := range t.Shards {
+		ordered[sh.ID] = sh
+	}
+	t.Shards = ordered
+}
+
+// Remote is the fan-out coordinator: a Backend served by a fleet of
+// qshard servers named in a topology file. Retrieval scatters the
+// stateless plan/top-k protocol across every shard over pooled
+// persistent connections — per-shard deadlines, retry-with-backoff
+// across replica addresses, optional hedged requests — and merges the
+// per-shard rankings by (score desc, global doc asc), bit-identical to
+// the in-process Pool when the fleet is healthy. Expansion, linking and
+// the accessors route to any single shard (the graph and benchmark are
+// replicated), with failover.
+//
+// Partial failure follows the topology's policy: "fail" turns any
+// unreachable shard into an error wrapping ErrShardUnavailable;
+// "degrade" serves the surviving shards' merged ranking alongside an
+// error wrapping ErrPartialResult (results AND error non-nil — the one
+// such pairing in the API).
+//
+// All methods are safe for concurrent use. After Close — which drains
+// in-flight fan-outs, then closes every pooled connection — query-path
+// methods return ErrClosed.
+//
+//qlint:serving
+//qlint:observed
+type Remote struct {
+	topo  Topology
+	conns *rpc.ConnPool
+	cfg   clientConfig
+
+	// ident is shard 0's handshake identity; the global statistics every
+	// top-k request carries.
+	ident   rpc.Identity
+	queries []Query
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+}
+
+func (c *Remote) obs() observers { return c.cfg.obs }
+
+// OpenTopology reads a topology file, dials and handshakes every shard
+// (partition identity, global statistics and engine configuration must
+// agree — the network analogue of the manifest cross-validation), and
+// assembles the coordinator. An unreachable shard returns an error
+// wrapping ErrShardUnavailable; a fleet that disagrees with its topology
+// returns one wrapping ErrBadTopology.
+func OpenTopology(path string, opts ...Option) (*Remote, error) {
+	var cfg clientConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	topo, err := ReadTopology(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &Remote{
+		topo:  topo,
+		cfg:   cfg,
+		conns: rpc.NewConnPool(time.Duration(topo.TimeoutMS) * time.Millisecond),
+	}
+	if err := c.handshake(); err != nil {
+		c.conns.CloseAll()
+		return nil, err
+	}
+	return c, nil
+}
+
+// handshake validates every shard against the topology and caches shard
+// 0's identity and the replicated benchmark.
+func (c *Remote) handshake() error {
+	n := len(c.topo.Shards)
+	idents := make([]rpc.Identity, n)
+	for i, sh := range c.topo.Shards {
+		payload, err := c.callShard(nil, sh, rpc.OpHealthz, nil)
+		if err != nil {
+			return err
+		}
+		r := rpc.NewReader(payload)
+		idents[i] = rpc.ReadIdentity(r)
+		if err := r.Done(); err != nil {
+			return fmt.Errorf("%w: shard %d handshake: %v", ErrBadTopology, sh.ID, err)
+		}
+	}
+	ref := idents[0]
+	for i, id := range idents {
+		switch {
+		case id.ShardID != i:
+			return fmt.Errorf("%w: the server at shard slot %d identifies as shard %d", ErrBadTopology, i, id.ShardID)
+		case id.ShardCount != n:
+			return fmt.Errorf("%w: shard %d belongs to a %d-shard partition, topology has %d", ErrBadTopology, i, id.ShardCount, n)
+		case id.GlobalDocs != ref.GlobalDocs || id.GlobalTokens != ref.GlobalTokens:
+			return fmt.Errorf("%w: shard %d global statistics (%d docs, %d tokens) disagree with shard 0 (%d, %d); mixed generations?",
+				ErrBadTopology, i, id.GlobalDocs, id.GlobalTokens, ref.GlobalDocs, ref.GlobalTokens)
+		case id.Mu != ref.Mu || id.IncludeKeywordTerms != ref.IncludeKeywordTerms ||
+			id.RemoveStopwords != ref.RemoveStopwords || id.Stem != ref.Stem:
+			return fmt.Errorf("%w: shard %d engine configuration disagrees with shard 0; mixed generations?", ErrBadTopology, i)
+		}
+	}
+	c.ident = ref
+	payload, err := c.anyShard(nil, rpc.OpQueries, nil)
+	if err != nil {
+		return err
+	}
+	r := rpc.NewReader(payload)
+	qs := rpc.ReadQueries(r)
+	if err := r.Done(); err != nil {
+		return fmt.Errorf("%w: benchmark fetch: %v", ErrBadTopology, err)
+	}
+	c.queries = make([]Query, len(qs))
+	for i, q := range qs {
+		c.queries[i] = Query(q)
+	}
+	return nil
+}
+
+// NumShards returns the fleet's shard count (0 once closed).
+func (c *Remote) NumShards() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0
+	}
+	return len(c.topo.Shards)
+}
+
+// shardCount is the Shards coordinate of observations, mirroring the
+// other runtimes (0 once closed).
+func (c *Remote) shardCount() int { return c.NumShards() }
+
+// Close retires the coordinator: query-path methods start failing with
+// ErrClosed, in-flight fan-outs (including hedges) drain, then every
+// pooled connection is closed. Idempotent.
+func (c *Remote) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.inflight.Wait()
+	c.conns.CloseAll()
+	return nil
+}
+
+// begin gates a query path: it fails with ErrClosed after Close, and
+// otherwise registers the request with the in-flight drain. The returned
+// func must be called when the request finishes.
+func (c *Remote) begin() (func(), error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.inflight.Add(1)
+	return c.inflight.Done, nil
+}
+
+// --- the RPC core ------------------------------------------------------
+
+// ctxErr is ctx.Err() tolerating the nil ctx of the ctx-less accessors
+// (Link, Title, Stats — the Backend contract carries no context there).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// attemptDeadline bounds one RPC attempt: the per-shard topology timeout,
+// or the caller's ctx deadline when sooner.
+func (c *Remote) attemptDeadline(ctx context.Context) time.Time {
+	d := time.Now().Add(time.Duration(c.topo.TimeoutMS) * time.Millisecond)
+	if ctx != nil {
+		if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
+			return cd
+		}
+	}
+	return d
+}
+
+// doRPC performs one observed attempt against one address.
+func (c *Remote) doRPC(shardID int, addr string, op rpc.Op, body []byte, deadline time.Time, attempt int, hedged bool) ([]byte, error) {
+	start := time.Now()
+	payload, err := c.rawRPC(addr, op, body, deadline)
+	c.obs().rpc(start, shardID, addr, op.String(), attempt, hedged, err)
+	return payload, err
+}
+
+func (c *Remote) rawRPC(addr string, op rpc.Op, body []byte, deadline time.Time) ([]byte, error) {
+	conn, err := c.conns.Get(addr)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := conn.Do(op, body, deadline)
+	c.conns.Put(conn)
+	return payload, err
+}
+
+// abortErr classifies an attempt failure: a non-nil return is an
+// application error the whole request aborts with (bad query, bad
+// options, the caller's own dead ctx); nil means "this shard failed" —
+// retry, fail over, or apply the partial-failure policy.
+func abortErr(ctx context.Context, err error) error {
+	var rerr *rpc.RemoteError
+	if errors.As(err, &rerr) {
+		switch rerr.Class {
+		case rpc.ClassInvalidQuery:
+			return fmt.Errorf("%w: %s", ErrInvalidQuery, rerr.Msg)
+		case rpc.ClassInvalidOptions:
+			return fmt.Errorf("%w: %s", ErrInvalidOptions, rerr.Msg)
+		}
+		// timeout / canceled / closed / internal: the shard (or its
+		// deadline) failed this attempt, not the request — unless the
+		// caller's own ctx is what expired, checked below.
+	}
+	if cerr := ctxErr(ctx); cerr != nil {
+		return cerr
+	}
+	return nil
+}
+
+// callShard performs one logical call against a shard: up to 1+Retries
+// attempts rotating through the shard's addresses with backoff, hedging
+// the first attempt to a replica when configured. Application errors
+// abort immediately; exhausting every attempt returns an error wrapping
+// ErrShardUnavailable.
+func (c *Remote) callShard(ctx context.Context, sh TopologyShard, op rpc.Op, body []byte) ([]byte, error) {
+	var lastErr error
+	backoff := time.Duration(c.topo.RetryBackoffMS) * time.Millisecond
+	for attempt := 0; attempt <= c.topo.Retries; attempt++ {
+		if attempt > 0 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, cerr
+		}
+		addr := sh.Addrs[attempt%len(sh.Addrs)]
+		deadline := c.attemptDeadline(ctx)
+		var payload []byte
+		var err error
+		if attempt == 0 && c.topo.HedgeAfterMS > 0 && len(sh.Addrs) > 1 {
+			payload, err = c.attemptHedged(sh.ID, addr, sh.Addrs[1], op, body, deadline)
+		} else {
+			payload, err = c.doRPC(sh.ID, addr, op, body, deadline, attempt, false)
+		}
+		if err == nil {
+			return payload, nil
+		}
+		if aerr := abortErr(ctx, err); aerr != nil {
+			return nil, aerr
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w: shard %d after %d attempts: %v", ErrShardUnavailable, sh.ID, c.topo.Retries+1, lastErr)
+}
+
+// attemptHedged races the primary against a delayed speculative request
+// to a replica; the first success wins and the loser is left to finish
+// on its own connection (tracked by the in-flight drain, so Close never
+// strands it).
+func (c *Remote) attemptHedged(shardID int, primary, replica string, op rpc.Op, body []byte, deadline time.Time) ([]byte, error) {
+	type result struct {
+		payload []byte
+		err     error
+	}
+	ch := make(chan result, 2)
+	run := func(addr string, hedged bool) {
+		defer c.inflight.Done()
+		p, e := c.doRPC(shardID, addr, op, body, deadline, 0, hedged)
+		ch <- result{p, e}
+	}
+	// Add while the calling request still holds its own in-flight count,
+	// so the Add can never race a Close that already started Waiting at
+	// zero.
+	c.inflight.Add(1)
+	go run(primary, false)
+	pending := 1
+	hedge := time.NewTimer(time.Duration(c.topo.HedgeAfterMS) * time.Millisecond)
+	defer hedge.Stop()
+	var firstErr error
+	for {
+		select {
+		case res := <-ch:
+			if res.err == nil {
+				return res.payload, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if pending--; pending == 0 {
+				return nil, firstErr
+			}
+		case <-hedge.C:
+			c.inflight.Add(1)
+			pending++
+			go run(replica, true)
+		}
+	}
+}
+
+// anyShard performs one logical call against any single shard — the
+// routing for everything answered by the replicated state (expansion,
+// linking, stats, benchmark): shard 0 first, failing over through the
+// rest. Application errors abort; only when every shard is unavailable
+// does the last ErrShardUnavailable surface.
+func (c *Remote) anyShard(ctx context.Context, op rpc.Op, body []byte) ([]byte, error) {
+	var lastErr error
+	for i := range c.topo.Shards {
+		payload, err := c.callShard(ctx, c.topo.Shards[i], op, body)
+		if err == nil {
+			return payload, nil
+		}
+		if !errors.Is(err, ErrShardUnavailable) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// --- scatter-gather ----------------------------------------------------
+
+// shardState tracks one shard through a scatter: its plan-phase result
+// and whether it has been dropped under the degrade policy.
+type shardState struct {
+	cfs     []int64
+	ok      bool
+	dropped bool
+}
+
+// scatter runs the two-phase distributed search for one encoded query:
+// plan every shard's leaves and local collection frequencies, aggregate
+// to global statistics, score every surviving shard under them, and
+// merge. ok=false means the query (an expansion) had nothing to search
+// for. dropped counts shards lost to the degrade policy; the fail policy
+// never drops (it errors).
+func (c *Remote) scatter(ctx context.Context, queryBody []byte, k int) (rs []Result, ok bool, dropped int, err error) {
+	n := len(c.topo.Shards)
+	states := make([]shardState, n)
+	errs := make([]error, n)
+
+	c.eachShard(func(i int) {
+		payload, err := c.callShard(ctx, c.topo.Shards[i], rpc.OpPlan, queryBody)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r := rpc.NewReader(payload)
+		if r.Byte() == 0 {
+			if err := r.Done(); err != nil {
+				errs[i] = fmt.Errorf("shard %d plan: %w", i, err)
+			}
+			return
+		}
+		m := r.Int()
+		cfs := make([]int64, 0, m)
+		for j := 0; j < m; j++ {
+			cfs = append(cfs, int64(r.Uvarint()))
+		}
+		if err := r.Done(); err != nil {
+			errs[i] = fmt.Errorf("shard %d plan: %w", i, err)
+			return
+		}
+		states[i].ok = true
+		states[i].cfs = cfs
+	})
+	if dropped, err = c.applyPolicy(states, errs); err != nil {
+		return nil, false, 0, err
+	}
+
+	// Searchable and leaf structure must agree across survivors — they
+	// derive it from the same replicated analyzer and graph.
+	first := -1
+	for i := range states {
+		if !states[i].dropped {
+			first = i
+			break
+		}
+	}
+	if !states[first].ok {
+		return nil, false, dropped, nil
+	}
+	leafCF := make([]int64, len(states[first].cfs))
+	for i := range states {
+		if states[i].dropped {
+			continue
+		}
+		if !states[i].ok || len(states[i].cfs) != len(leafCF) {
+			return nil, false, 0, fmt.Errorf("shard %d planned %d leaves, shard %d planned %d: fleet disagrees on query structure",
+				first, len(leafCF), i, len(states[i].cfs))
+		}
+		for j, cf := range states[i].cfs {
+			leafCF[j] += cf
+		}
+	}
+
+	topkBody := make([]byte, 0, len(queryBody)+16+10*len(leafCF))
+	topkBody = append(topkBody, queryBody...)
+	topkBody = rpc.AppendVarint(topkBody, int64(k))
+	topkBody = rpc.AppendUvarint(topkBody, uint64(c.ident.GlobalTokens))
+	topkBody = rpc.AppendUvarint(topkBody, uint64(len(leafCF)))
+	for _, cf := range leafCF {
+		topkBody = rpc.AppendUvarint(topkBody, uint64(cf))
+	}
+
+	locals := make([][]Result, n)
+	c.eachShard(func(i int) {
+		if states[i].dropped {
+			return
+		}
+		payload, err := c.callShard(ctx, c.topo.Shards[i], rpc.OpTopK, topkBody)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r := rpc.NewReader(payload)
+		if r.Byte() == 0 {
+			errs[i] = fmt.Errorf("shard %d: plan phase was searchable, top-k phase was not", i)
+			return
+		}
+		locals[i] = rpc.ReadResults(r)
+		if err := r.Done(); err != nil {
+			errs[i] = fmt.Errorf("shard %d topk: %w", i, err)
+		}
+	})
+	if dropped, err = c.applyPolicy(states, errs); err != nil {
+		return nil, false, 0, err
+	}
+
+	merged := make([][]Result, 0, n)
+	for i := range states {
+		if !states[i].dropped {
+			merged = append(merged, locals[i])
+		}
+	}
+	return shard.MergeRanked(merged, k), true, dropped, nil
+}
+
+// applyPolicy folds per-shard errors into the partial-failure policy:
+// application errors abort (in shard order, deterministically); shard
+// failures abort under "fail", or drop the shard under "degrade" as long
+// as the surviving quorum holds. It returns the total dropped count.
+func (c *Remote) applyPolicy(states []shardState, errs []error) (dropped int, err error) {
+	for i, e := range errs {
+		if e != nil && !errors.Is(e, ErrShardUnavailable) {
+			return 0, e
+		}
+		if e != nil && c.topo.Policy != "degrade" {
+			return 0, e
+		}
+		if e != nil {
+			states[i].dropped = true
+			errs[i] = nil
+		}
+	}
+	survivors := 0
+	for i := range states {
+		if !states[i].dropped {
+			survivors++
+		} else {
+			dropped++
+		}
+	}
+	if survivors < c.topo.MinShards {
+		return 0, fmt.Errorf("%w: %d of %d shards unavailable, quorum needs %d survivors",
+			ErrShardUnavailable, dropped, len(states), c.topo.MinShards)
+	}
+	return dropped, nil
+}
+
+// eachShard runs fn concurrently over every shard index and waits.
+func (c *Remote) eachShard(fn func(i int)) {
+	n := len(c.topo.Shards)
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// partialErr builds the degraded-response error (results stay attached).
+func (c *Remote) partialErr(dropped int) error {
+	return fmt.Errorf("%w: served by %d of %d shards", ErrPartialResult, len(c.topo.Shards)-dropped, len(c.topo.Shards))
+}
+
+// --- the Backend surface -----------------------------------------------
+
+// Search is Client.Search served by the fleet: same contract, same
+// ranking. Under the "degrade" policy a response missing shards returns
+// the surviving ranking AND an error wrapping ErrPartialResult.
+func (c *Remote) Search(ctx context.Context, query string, k int) ([]Result, error) {
+	start := time.Now()
+	rs, shards, err := c.searchText(ctx, query, k)
+	c.obs().search(start, k, shards, false, err)
+	return rs, err
+}
+
+// SearchInto is Search reusing dst's storage for the returned ranking
+// (dst may be nil). The network round trip still allocates decode
+// buffers — the zero-allocation steady state is a *Client property — but
+// the contract (results copied into dst, nothing retained) is identical.
+func (c *Remote) SearchInto(ctx context.Context, query string, k int, dst []Result) ([]Result, error) {
+	start := time.Now()
+	rs, shards, err := c.searchText(ctx, query, k)
+	if err == nil || errors.Is(err, ErrPartialResult) {
+		if dst != nil || rs == nil {
+			rs = append(dst[:0], rs...)
+		}
+	}
+	c.obs().search(start, k, shards, false, err)
+	return rs, err
+}
+
+func (c *Remote) searchText(ctx context.Context, query string, k int) ([]Result, int, error) {
+	done, err := c.begin()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer done()
+	shards := len(c.topo.Shards)
+	if err := ctx.Err(); err != nil {
+		return nil, shards, err
+	}
+	rs, _, dropped, err := c.scatter(ctx, rpc.AppendTextQuery(nil, query), k)
+	if err != nil {
+		return nil, shards, err
+	}
+	if dropped > 0 {
+		return rs, shards, c.partialErr(dropped)
+	}
+	return rs, shards, nil
+}
+
+// SearchAll is Client.SearchAll served by the fleet: every query in the
+// batch runs its own scatter on a bounded worker pool. A degraded item
+// degrades the whole batch (results kept, error wraps ErrPartialResult).
+func (c *Remote) SearchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, error) {
+	start := time.Now()
+	rss, shards, err := c.searchAll(ctx, queries, k, opts)
+	c.obs().batch(start, BatchSearch, len(queries), k, shards, err)
+	return rss, err
+}
+
+func (c *Remote) searchAll(ctx context.Context, queries []string, k int, opts BatchOptions) ([][]Result, int, error) {
+	done, err := c.begin()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer done()
+	shards := len(c.topo.Shards)
+	if err := ctx.Err(); err != nil {
+		return nil, shards, err
+	}
+	out := make([][]Result, len(queries))
+	var partial atomic.Bool
+	err = core.ForEach(ctx, len(queries), opts.Workers, func(i int) error {
+		rs, _, dropped, err := c.scatter(ctx, rpc.AppendTextQuery(nil, queries[i]), k)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		if dropped > 0 {
+			partial.Store(true)
+		}
+		out[i] = rs
+		return nil
+	})
+	if err != nil {
+		return nil, shards, err
+	}
+	if partial.Load() {
+		return out, shards, fmt.Errorf("%w: batch served degraded", ErrPartialResult)
+	}
+	return out, shards, nil
+}
+
+// Expand is Client.Expand served by the fleet: the pipeline runs on one
+// shard's replicated graph (shard 0, failing over through the rest),
+// memoized in that shard's expansion cache.
+func (c *Remote) Expand(ctx context.Context, keywords string, opts ...ExpandOption) (*Expansion, error) {
+	start := time.Now()
+	exp, outcome, shards, err := c.expand(ctx, keywords, opts)
+	c.obs().expand(start, outcome, exp, shards, err)
+	return exp, err
+}
+
+func (c *Remote) expand(ctx context.Context, keywords string, opts []ExpandOption) (*Expansion, CacheOutcome, int, error) {
+	done, err := c.begin()
+	if err != nil {
+		return nil, CacheBypass, 0, err
+	}
+	defer done()
+	shards := len(c.topo.Shards)
+	if err := ctx.Err(); err != nil {
+		return nil, CacheBypass, shards, err
+	}
+	eopts, err := normalizeExpandOptions(opts)
+	if err != nil {
+		return nil, CacheBypass, shards, err
+	}
+	exp, outcome, err := c.expandRemote(ctx, keywords, eopts)
+	return exp, outcome, shards, err
+}
+
+func (c *Remote) expandRemote(ctx context.Context, keywords string, eopts core.ExpanderOptions) (*Expansion, CacheOutcome, error) {
+	body := rpc.AppendString(nil, keywords)
+	body = rpc.AppendExpanderOptions(body, eopts)
+	payload, err := c.anyShard(ctx, rpc.OpExpand, body)
+	if err != nil {
+		return nil, CacheBypass, err
+	}
+	r := rpc.NewReader(payload)
+	outcome := CacheOutcome(r.Byte())
+	exp := rpc.ReadExpansion(r)
+	if err := r.Done(); err != nil {
+		return nil, CacheBypass, fmt.Errorf("expand response: %w", err)
+	}
+	return exp, outcome, nil
+}
+
+// ExpandAll is Client.ExpandAll served by the fleet: per-keyword remote
+// expansions on a bounded worker pool, deduplicated by the serving
+// shard's single-flight cache.
+func (c *Remote) ExpandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts ...ExpandOption) ([]*Expansion, error) {
+	start := time.Now()
+	exps, shards, err := c.expandAll(ctx, keywords, bopts, opts)
+	c.obs().batch(start, BatchExpand, len(keywords), 0, shards, err)
+	return exps, err
+}
+
+func (c *Remote) expandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts []ExpandOption) ([]*Expansion, int, error) {
+	done, err := c.begin()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer done()
+	shards := len(c.topo.Shards)
+	if err := ctx.Err(); err != nil {
+		return nil, shards, err
+	}
+	eopts, err := normalizeExpandOptions(opts)
+	if err != nil {
+		return nil, shards, err
+	}
+	out := make([]*Expansion, len(keywords))
+	err = core.ForEach(ctx, len(keywords), bopts.Workers, func(i int) error {
+		exp, _, err := c.expandRemote(ctx, keywords[i], eopts)
+		if err != nil {
+			return fmt.Errorf("keywords %d: %w", i, err)
+		}
+		out[i] = exp
+		return nil
+	})
+	if err != nil {
+		return nil, shards, err
+	}
+	return out, shards, nil
+}
+
+// SearchExpansion is Client.SearchExpansion served by the fleet: the
+// expansion's keywords and article list travel to every shard, which
+// rebuilds the expanded title query on its replicated graph and scores
+// its slice. ok=false means the expansion had nothing to search for.
+func (c *Remote) SearchExpansion(ctx context.Context, exp *Expansion, k int) (results []Result, ok bool, err error) {
+	start := time.Now()
+	rs, ok, shards, err := c.searchExpansion(ctx, exp, k)
+	c.obs().search(start, k, shards, true, err)
+	return rs, ok, err
+}
+
+func (c *Remote) searchExpansion(ctx context.Context, exp *Expansion, k int) ([]Result, bool, int, error) {
+	done, err := c.begin()
+	if err != nil {
+		return nil, false, 0, err
+	}
+	defer done()
+	shards := len(c.topo.Shards)
+	if err := ctx.Err(); err != nil {
+		return nil, false, shards, err
+	}
+	rs, ok, dropped, err := c.scatter(ctx, rpc.AppendExpansionQuery(nil, exp), k)
+	if err != nil {
+		return nil, false, shards, err
+	}
+	if !ok {
+		return nil, false, shards, nil
+	}
+	if dropped > 0 {
+		return rs, true, shards, c.partialErr(dropped)
+	}
+	return rs, true, shards, nil
+}
+
+// SearchExpansions is Client.SearchExpansions served by the fleet;
+// expansions with nothing to search for keep a nil ranking.
+func (c *Remote) SearchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, error) {
+	start := time.Now()
+	rss, shards, err := c.searchExpansions(ctx, exps, k, opts)
+	c.obs().batch(start, BatchSearchExpansions, len(exps), k, shards, err)
+	return rss, err
+}
+
+func (c *Remote) searchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, int, error) {
+	done, err := c.begin()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer done()
+	shards := len(c.topo.Shards)
+	if err := ctx.Err(); err != nil {
+		return nil, shards, err
+	}
+	out := make([][]Result, len(exps))
+	var partial atomic.Bool
+	err = core.ForEach(ctx, len(exps), opts.Workers, func(i int) error {
+		rs, ok, dropped, err := c.scatter(ctx, rpc.AppendExpansionQuery(nil, exps[i]), k)
+		if err != nil {
+			return fmt.Errorf("expansion %d: %w", i, err)
+		}
+		if dropped > 0 {
+			partial.Store(true)
+		}
+		if ok {
+			out[i] = rs
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, shards, err
+	}
+	if partial.Load() {
+		return out, shards, fmt.Errorf("%w: batch served degraded", ErrPartialResult)
+	}
+	return out, shards, nil
+}
+
+// Link computes L(q.k) against any shard's replicated graph (nil on
+// failure or once closed — the ctx-less accessor contract).
+func (c *Remote) Link(keywords string) []Entity {
+	done, err := c.begin()
+	if err != nil {
+		return nil
+	}
+	defer done()
+	payload, err := c.anyShard(nil, rpc.OpLink, rpc.AppendString(nil, keywords))
+	if err != nil {
+		return nil
+	}
+	r := rpc.NewReader(payload)
+	n := r.Int()
+	out := make([]Entity, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Entity{ID: NodeID(r.Uvarint()), Title: r.String()})
+	}
+	if r.Done() != nil {
+		return nil
+	}
+	return out
+}
+
+// Title resolves a node id on any shard's replicated graph ("" on
+// failure or once closed).
+func (c *Remote) Title(id NodeID) string {
+	done, err := c.begin()
+	if err != nil {
+		return ""
+	}
+	defer done()
+	payload, err := c.anyShard(nil, rpc.OpTitle, rpc.AppendUvarint(nil, uint64(id)))
+	if err != nil {
+		return ""
+	}
+	r := rpc.NewReader(payload)
+	title := r.String()
+	if r.Done() != nil {
+		return ""
+	}
+	return title
+}
+
+// Queries returns the benchmark fetched from the fleet at open time
+// (replicated into every shard).
+func (c *Remote) Queries() []Query {
+	out := make([]Query, len(c.queries))
+	copy(out, c.queries)
+	return out
+}
+
+// Stats reports the fleet's serving-state summary, fetched from any
+// shard (the graph and benchmark are replicated; Documents is the global
+// count). Zero once closed or when no shard answers.
+func (c *Remote) Stats() Stats {
+	done, err := c.begin()
+	if err != nil {
+		return Stats{}
+	}
+	defer done()
+	payload, err := c.anyShard(nil, rpc.OpStats, nil)
+	if err != nil {
+		return Stats{}
+	}
+	r := rpc.NewReader(payload)
+	st := Stats{
+		Articles:         r.Int(),
+		Redirects:        r.Int(),
+		Categories:       r.Int(),
+		Links:            r.Int(),
+		Documents:        r.Int(),
+		BenchmarkQueries: r.Int(),
+		Cache: CacheStats{
+			Hits:     r.Uvarint(),
+			Misses:   r.Uvarint(),
+			Deduped:  r.Uvarint(),
+			Entries:  r.Int(),
+			Capacity: r.Int(),
+		},
+	}
+	if r.Done() != nil {
+		return Stats{}
+	}
+	return st
+}
+
+// CacheStats reports the expansion-cache counters of the shard currently
+// serving expansions (zero once closed or when no shard answers).
+func (c *Remote) CacheStats() CacheStats { return c.Stats().Cache }

@@ -1,0 +1,565 @@
+package querygraph
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/querygraph/querygraph/internal/rpc"
+)
+
+// startShardFleet boots one rpc.Server per shard file in dir on loopback
+// listeners and writes the matching topology file. mut may adjust the
+// topology (policy, timeouts, addresses) before it is written. The
+// servers shut down in t.Cleanup (idempotently, so tests may also close
+// them mid-test to inject faults).
+func startShardFleet(t *testing.T, dir string, shards int, mut func(*Topology)) (string, []*rpc.Server) {
+	t.Helper()
+	topo := Topology{Version: 1}
+	servers := make([]*rpc.Server, 0, shards)
+	for s := 0; s < shards; s++ {
+		srv, err := rpc.LoadServerFile(filepath.Join(dir, fmt.Sprintf("shard-%03d.qgs", s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = srv.Serve(context.Background(), ln)
+		}()
+		t.Cleanup(func() {
+			_ = srv.Close()
+			<-done
+		})
+		servers = append(servers, srv)
+		topo.Shards = append(topo.Shards, TopologyShard{ID: s, Addrs: []string{ln.Addr().String()}})
+	}
+	if mut != nil {
+		mut(&topo)
+	}
+	return writeTopology(t, dir, topo), servers
+}
+
+func writeTopology(t *testing.T, dir string, topo Topology) string {
+	t.Helper()
+	blob, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "topology.json")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// shardedWorld saves the reference client as a 2-shard fleet directory.
+func shardedWorld(t *testing.T) (*Client, string) {
+	t.Helper()
+	ref := conformanceWorld(t)
+	t.Cleanup(func() { _ = ref.Close() })
+	dir := t.TempDir()
+	if err := ref.SaveShards(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	return ref, dir
+}
+
+// fakeShard is a protocol endpoint that answers OpHealthz with the given
+// identity and hangs forever on every other op — the canonical hanging
+// shard. Release the returned channel-closer to unblock its goroutines.
+func fakeShard(t *testing.T, ident rpc.Identity) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hang := make(chan struct{})
+	t.Cleanup(func() {
+		close(hang)
+		_ = ln.Close()
+	})
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for {
+					payload, err := rpc.ReadFrame(br)
+					if err != nil {
+						return
+					}
+					r := rpc.NewReader(payload)
+					r.Byte() // version
+					if op := rpc.Op(r.Byte()); op != rpc.OpHealthz {
+						<-hang // never answer: the caller's deadline must fire
+						return
+					}
+					if err := rpc.WriteFrame(c, rpc.AppendIdentity(rpc.AppendOKHeader(nil), ident)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestReadTopologyValidation pins the topology schema errors onto
+// ErrBadTopology.
+func TestReadTopologyValidation(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		blob string
+	}{
+		{"bad version", `{"version":2,"shards":[{"id":0,"addrs":["a:1"]}]}`},
+		{"no shards", `{"version":1,"shards":[]}`},
+		{"duplicate id", `{"version":1,"shards":[{"id":0,"addrs":["a:1"]},{"id":0,"addrs":["b:1"]}]}`},
+		{"id out of range", `{"version":1,"shards":[{"id":5,"addrs":["a:1"]}]}`},
+		{"no addrs", `{"version":1,"shards":[{"id":0,"addrs":[]}]}`},
+		{"empty addr", `{"version":1,"shards":[{"id":0,"addrs":[""]}]}`},
+		{"unknown policy", `{"version":1,"policy":"shrug","shards":[{"id":0,"addrs":["a:1"]}]}`},
+		{"unknown field", `{"version":1,"shards":[{"id":0,"addrs":["a:1"]}],"wat":true}`},
+		{"negative timeout", `{"version":1,"timeout_ms":-1,"shards":[{"id":0,"addrs":["a:1"]}]}`},
+		{"not json", `[1,2,3]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, "topo.json")
+			if err := os.WriteFile(path, []byte(tc.blob), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ReadTopology(path); !errors.Is(err, ErrBadTopology) {
+				t.Fatalf("err = %v, want ErrBadTopology", err)
+			}
+		})
+	}
+	if _, err := ReadTopology(filepath.Join(dir, "missing.json")); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("missing file err = %v, want ErrBadTopology", err)
+	}
+
+	// Defaults land after a valid read.
+	path := filepath.Join(dir, "ok.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"shards":[{"id":1,"addrs":["b:1"]},{"id":0,"addrs":["a:1"]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := ReadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Policy != "fail" || topo.TimeoutMS != 2000 || topo.Retries != 1 || topo.MinShards != 1 {
+		t.Errorf("defaults = %+v", topo)
+	}
+	if topo.Shards[0].ID != 0 || topo.Shards[1].ID != 1 {
+		t.Errorf("shards not reordered by id: %+v", topo.Shards)
+	}
+}
+
+// TestOpenTopologyHandshakeMismatch: a fleet whose servers disagree with
+// their topology slots (here: the two shard servers swapped) must be
+// refused with ErrBadTopology before any query is served.
+func TestOpenTopologyHandshakeMismatch(t *testing.T) {
+	_, dir := shardedWorld(t)
+	topoPath, _ := startShardFleet(t, dir, 2, func(topo *Topology) {
+		topo.Shards[0].Addrs, topo.Shards[1].Addrs = topo.Shards[1].Addrs, topo.Shards[0].Addrs
+	})
+	if _, err := OpenTopology(topoPath); !errors.Is(err, ErrBadTopology) {
+		t.Fatalf("swapped fleet err = %v, want ErrBadTopology", err)
+	}
+}
+
+// TestRemoteHangingShardDeadline: shard 1 accepts the handshake, then
+// hangs on every query op. Under the fail policy the per-shard deadline
+// must fire, the failure must classify as shard_unavailable, and the
+// deadline hit must be visible in metrics.
+func TestRemoteHangingShardDeadline(t *testing.T) {
+	ref, dir := shardedWorld(t)
+	srv1, err := rpc.LoadServerFile(filepath.Join(dir, "shard-001.qgs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hangAddr := fakeShard(t, srv1.Identity())
+
+	m := NewMetricsObserver()
+	topoPath, _ := startShardFleet(t, dir, 2, func(topo *Topology) {
+		topo.Shards[1].Addrs = []string{hangAddr}
+		topo.TimeoutMS = 150
+		topo.Retries = 0
+	})
+	be, err := OpenBackend(topoPath, WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+
+	start := time.Now()
+	_, err = be.Search(context.Background(), ref.Queries()[0].Keywords, 5)
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+	if got := ErrorClass(err); got != "shard_unavailable" {
+		t.Errorf("ErrorClass = %q, want shard_unavailable", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("deadline took %v to fire with a 150ms per-shard timeout", elapsed)
+	}
+	s := m.Snapshot()
+	if s.RPCDeadlines == 0 {
+		t.Errorf("metrics snapshot = %+v, want RPCDeadlines > 0", s)
+	}
+	if s.RPCErrors == 0 {
+		t.Errorf("metrics snapshot = %+v, want RPCErrors > 0", s)
+	}
+}
+
+// TestRemoteDegradePolicy: with policy "degrade" a dead shard drops out
+// and the survivors' merged ranking is served alongside ErrPartialResult;
+// the partial response is counted in metrics. With a dead fleet the
+// quorum fails even under degrade.
+func TestRemoteDegradePolicy(t *testing.T) {
+	ref, dir := shardedWorld(t)
+	m := NewMetricsObserver()
+	topoPath, servers := startShardFleet(t, dir, 2, func(topo *Topology) {
+		topo.Policy = "degrade"
+		topo.TimeoutMS = 500
+		topo.Retries = 0
+	})
+	be, err := OpenBackend(topoPath, WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	ctx := context.Background()
+	kw := ref.Queries()[0].Keywords
+
+	// Healthy fleet first: bit-identical, no partial flag.
+	want, err := ref.Search(ctx, kw, MaxRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.Search(ctx, kw, MaxRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("healthy fleet diverges:\n got %v\nwant %v", got, want)
+	}
+
+	// Kill shard 1 mid-stream: the pooled connection dies, the retryless
+	// redial is refused, and the degrade policy serves shard 0's ranking.
+	if err := servers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = be.Search(ctx, kw, MaxRank)
+	if !errors.Is(err, ErrPartialResult) {
+		t.Fatalf("degraded err = %v, want ErrPartialResult", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("degraded response carries no results — degrade must serve the survivors")
+	}
+	if got := ErrorClass(err); got != "partial_result" {
+		t.Errorf("ErrorClass = %q, want partial_result", got)
+	}
+	if s := m.Snapshot(); s.PartialResults == 0 {
+		t.Errorf("metrics snapshot = %+v, want PartialResults > 0", s)
+	}
+
+	// Batch paths degrade the same way, keeping their results.
+	rss, err := be.SearchAll(ctx, []string{kw, kw}, 5, BatchOptions{})
+	if !errors.Is(err, ErrPartialResult) {
+		t.Fatalf("degraded batch err = %v, want ErrPartialResult", err)
+	}
+	if len(rss) != 2 || rss[0] == nil || rss[1] == nil {
+		t.Fatalf("degraded batch results = %v", rss)
+	}
+
+	// Kill the last shard: the quorum (min_shards 1) is gone.
+	if err := servers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Search(ctx, kw, 5); !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("dead fleet err = %v, want ErrShardUnavailable", err)
+	}
+}
+
+// TestRemoteFailPolicyMidStreamDeath: the default fail policy turns a
+// shard dying between requests into ErrShardUnavailable, no partial
+// results.
+func TestRemoteFailPolicyMidStreamDeath(t *testing.T) {
+	ref, dir := shardedWorld(t)
+	topoPath, servers := startShardFleet(t, dir, 2, func(topo *Topology) {
+		topo.TimeoutMS = 500
+		topo.Retries = 1
+		topo.RetryBackoffMS = 1
+	})
+	be, err := OpenBackend(topoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	ctx := context.Background()
+	kw := ref.Queries()[0].Keywords
+
+	if _, err := be.Search(ctx, kw, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := servers[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := be.Search(ctx, kw, 5)
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("err = %v, want ErrShardUnavailable", err)
+	}
+	if rs != nil {
+		t.Errorf("fail policy returned results %v alongside the error", rs)
+	}
+}
+
+// TestRemoteRetryFailover: a shard listed with a dead primary address and
+// a live replica must fail over within one logical call — same results,
+// retries visible in metrics.
+func TestRemoteRetryFailover(t *testing.T) {
+	ref, dir := shardedWorld(t)
+
+	// A listener that is immediately closed: its port refuses connections.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	_ = dead.Close()
+
+	m := NewMetricsObserver()
+	topoPath, _ := startShardFleet(t, dir, 2, func(topo *Topology) {
+		topo.Shards[1].Addrs = append([]string{deadAddr}, topo.Shards[1].Addrs...)
+		topo.Retries = 1
+		topo.RetryBackoffMS = 1
+	})
+	be, err := OpenBackend(topoPath, WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	ctx := context.Background()
+
+	for _, q := range ref.Queries()[:3] {
+		want, err := ref.Search(ctx, q.Keywords, MaxRank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := be.Search(ctx, q.Keywords, MaxRank)
+		if err != nil {
+			t.Fatalf("Search %q through failover: %v", q.Keywords, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("failover ranking diverges for %q:\n got %v\nwant %v", q.Keywords, got, want)
+		}
+	}
+	if s := m.Snapshot(); s.RPCRetries == 0 {
+		t.Errorf("metrics snapshot = %+v, want RPCRetries > 0", s)
+	}
+}
+
+// TestRemoteHedgedRequests: shard 1's primary hangs on every query op;
+// with hedging enabled the replica answers and the request succeeds
+// without waiting out the primary's deadline.
+func TestRemoteHedgedRequests(t *testing.T) {
+	ref, dir := shardedWorld(t)
+	srv1, err := rpc.LoadServerFile(filepath.Join(dir, "shard-001.qgs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hangAddr := fakeShard(t, srv1.Identity())
+
+	m := NewMetricsObserver()
+	topoPath, _ := startShardFleet(t, dir, 2, func(topo *Topology) {
+		topo.Shards[1].Addrs = append([]string{hangAddr}, topo.Shards[1].Addrs...)
+		topo.TimeoutMS = 500
+		topo.Retries = 0
+		topo.HedgeAfterMS = 20
+	})
+	be, err := OpenBackend(topoPath, WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw := ref.Queries()[0].Keywords
+	want, err := ref.Search(context.Background(), kw, MaxRank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := be.Search(context.Background(), kw, MaxRank)
+	if err != nil {
+		t.Fatalf("hedged search: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hedged ranking diverges:\n got %v\nwant %v", got, want)
+	}
+	if s := m.Snapshot(); s.RPCHedges == 0 {
+		t.Errorf("metrics snapshot = %+v, want RPCHedges > 0", s)
+	}
+	// Close drains the in-flight hung primaries (bounded by their 500ms
+	// deadline) — it must not strand them or panic the WaitGroup.
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoteCallerDeadlineAborts: the caller's already-expired context
+// must surface as its own error, not as a shard failure.
+func TestRemoteCallerDeadlineAborts(t *testing.T) {
+	ref, dir := shardedWorld(t)
+	topoPath, _ := startShardFleet(t, dir, 2, nil)
+	be, err := OpenBackend(topoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := be.Search(ctx, ref.Queries()[0].Keywords, 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRemoteInvalidQueryAborts: a parse failure on the shards maps back
+// onto ErrInvalidQuery — an application error, never retried and never a
+// shard failure.
+func TestRemoteInvalidQueryAborts(t *testing.T) {
+	_, dir := shardedWorld(t)
+	m := NewMetricsObserver()
+	topoPath, _ := startShardFleet(t, dir, 2, nil)
+	be, err := OpenBackend(topoPath, WithObserver(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+	if _, err := be.Search(context.Background(), "#combine(", 5); !errors.Is(err, ErrInvalidQuery) {
+		t.Fatalf("err = %v, want ErrInvalidQuery", err)
+	}
+}
+
+// TestRemoteCloseRacesFanouts hammers the coordinator from many
+// goroutines while Close lands mid-storm, then asserts a full drain: no
+// leaked goroutines (hedges, fan-out workers, server conns) and every
+// call either succeeded, degraded, or failed ErrClosed. Run under -race.
+func TestRemoteCloseRacesFanouts(t *testing.T) {
+	ref, dir := shardedWorld(t)
+	baseline := runtime.NumGoroutine()
+	topoPath, servers := startShardFleet(t, dir, 2, func(topo *Topology) {
+		topo.TimeoutMS = 1000
+		topo.HedgeAfterMS = 5 // exercise the hedge path in the storm
+		topo.Shards[0].Addrs = append(topo.Shards[0].Addrs, topo.Shards[0].Addrs[0])
+		topo.Shards[1].Addrs = append(topo.Shards[1].Addrs, topo.Shards[1].Addrs[0])
+	})
+	be, err := OpenTopology(topoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw := ref.Queries()[0].Keywords
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				_, err := be.Search(ctx, kw, 5)
+				if err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("Search during Close: %v", err)
+					return
+				}
+				if _, err := be.SearchAll(ctx, []string{kw, kw}, 5, BatchOptions{Workers: 2}); err != nil && !errors.Is(err, ErrClosed) {
+					t.Errorf("SearchAll during Close: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(5 * time.Millisecond)
+		if err := be.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	assertClosed(t, be)
+
+	// Shut the servers down too, then require the goroutine count to
+	// settle back to the baseline: nothing may leak from either end.
+	for _, srv := range servers {
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked after drain: %d > baseline %d\n%s", runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+// TestRemoteClosedAccessors pins the post-Close accessor contract shared
+// with the Pool: zero values, never a hang or panic.
+func TestRemoteClosedAccessors(t *testing.T) {
+	_, dir := shardedWorld(t)
+	topoPath, _ := startShardFleet(t, dir, 2, nil)
+	remote, err := OpenTopology(topoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := remote.NumShards(); n != 2 {
+		t.Fatalf("NumShards = %d, want 2", n)
+	}
+	if err := remote.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := remote.Close(); err != nil {
+		t.Fatalf("second Close: %v (want nil — Close is idempotent)", err)
+	}
+	if n := remote.NumShards(); n != 0 {
+		t.Errorf("NumShards after Close = %d, want 0", n)
+	}
+	if st := remote.Stats(); st != (Stats{}) {
+		t.Errorf("Stats after Close = %+v, want zero", st)
+	}
+	if cs := remote.CacheStats(); cs != (CacheStats{}) {
+		t.Errorf("CacheStats after Close = %+v, want zero", cs)
+	}
+	if title := remote.Title(1); title != "" {
+		t.Errorf("Title after Close = %q, want empty", title)
+	}
+	if ents := remote.Link("x"); ents != nil {
+		t.Errorf("Link after Close = %v, want nil", ents)
+	}
+}

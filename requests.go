@@ -2,6 +2,7 @@ package querygraph
 
 import (
 	"context"
+	"errors"
 	"time"
 )
 
@@ -17,6 +18,12 @@ import (
 // A request's Timeout only ever lowers the caller's deadline (the earlier
 // of the two wins, exactly like a nested context.WithTimeout); zero means
 // "inherit ctx unchanged".
+//
+// ErrPartialResult is the one error returned alongside a usable response:
+// a degrade-policy *Remote that lost shards still delivers the survivors'
+// ranking, so Do returns the populated response AND the wrapped sentinel,
+// and callers decide whether a partial answer is acceptable. Every other
+// error keeps the zero response.
 
 // SearchRequest is one ranked retrieval over raw query text.
 type SearchRequest struct {
@@ -43,10 +50,10 @@ func (r SearchRequest) Do(ctx context.Context, b Backend) (SearchResponse, error
 	defer cancel()
 	start := time.Now()
 	rs, err := b.Search(ctx, r.Query, r.K)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrPartialResult) {
 		return SearchResponse{}, err
 	}
-	return SearchResponse{Results: rs, Took: time.Since(start)}, nil
+	return SearchResponse{Results: rs, Took: time.Since(start)}, err
 }
 
 // SearchBatchRequest is a batch of retrievals on a bounded worker pool.
@@ -71,10 +78,10 @@ func (r SearchBatchRequest) Do(ctx context.Context, b Backend) (SearchBatchRespo
 	defer cancel()
 	start := time.Now()
 	rss, err := b.SearchAll(ctx, r.Queries, r.K, BatchOptions{Workers: r.Workers})
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrPartialResult) {
 		return SearchBatchResponse{}, err
 	}
-	return SearchBatchResponse{Results: rss, Took: time.Since(start)}, nil
+	return SearchBatchResponse{Results: rss, Took: time.Since(start)}, err
 }
 
 // ExpandRequest is one cycle-based query expansion, optionally followed by
@@ -113,15 +120,17 @@ func (r ExpandRequest) Do(ctx context.Context, b Backend) (ExpandResponse, error
 		return ExpandResponse{}, err
 	}
 	resp := ExpandResponse{Expansion: exp}
+	var perr error
 	if r.K > 0 {
-		rs, ok, err := b.SearchExpansion(ctx, exp, r.K)
-		if err != nil {
-			return ExpandResponse{}, err
+		rs, ok, serr := b.SearchExpansion(ctx, exp, r.K)
+		if serr != nil && !errors.Is(serr, ErrPartialResult) {
+			return ExpandResponse{}, serr
 		}
 		resp.Results, resp.Searched = rs, ok
+		perr = serr
 	}
 	resp.Took = time.Since(start)
-	return resp, nil
+	return resp, perr
 }
 
 // ExpandBatchRequest is a batch of expansions on a bounded worker pool,
@@ -156,15 +165,17 @@ func (r ExpandBatchRequest) Do(ctx context.Context, b Backend) (ExpandBatchRespo
 		return ExpandBatchResponse{}, err
 	}
 	resp := ExpandBatchResponse{Expansions: exps}
+	var perr error
 	if r.K > 0 {
-		rss, err := b.SearchExpansions(ctx, exps, r.K, bopts)
-		if err != nil {
-			return ExpandBatchResponse{}, err
+		rss, serr := b.SearchExpansions(ctx, exps, r.K, bopts)
+		if serr != nil && !errors.Is(serr, ErrPartialResult) {
+			return ExpandBatchResponse{}, serr
 		}
 		resp.Results = rss
+		perr = serr
 	}
 	resp.Took = time.Since(start)
-	return resp, nil
+	return resp, perr
 }
 
 // requestContext applies a request's Timeout: a positive value nests a
