@@ -4,13 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/querygraph/querygraph/internal/hist"
 )
 
 // conformanceWorld builds a fresh client over a small deterministic world
@@ -797,10 +801,81 @@ func TestMetricsObserver(t *testing.T) {
 		`querygraph_batch_items_total 3`,
 		`querygraph_request_duration_seconds_count{op="search"} 2`,
 		"# TYPE querygraph_requests_total counter",
+		"# TYPE querygraph_search_duration_seconds histogram",
+		`querygraph_search_duration_seconds_bucket{le="+Inf"} 2`,
+		"querygraph_search_duration_seconds_count 2",
+		`querygraph_expand_duration_seconds_bucket{le="+Inf"} 3`,
+		"querygraph_expand_duration_seconds_count 3",
+		"# TYPE querygraph_rpc_attempt_duration_seconds histogram",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("Prometheus output missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestMetricsHistogramBuckets pins the cumulative-bucket rendering: an
+// observation lands in every le bucket at or above its latency and none
+// below, and the bucket boundaries are the exact internal bucket edges
+// from hist.DefaultExposition.
+func TestMetricsHistogramBuckets(t *testing.T) {
+	m := NewMetricsObserver()
+	m.ObserveSearch(SearchObservation{Duration: 30 * time.Microsecond})
+	m.ObserveSearch(SearchObservation{Duration: 40 * time.Millisecond})
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var les []float64
+	var counts []uint64
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.HasPrefix(line, `querygraph_search_duration_seconds_bucket{le="`) {
+			continue
+		}
+		rest := strings.TrimPrefix(line, `querygraph_search_duration_seconds_bucket{le="`)
+		boundary, count, ok := strings.Cut(rest, `"} `)
+		if !ok {
+			t.Fatalf("malformed bucket line %q", line)
+		}
+		n, err := strconv.ParseUint(count, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket count in %q: %v", line, err)
+		}
+		counts = append(counts, n)
+		if boundary == "+Inf" {
+			les = append(les, math.Inf(1))
+			continue
+		}
+		le, err := strconv.ParseFloat(boundary, 64)
+		if err != nil {
+			t.Fatalf("bucket boundary in %q: %v", line, err)
+		}
+		les = append(les, le)
+	}
+	if want := len(hist.DefaultExposition) + 1; len(les) != want {
+		t.Fatalf("got %d bucket lines, want %d", len(les), want)
+	}
+	for i := range les {
+		// Boundaries strictly increase and counts are cumulative.
+		if i > 0 && (les[i] <= les[i-1] || counts[i] < counts[i-1]) {
+			t.Errorf("bucket %d: le=%g count=%d not cumulative over le=%g count=%d",
+				i, les[i], counts[i], les[i-1], counts[i-1])
+		}
+		// Each observation counts in every bucket whose boundary exceeds
+		// its latency (boundaries are exclusive uppers).
+		var want uint64
+		for _, d := range []float64{30e-6, 40e-3} {
+			if d < les[i] {
+				want++
+			}
+		}
+		if counts[i] != want {
+			t.Errorf("bucket le=%g count = %d, want %d", les[i], counts[i], want)
+		}
+	}
+	if counts[len(counts)-1] != 2 {
+		t.Errorf("+Inf bucket = %d, want 2", counts[len(counts)-1])
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"github.com/querygraph/querygraph/internal/core"
 	"github.com/querygraph/querygraph/internal/search"
 	"github.com/querygraph/querygraph/internal/shard"
+	"github.com/querygraph/querygraph/internal/trace"
 )
 
 // Client is the single-snapshot serving handle of the reproduction: one
@@ -211,11 +212,27 @@ func (c *Client) searchText(ctx context.Context, query string, k int, dst []Resu
 	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
+	// The untraced branch is the pinned 0 allocs/op fast path: one
+	// context lookup, then exactly the pre-trace code.
+	tr := trace.FromContext(ctx)
+	if tr == nil {
+		leaves, err := c.sys.Engine.LeavesForQuery(query)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
+		}
+		return c.sys.Engine.SearchLeaves(leaves, k, dst)
+	}
+	parseStart := time.Now()
 	leaves, err := c.sys.Engine.LeavesForQuery(query)
 	if err != nil {
+		tr.Span("parse", parseStart, "invalid_query")
 		return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 	}
-	return c.sys.Engine.SearchLeaves(leaves, k, dst)
+	tr.Span("parse", parseStart, "")
+	searchStart := time.Now()
+	rs, err := c.sys.Engine.SearchLeaves(leaves, k, dst)
+	tr.Span("search", searchStart, ErrorClass(err))
+	return rs, err
 }
 
 // SearchAll evaluates a batch of query texts on a bounded worker pool and
@@ -273,7 +290,14 @@ func (c *Client) expand(ctx context.Context, keywords string, opts []ExpandOptio
 	if err != nil {
 		return nil, CacheBypass, err
 	}
-	return c.sys.ExpandOutcome(ctx, keywords, eopts)
+	tr := trace.FromContext(ctx)
+	start := time.Now()
+	exp, outcome, err := c.sys.ExpandOutcome(ctx, keywords, eopts)
+	if tr != nil {
+		// The cache outcome of the expand lookup rides in the span detail.
+		tr.Add("expand", start, -1, 0, false, ErrorClass(err), outcome.String())
+	}
+	return exp, outcome, err
 }
 
 // ExpandAll runs Expand for every keyword query on a bounded worker pool

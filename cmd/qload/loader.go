@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/querygraph/querygraph/internal/hist"
 )
 
 // opPaths are the endpoints qload can drive; the mix flag weights them.
@@ -113,9 +115,10 @@ type loadConfig struct {
 }
 
 // opStats is one worker's view of one op — unshared until the final
-// merge.
+// merge. The latency histogram is the shared internal/hist scheme, so
+// qload reports and /v1/metrics scrapes bucket identically.
 type opStats struct {
-	hist     hist
+	lat      hist.Hist
 	requests uint64
 	errors   uint64
 	statuses map[int]uint64
@@ -130,15 +133,15 @@ type latencySummary struct {
 	MeanMS float64 `json:"mean_ms"`
 }
 
-func summarize(h *hist) latencySummary {
+func summarize(h *hist.Hist) latencySummary {
 	toMS := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 	return latencySummary{
-		P50MS:  toMS(h.quantile(0.50)),
-		P90MS:  toMS(h.quantile(0.90)),
-		P99MS:  toMS(h.quantile(0.99)),
-		P999MS: toMS(h.quantile(0.999)),
-		MaxMS:  toMS(time.Duration(h.max)),
-		MeanMS: toMS(h.mean()),
+		P50MS:  toMS(h.Quantile(0.50)),
+		P90MS:  toMS(h.Quantile(0.90)),
+		P99MS:  toMS(h.Quantile(0.99)),
+		P999MS: toMS(h.Quantile(0.999)),
+		MaxMS:  toMS(time.Duration(h.Max)),
+		MeanMS: toMS(h.Mean()),
 	}
 }
 
@@ -256,7 +259,7 @@ func run(cfg loadConfig) (*report, error) {
 					}
 					_, _ = io.Copy(io.Discard, resp.Body)
 					_ = resp.Body.Close()
-					st.hist.record(lat)
+					st.lat.Record(lat)
 					st.statuses[resp.StatusCode]++
 					if resp.StatusCode != http.StatusOK {
 						st.errors++
@@ -284,12 +287,12 @@ func run(cfg loadConfig) (*report, error) {
 		DurationS:   elapsed.Seconds(),
 		Ops:         map[string]opReport{},
 	}
-	var total hist
+	var total hist.Hist
 	for _, m := range cfg.Mix {
 		merged := &opStats{statuses: map[int]uint64{}}
 		for _, stats := range perWorker {
 			st := stats[m.name]
-			merged.hist.merge(&st.hist)
+			merged.lat.Merge(&st.lat)
 			merged.requests += st.requests
 			merged.errors += st.errors
 			for code, n := range st.statuses {
@@ -303,12 +306,12 @@ func run(cfg loadConfig) (*report, error) {
 		rep.Ops[m.name] = opReport{
 			Requests: merged.requests,
 			Errors:   merged.errors,
-			Latency:  summarize(&merged.hist),
+			Latency:  summarize(&merged.lat),
 			Status:   statusJSON,
 		}
 		rep.Requests += merged.requests
 		rep.Errors += merged.errors
-		total.merge(&merged.hist)
+		total.Merge(&merged.lat)
 	}
 	rep.Latency = summarize(&total)
 	if elapsed > 0 {

@@ -4,92 +4,14 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
-	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
-// TestHistQuantiles checks the log-linear histogram against an exact
-// sorted-slice oracle on a deterministic latency population: every
-// quantile must land within the structure's ~3% relative error (plus one
-// sub-bucket of absolute slack at the low end).
-func TestHistQuantiles(t *testing.T) {
-	var h hist
-	// Deterministic LCG covering several orders of magnitude, µs to
-	// seconds — the shape of real latency populations.
-	var state uint64 = 0x9e3779b97f4a7c15
-	next := func() uint64 {
-		state = state*6364136223846793005 + 1442695040888963407
-		return state
-	}
-	exact := make([]uint64, 0, 20000)
-	for i := 0; i < 20000; i++ {
-		// Spread exponents 10..30 → 1µs..1s.
-		exp := 10 + next()%21
-		ns := (1 << exp) + next()%(1<<exp)
-		exact = append(exact, ns)
-		h.record(time.Duration(ns))
-	}
-	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
-
-	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
-		idx := int(q * float64(len(exact)))
-		if idx >= len(exact) {
-			idx = len(exact) - 1
-		}
-		want := exact[idx]
-		got := uint64(h.quantile(q))
-		// The reported value is the bucket's upper bound: never below the
-		// true quantile's own bucket, and within one sub-bucket width
-		// (1/histSub relative) above it.
-		lo := want - want/histSub - (1 << histUnit)
-		hi := want + want/histSub*2 + (2 << histUnit)
-		if got < lo || got > hi {
-			t.Errorf("q%.3f: hist %d, exact %d (allowed [%d, %d])", q, got, want, lo, hi)
-		}
-	}
-	if h.n != 20000 {
-		t.Errorf("n = %d, want 20000", h.n)
-	}
-	if got, want := uint64(h.quantile(1.0)), exact[len(exact)-1]; got != want {
-		t.Errorf("q1.0 = %d, want exact max %d", got, want)
-	}
-}
-
-// TestHistMerge pins that merging per-worker histograms is lossless:
-// recording a population into one histogram and spreading it across
-// several then merging must agree exactly.
-func TestHistMerge(t *testing.T) {
-	var one hist
-	parts := make([]hist, 4)
-	for i := 0; i < 10000; i++ {
-		d := time.Duration((i%977)*1000 + 500)
-		one.record(d)
-		parts[i%len(parts)].record(d)
-	}
-	var merged hist
-	for i := range parts {
-		merged.merge(&parts[i])
-	}
-	if merged != one {
-		t.Fatal("merged per-worker histograms differ from single-histogram recording")
-	}
-}
-
-func TestBucketMonotone(t *testing.T) {
-	prev := -1
-	for ns := uint64(1); ns < 1<<40; ns = ns*3/2 + 1 {
-		idx := bucketOf(ns)
-		if idx < prev {
-			t.Fatalf("bucketOf not monotone at %dns: %d after %d", ns, idx, prev)
-		}
-		if upper := bucketUpper(idx); upper < ns {
-			t.Fatalf("bucketUpper(%d) = %d < value %d", idx, upper, ns)
-		}
-		prev = idx
-	}
-}
+// The histogram oracle tests (quantiles vs a sorted-slice oracle,
+// lossless merge, bucket monotonicity) moved to internal/hist with the
+// histogram itself — qload now records into hist.Hist directly.
 
 func TestParseMix(t *testing.T) {
 	mix, err := parseMix("search=80, expand=15,search_batch=5")

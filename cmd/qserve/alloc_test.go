@@ -110,4 +110,26 @@ func TestSearchHandlerZeroAlloc(t *testing.T) {
 	if avg := testing.AllocsPerRun(1000, run); avg != 0 {
 		t.Fatalf("search handler allocs/op = %v, want 0", avg)
 	}
+
+	// Through the full middleware with tracing sampled out, the handler
+	// itself still allocates nothing: the only per-request garbage is the
+	// X-Request-ID echo (http.Header.Set stores a fresh one-element
+	// slice). The request supplies its own valid ID, as a traced caller
+	// would, so no ID string is minted.
+	s.sample = 0
+	req.Header.Set("X-Request-Id", "00000000deadbeef")
+	runMux := func() {
+		body.off = 0
+		rw.status = 0
+		s.ServeHTTP(rw, req)
+		if rw.status != http.StatusOK {
+			t.Fatalf("status = %d, body %s", rw.status, rw.body)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		runMux()
+	}
+	if avg := testing.AllocsPerRun(1000, runMux); avg > 1 {
+		t.Fatalf("sampled-out middleware allocs/op = %v, want at most 1 (the header echo)", avg)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	querygraph "github.com/querygraph/querygraph"
+	"github.com/querygraph/querygraph/internal/trace"
 )
 
 // TestHTTPServerTimeoutsConfigured pins the production timeout shape: the
@@ -181,11 +182,11 @@ func TestReloadLoopDrains(t *testing.T) {
 }
 
 // TestAdminServerServesPprof pins the -admin surface: the profiling
-// endpoints answer on the admin mux, and the serving mux exposes none of
-// them.
+// endpoints and the flight recorder answer on the admin mux, and the
+// serving mux exposes none of them.
 func TestAdminServerServesPprof(t *testing.T) {
-	srv := newAdminServer("127.0.0.1:0")
-	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap?debug=1", "/debug/pprof/symbol"} {
+	srv := newAdminServer("127.0.0.1:0", trace.NewRecorder(8))
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/heap?debug=1", "/debug/pprof/symbol", "/v1/debug/requests", "/v1/debug/requests?min_ms=5"} {
 		req := httptest.NewRequest(http.MethodGet, path, nil)
 		rec := httptest.NewRecorder()
 		srv.Handler.ServeHTTP(rec, req)
@@ -193,8 +194,11 @@ func TestAdminServerServesPprof(t *testing.T) {
 			t.Errorf("admin %s: status = %d, want 200", path, rec.Code)
 		}
 	}
-	if rec := do(t, testServer(t), http.MethodGet, "/debug/pprof/", nil); rec.Code != http.StatusNotFound {
-		t.Errorf("serving mux exposes /debug/pprof/: status = %d, want 404", rec.Code)
+	s := testServer(t)
+	for _, path := range []string{"/debug/pprof/", "/v1/debug/requests"} {
+		if rec := do(t, s, http.MethodGet, path, nil); rec.Code != http.StatusNotFound {
+			t.Errorf("serving mux exposes %s: status = %d, want 404", path, rec.Code)
+		}
 	}
 }
 

@@ -47,9 +47,20 @@
 // -admin ADDR starts a second listener serving Go's net/http/pprof
 // endpoints under /debug/pprof/ — CPU and heap profiles of the live
 // server, which is how the zero-allocation /v1/search fast path was
-// found and verified (see DESIGN.md, "Load testing & profiling"). Keep
-// the admin address off the public network; it is deliberately a separate
-// listener so the serving port never exposes profiling.
+// found and verified (see DESIGN.md, "Load testing & profiling") — and
+// the flight recorder at GET /v1/debug/requests: the last -trace-ring
+// completed request traces as span trees, ?min_ms=N keeping only the
+// slow ones. Keep the admin address off the public network; it is
+// deliberately a separate listener so the serving port never exposes
+// profiling or traces.
+//
+// Every request is traced by default (-trace-sample 1; N traces 1 in N,
+// 0 disables) and every response carries an X-Request-ID header — the
+// client's own, when it sent a valid 16-hex-digit one, else freshly
+// minted — which is the trace ID to look up in /v1/debug/requests.
+// -access-log emits one structured slog line per traced request and
+// -slowlog-ms N dumps the full span tree of any request at least N
+// milliseconds slow. See DESIGN.md, "Tracing & the flight recorder".
 package main
 
 import (
@@ -57,6 +68,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -65,6 +77,7 @@ import (
 	"time"
 
 	querygraph "github.com/querygraph/querygraph"
+	"github.com/querygraph/querygraph/internal/trace"
 )
 
 func main() {
@@ -76,6 +89,11 @@ func main() {
 		load    = flag.String("load", "", "serving state: a .qgs snapshot (qgen -out FILE.qgs), a shard manifest .json (qgen -shards N -out DIR), or a shard-fleet topology .json (remote qshard servers); required")
 		timeout = flag.Duration("timeout", 5*time.Second, "default per-request timeout (requests may lower it via timeout_ms)")
 		cache   = flag.Int("cache", 0, "expansion cache capacity (0 = default 1024, negative disables)")
+
+		traceRing   = flag.Int("trace-ring", 256, "flight-recorder capacity: last N completed request traces served at /v1/debug/requests on the admin listener")
+		traceSample = flag.Int("trace-sample", 1, "trace 1 in N requests (1 = every request, 0 disables tracing)")
+		slowlogMS   = flag.Float64("slowlog-ms", 0, "log the full span tree of any request at least this many milliseconds slow (0 disables)")
+		accessLog   = flag.Bool("access-log", false, "structured access log: one slog line per traced request")
 	)
 	flag.Parse()
 	if *load == "" {
@@ -109,11 +127,18 @@ func main() {
 			*load, time.Since(start).Round(time.Millisecond), st.Articles, st.Documents, st.BenchmarkQueries)
 	}
 
-	srv := newHTTPServer(*addr, newServer(be, *timeout, metrics), *timeout)
+	recorder := trace.NewRecorder(*traceRing)
+	hs := newServer(be, *timeout, metrics)
+	hs.recorder = recorder
+	hs.sample = *traceSample
+	hs.slowlogMS = *slowlogMS
+	hs.accessLog = *accessLog
+	hs.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	srv := newHTTPServer(*addr, hs, *timeout)
 
 	var adminSrv *http.Server
 	if *admin != "" {
-		adminSrv = newAdminServer(*admin)
+		adminSrv = newAdminServer(*admin, recorder)
 		go func() {
 			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("admin server: %v", err)
@@ -198,15 +223,17 @@ var (
 )
 
 // newAdminServer builds the private admin listener: Go's pprof handlers
-// on an explicit mux (never the default mux, so nothing else leaks onto
-// this port and pprof never leaks onto the serving port).
-func newAdminServer(addr string) *http.Server {
+// and the flight-recorder endpoint on an explicit mux (never the default
+// mux, so nothing else leaks onto this port, and neither pprof nor
+// request traces leak onto the serving port).
+func newAdminServer(addr string, rec *trace.Recorder) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /v1/debug/requests", trace.Handler(rec))
 	return &http.Server{
 		Addr:              addr,
 		Handler:           mux,

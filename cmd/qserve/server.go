@@ -6,12 +6,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"mime"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	querygraph "github.com/querygraph/querygraph"
+	"github.com/querygraph/querygraph/internal/trace"
 )
 
 // statusClientClosedRequest is the nginx-convention status for a request
@@ -43,6 +47,22 @@ type server struct {
 	timeout time.Duration
 	started time.Time
 	mux     *http.ServeMux
+
+	// recorder is the flight recorder the admin mux serves at
+	// /v1/debug/requests; nil discards completed traces.
+	recorder *trace.Recorder
+	// sample traces 1 in sample requests (1 = every request, the
+	// default); 0 disables tracing entirely — requests then pay one
+	// counter add and the X-Request-ID echo, nothing else.
+	sample int
+	reqSeq atomic.Uint64
+	// slowlogMS dumps a slow request's full span tree through logger
+	// when its duration reaches the threshold (0 disables).
+	slowlogMS float64
+	// accessLog logs one line per completed traced request when set.
+	accessLog bool
+	// logger receives access-log and slowlog output; nil silences both.
+	logger *slog.Logger
 }
 
 func newServer(be querygraph.Backend, timeout time.Duration, metrics *querygraph.MetricsObserver) *server {
@@ -52,6 +72,7 @@ func newServer(be querygraph.Backend, timeout time.Duration, metrics *querygraph
 		timeout: timeout,
 		started: time.Now(),
 		mux:     http.NewServeMux(),
+		sample:  1,
 	}
 	s.pool, _ = be.(*querygraph.Pool)
 	s.remote, _ = be.(*querygraph.Remote)
@@ -68,9 +89,83 @@ func newServer(be querygraph.Backend, timeout time.Duration, metrics *querygraph
 	return s
 }
 
+// ServeHTTP is the tracing middleware around the mux. Every request —
+// including errors and 404s — gets an X-Request-ID response header: a
+// client-supplied valid ID is echoed back (and becomes the trace ID, so
+// a caller can correlate its own logs with /v1/debug/requests), anything
+// else is replaced by a freshly minted ID. Sampled-in requests carry a
+// trace.Trace through context; the handlers and the backend annotate it
+// with per-phase spans, and completion seals it into the flight
+// recorder. Sampled-out requests skip all of that: one counter add, the
+// header echo, and the nil-trace fast paths everywhere below.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	reqID := r.Header.Get("X-Request-Id")
+	id, ok := trace.ParseID(reqID)
+	if !ok {
+		id = trace.NewID()
+		reqID = id.String()
+	}
+	w.Header().Set("X-Request-Id", reqID)
+	if s.sample <= 0 || s.reqSeq.Add(1)%uint64(s.sample) != 0 {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+
+	tr := trace.Begin(id)
+	sw := statusWriterPool.Get().(*statusWriter)
+	sw.ResponseWriter, sw.status = w, 0
+	s.mux.ServeHTTP(sw, r.WithContext(trace.NewContext(r.Context(), tr)))
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	sw.ResponseWriter = nil
+	statusWriterPool.Put(sw)
+
+	errClass := ""
+	if status >= 400 {
+		errClass = "http_" + strconv.Itoa(status)
+	}
+	rec := tr.Finish(r.Method+" "+r.URL.Path, errClass)
+	s.recorder.Store(rec)
+	if s.logger == nil {
+		return
+	}
+	if s.accessLog {
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "request",
+			slog.String("trace_id", rec.TraceID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Float64("dur_ms", rec.DurMS),
+			slog.Int("spans", len(rec.Spans)))
+	}
+	if s.slowlogMS > 0 && rec.DurMS >= s.slowlogMS {
+		spans, _ := json.Marshal(rec.Spans)
+		s.logger.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+			slog.String("trace_id", rec.TraceID),
+			slog.String("op", rec.Op),
+			slog.Float64("dur_ms", rec.DurMS),
+			slog.String("spans", string(spans)))
+	}
 }
+
+// statusWriter captures the response status for the access log and the
+// trace record; pooled so the traced path does not allocate a wrapper
+// per request.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+var statusWriterPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 // requestContext bounds the request with the server's default timeout;
 // a request's own timeout_ms rides in the typed request's Timeout, which

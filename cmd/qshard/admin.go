@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/querygraph/querygraph/internal/rpc"
+	"github.com/querygraph/querygraph/internal/trace"
+)
+
+// newAdminServer builds the private admin listener, mirroring qserve's:
+// Go's pprof handlers plus the shard's flight recorder on an explicit
+// mux — never the default mux, and never the RPC serving port, which
+// speaks only the binary shard protocol.
+func newAdminServer(addr string, rec *trace.Recorder) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /v1/debug/requests", trace.Handler(rec))
+	return &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+}
+
+// requestHook builds the rpc.Server hook that attributes shard-side
+// work to the originating coordinator request: requests carrying a v2
+// trace ID land in the flight recorder under that ID (so one
+// coordinator trace can be joined against each shard's recorder), the
+// access log gets one line per request, and anything at or over the
+// slowlog threshold is logged at warn level. Untraced (v1 or
+// trace-id-0) requests are logged but never recorded — the recorder
+// exists for cross-process attribution, and 0 is the reserved
+// "untraced" ID.
+func requestHook(rec *trace.Recorder, logger *slog.Logger, accessLog bool, slowlogMS float64) rpc.RequestHook {
+	return func(op rpc.Op, traceID uint64, start time.Time, dur time.Duration, errClass string) {
+		durMS := float64(dur) / 1e6
+		id := trace.ID(traceID)
+		if traceID != 0 {
+			rec.Store(&trace.Record{
+				TraceID: id.String(),
+				Op:      op.String(),
+				Time:    start,
+				DurMS:   durMS,
+				Err:     errClass,
+				Spans:   []trace.Span{},
+			})
+		}
+		if logger == nil {
+			return
+		}
+		if accessLog {
+			logger.LogAttrs(context.Background(), slog.LevelInfo, "rpc",
+				slog.String("trace_id", id.String()),
+				slog.String("op", op.String()),
+				slog.Float64("dur_ms", durMS),
+				slog.String("err", errClass))
+		}
+		if slowlogMS > 0 && durMS >= slowlogMS {
+			logger.LogAttrs(context.Background(), slog.LevelWarn, "slow rpc",
+				slog.String("trace_id", id.String()),
+				slog.String("op", op.String()),
+				slog.Float64("dur_ms", durMS),
+				slog.String("err", errClass))
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package hist
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistQuantiles checks the log-linear histogram against an exact
+// sorted-slice oracle on a deterministic latency population: every
+// quantile must land within the structure's ~3% relative error (plus one
+// sub-bucket of absolute slack at the low end). This is the oracle test
+// that pinned qload's private histogram before its promotion here — the
+// population and bounds are unchanged, so any behavioral drift in the
+// move would fail it.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// Deterministic LCG covering several orders of magnitude, µs to
+	// seconds — the shape of real latency populations.
+	var state uint64 = 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state
+	}
+	exact := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Spread exponents 10..30 → 1µs..1s.
+		exp := 10 + next()%21
+		ns := (1 << exp) + next()%(1<<exp)
+		exact = append(exact, ns)
+		h.Record(time.Duration(ns))
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1.0} {
+		idx := int(q * float64(len(exact)))
+		if idx >= len(exact) {
+			idx = len(exact) - 1
+		}
+		want := exact[idx]
+		got := uint64(h.Quantile(q))
+		// The reported value is the bucket's upper bound: never below the
+		// true quantile's own bucket, and within one sub-bucket width
+		// (1/Sub relative) above it.
+		lo := want - want/Sub - (1 << Unit)
+		hi := want + want/Sub*2 + (2 << Unit)
+		if got < lo || got > hi {
+			t.Errorf("q%.3f: hist %d, exact %d (allowed [%d, %d])", q, got, want, lo, hi)
+		}
+	}
+	if h.N != 20000 {
+		t.Errorf("n = %d, want 20000", h.N)
+	}
+	if got, want := uint64(h.Quantile(1.0)), exact[len(exact)-1]; got != want {
+		t.Errorf("q1.0 = %d, want exact max %d", got, want)
+	}
+}
+
+// TestHistMerge pins that merging per-worker histograms is lossless:
+// recording a population into one histogram and spreading it across
+// several then merging must agree exactly (struct comparison — the
+// counts, n, sum and max all match).
+func TestHistMerge(t *testing.T) {
+	var one Hist
+	parts := make([]Hist, 4)
+	for i := 0; i < 10000; i++ {
+		d := time.Duration((i%977)*1000 + 500)
+		one.Record(d)
+		parts[i%len(parts)].Record(d)
+	}
+	var merged Hist
+	for i := range parts {
+		merged.Merge(&parts[i])
+	}
+	if merged != one {
+		t.Fatal("merged per-worker histograms differ from single-histogram recording")
+	}
+}
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for ns := uint64(1); ns < 1<<40; ns = ns*3/2 + 1 {
+		idx := BucketOf(ns)
+		if idx < prev {
+			t.Fatalf("BucketOf not monotone at %dns: %d after %d", ns, idx, prev)
+		}
+		if upper := BucketUpper(idx); upper < ns {
+			t.Fatalf("BucketUpper(%d) = %d < value %d", idx, upper, ns)
+		}
+		prev = idx
+	}
+}
+
+// TestAtomicMatchesHist pins that the concurrent form is the same
+// histogram: a population recorded into an Atomic from many goroutines
+// snapshots to exactly what a plain Hist records single-threaded.
+func TestAtomicMatchesHist(t *testing.T) {
+	var want Hist
+	durations := make([]time.Duration, 5000)
+	for i := range durations {
+		d := time.Duration((i%1231)*777 + 100)
+		durations[i] = d
+		want.Record(d)
+	}
+
+	var a Atomic
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(durations); i += workers {
+				a.Record(durations[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := a.Snapshot(); got != want {
+		t.Fatalf("Atomic snapshot differs from plain recording: n=%d/%d sum=%d/%d max=%d/%d",
+			got.N, want.N, got.Sum, want.Sum, got.Max, want.Max)
+	}
+}
+
+// TestExpositionIndices pins the Prometheus boundary scheme: indices are
+// strictly increasing, each target is enclosed by its bucket (upper ≥
+// target), and the le boundaries are exact bucket uppers so cumulative
+// counts stay exact.
+func TestExpositionIndices(t *testing.T) {
+	if len(DefaultExposition) == 0 {
+		t.Fatal("DefaultExposition is empty")
+	}
+	prev := -1
+	for _, idx := range DefaultExposition {
+		if idx <= prev {
+			t.Fatalf("exposition indices not strictly increasing: %d after %d", idx, prev)
+		}
+		if idx < 0 || idx >= NumBuckets {
+			t.Fatalf("exposition index %d out of range", idx)
+		}
+		prev = idx
+	}
+	// Snapping invariant: the exposed boundary is an exact bucket edge —
+	// everything below it is in buckets ≤ idx, everything at or above it
+	// in buckets > idx, so a cumulative bucket sum is an exact count.
+	for _, idx := range DefaultExposition {
+		upper := BucketUpper(idx)
+		if got := BucketOf(upper - 1); got > idx {
+			t.Errorf("BucketOf(upper(%d)-1) = %d > %d", idx, got, idx)
+		}
+		if got := BucketOf(upper); got <= idx {
+			t.Errorf("BucketOf(upper(%d)) = %d ≤ %d", idx, got, idx)
+		}
+	}
+	// Duplicate collapse.
+	if got := ExpositionIndices([]time.Duration{time.Microsecond, time.Microsecond, time.Second}); len(got) != 2 {
+		t.Errorf("duplicate targets not collapsed: %v", got)
+	}
+}

@@ -51,12 +51,16 @@ func (c *Conn) Addr() string { return c.addr }
 func (c *Conn) Close() error { return c.nc.Close() }
 
 // Do performs one request/response exchange: it frames
-// [version][op][deadline-millis][body], writes it under deadline, reads
-// the response frame and splits it. A shard-reported failure surfaces as
-// *RemoteError (the conn stays healthy); any transport failure marks the
-// conn broken and a deadline expiry maps onto context.DeadlineExceeded so
-// callers classify timeouts uniformly.
-func (c *Conn) Do(op Op, body []byte, deadline time.Time) ([]byte, error) {
+// [version][op][deadline-millis][trace-id?][body], writes it under
+// deadline, reads the response frame and splits it. traceID attributes
+// the shard's work to the originating coordinator request; 0 means
+// untraced, and an untraced request is framed as protocol v1 — byte-
+// identical to the pre-trace wire format, so an untraced coordinator
+// interoperates with v1-only shards. A shard-reported failure surfaces
+// as *RemoteError (the conn stays healthy); any transport failure marks
+// the conn broken and a deadline expiry maps onto
+// context.DeadlineExceeded so callers classify timeouts uniformly.
+func (c *Conn) Do(op Op, body []byte, deadline time.Time, traceID uint64) ([]byte, error) {
 	var millis uint64
 	if !deadline.IsZero() {
 		left := time.Until(deadline)
@@ -77,8 +81,14 @@ func (c *Conn) Do(op Op, body []byte, deadline time.Time) ([]byte, error) {
 	}
 
 	c.req = c.req[:0]
-	c.req = append(c.req, Version, byte(op))
-	c.req = AppendUvarint(c.req, millis)
+	if traceID == 0 {
+		c.req = append(c.req, VersionMin, byte(op))
+		c.req = AppendUvarint(c.req, millis)
+	} else {
+		c.req = append(c.req, Version, byte(op))
+		c.req = AppendUvarint(c.req, millis)
+		c.req = AppendUvarint(c.req, traceID)
+	}
 	c.req = append(c.req, body...)
 	if err := WriteFrame(c.bw, c.req); err != nil {
 		c.broken = true

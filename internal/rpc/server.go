@@ -36,12 +36,27 @@ type Server struct {
 	// snapshot, where local ids are global).
 	docGlobal []int32
 
+	// hook, when set (before Serve), observes every handled request.
+	hook RequestHook
+
 	mu     sync.Mutex
 	closed bool
 	ln     net.Listener
 	conns  map[net.Conn]*connState
 	wg     sync.WaitGroup
 }
+
+// RequestHook observes one handled request: the op, the originating
+// trace ID from the v2 request header (0 for untraced or v1 requests),
+// when handling started and how long it took, and the error class the
+// shard reported ("" on success). cmd/qshard wires this to its flight
+// recorder, latency metrics and slow-request log. The hook runs on the
+// connection's serve goroutine, so it must be fast and non-blocking.
+type RequestHook func(op Op, traceID uint64, start time.Time, dur time.Duration, errClass string)
+
+// SetRequestHook installs the request hook. Must be called before
+// Serve; a nil hook (the default) costs one nil check per request.
+func (s *Server) SetRequestHook(h RequestHook) { s.hook = h }
 
 // connState tracks whether a connection is mid-request, so Close can
 // hard-close idle connections while busy ones finish their response
@@ -223,7 +238,12 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn, st *connState) {
 
 // handle decodes the request header, derives the per-request deadline
 // from the propagated milliseconds-remaining, and dispatches the op.
+// The response mirrors the request's protocol version (a v1 coordinator
+// keeps getting v1 responses from an upgraded shard), and the optional
+// v2 trace-id field is surfaced to the request hook so the process can
+// attribute its work to the originating coordinator request.
 func (s *Server) handle(ctx context.Context, payload []byte) []byte {
+	start := time.Now()
 	r := NewReader(payload)
 	ver := r.Byte()
 	op := Op(r.Byte())
@@ -231,9 +251,16 @@ func (s *Server) handle(ctx context.Context, payload []byte) []byte {
 	if r.Err() != nil {
 		return AppendErrorResponse(nil, ClassInternal, "short request header")
 	}
-	if ver != Version {
+	if ver < VersionMin || ver > Version {
 		return AppendErrorResponse(nil, ClassInternal,
-			fmt.Sprintf("request speaks protocol version %d, this shard speaks %d", ver, Version))
+			fmt.Sprintf("request speaks protocol version %d, this shard speaks %d..%d", ver, VersionMin, Version))
+	}
+	var traceID uint64
+	if ver >= 2 {
+		traceID = r.Uvarint()
+		if r.Err() != nil {
+			return AppendErrorResponse(nil, ClassInternal, "short request header")
+		}
 	}
 	if millis > 0 {
 		var cancel context.CancelFunc
@@ -241,8 +268,16 @@ func (s *Server) handle(ctx context.Context, payload []byte) []byte {
 		defer cancel()
 	}
 	resp, rerr := s.dispatch(ctx, op, r)
+	errClass := ""
 	if rerr != nil {
-		return AppendErrorResponse(nil, rerr.Class, rerr.Msg)
+		errClass = rerr.Class
+		resp = AppendErrorResponse(nil, rerr.Class, rerr.Msg)
+	}
+	// Every response builder stamps the build's own Version at byte 0;
+	// overwrite it to speak the requester's version back.
+	resp[0] = ver
+	if hook := s.hook; hook != nil {
+		hook(op, traceID, start, time.Since(start), errClass)
 	}
 	return resp
 }

@@ -1,0 +1,36 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the recorder's snapshot as JSON — the flight-recorder
+// endpoint both qserve and qshard mount at GET /v1/debug/requests on
+// their private admin listeners (never the serving port: traces carry
+// query text in span details). ?min_ms=N keeps only requests at least
+// that slow, which is how "show me the outliers" works without log
+// diving.
+func Handler(rec *Recorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var minMS float64
+		if v := r.URL.Query().Get("min_ms"); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f < 0 {
+				http.Error(w, `{"error":{"code":"invalid_min_ms","message":"min_ms must be a non-negative number"}}`,
+					http.StatusBadRequest)
+				return
+			}
+			minMS = f
+		}
+		recs := rec.Snapshot(minMS)
+		if recs == nil {
+			recs = []*Record{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Requests []*Record `json:"requests"`
+		}{recs})
+	}
+}

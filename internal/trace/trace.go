@@ -1,0 +1,280 @@
+// Package trace is the stdlib-only request-tracing layer for the
+// serving stack: it mints 64-bit trace IDs, records per-phase spans
+// (parse, expand-cache lookup, plan, CF aggregation, top-k, shard
+// merge, per-attempt RPCs) into a Trace carried by context.Context,
+// seals completed traces into immutable Records, and
+// keeps the last N of them in a lock-free flight-recorder ring that
+// qserve serves at GET /v1/debug/requests on the admin mux.
+//
+// The untraced path is a nil *Trace: every recording method is
+// nil-receiver-safe, so a request that was sampled out pays one nil
+// check per would-be span and allocates nothing — the /v1/search
+// 0 allocs/op fast path is preserved (pinned by the qserve alloc
+// regression test). Traces are deliberately NOT pooled: a hedged
+// RPC's losing attempt outlives its request and records its span
+// after Finish has sealed the trace, and with a recycled Trace that
+// late Add would land in an unrelated request's span tree. A fresh
+// Trace per sampled request makes the straggler's write harmless
+// garbage instead (Finish copies the spans it seals), at the cost of
+// one small allocation on a path that already allocates its Record.
+//
+// Trace.Add takes a mutex because the Remote coordinator's scatter
+// phase appends spans from one goroutine per shard; the flight
+// recorder itself is lock-free (atomic slot pointers + a ticket
+// counter) so concurrent request completions never serialize.
+package trace
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID is a 64-bit trace identifier, rendered as 16 lowercase hex digits
+// (the X-Request-ID header value and the uvarint carried in v2 RPC
+// request headers). 0 is reserved for "untraced".
+type ID uint64
+
+// NewID mints a non-zero random ID. math/rand/v2's global generator is
+// lock-free and allocation-free, and trace IDs need uniqueness, not
+// unpredictability.
+func NewID() ID {
+	for {
+		if id := ID(rand.Uint64()); id != 0 {
+			return id
+		}
+	}
+}
+
+const hexDigits = "0123456789abcdef"
+
+// String renders the ID as exactly 16 lowercase hex digits.
+func (id ID) String() string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// ParseID parses a 16-hex-digit ID (either case). It reports false for
+// anything else — wrong length, bad digits, or the reserved zero ID —
+// so callers can safely propagate client-supplied X-Request-ID values:
+// anything unparseable is replaced by a freshly minted ID.
+func ParseID(s string) (ID, bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	var id ID
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var v byte
+		switch {
+		case '0' <= c && c <= '9':
+			v = c - '0'
+		case 'a' <= c && c <= 'f':
+			v = c - 'a' + 10
+		case 'A' <= c && c <= 'F':
+			v = c - 'A' + 10
+		default:
+			return 0, false
+		}
+		id = id<<4 | ID(v)
+	}
+	if id == 0 {
+		return 0, false
+	}
+	return id, true
+}
+
+// Span is one completed phase of a request. Offsets and durations are
+// milliseconds (float64) so the JSON at /v1/debug/requests reads
+// directly. Shard is -1 for phases that are not shard-scoped; Attempt
+// counts retries of a shard RPC from 0, with Hedged marking the
+// speculative second attempt of a hedged pair. Err is an error-class
+// label (the querygraph.ErrorClass taxonomy), empty on success. Detail
+// carries free-form context such as the shard address dialed.
+type Span struct {
+	Phase   string  `json:"phase"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+	Shard   int     `json:"shard"`
+	Attempt int     `json:"attempt"`
+	Hedged  bool    `json:"hedged,omitempty"`
+	Err     string  `json:"err,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// Trace accumulates spans for one in-flight request. Borrow one with
+// Begin, carry it via NewContext, seal it with Finish. A nil *Trace is
+// the untraced request: every method no-ops.
+type Trace struct {
+	mu    sync.Mutex
+	id    ID
+	start time.Time
+	spans []Span
+}
+
+// Begin starts a fresh Trace stamped with its start time. Seal it with
+// Finish; an abandoned Trace is ordinary garbage.
+func Begin(id ID) *Trace {
+	return &Trace{id: id, start: time.Now(), spans: make([]Span, 0, 16)}
+}
+
+// ID returns the trace ID, or 0 for the untraced nil Trace — exactly
+// the wire encoding of "no trace", so callers can pass t.ID() straight
+// into the v2 RPC header.
+func (t *Trace) ID() ID {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// Span records a completed phase that is not shard-scoped.
+func (t *Trace) Span(phase string, start time.Time, errClass string) {
+	t.Add(phase, start, -1, 0, false, errClass, "")
+}
+
+// Add records a completed span with full annotations. Duration is
+// measured here (time.Since(start)), so callers bracket work with
+// `st := time.Now(); ...; tr.Add(...)`. Safe for concurrent use: the
+// coordinator's fan-out appends from one goroutine per shard.
+func (t *Trace) Add(phase string, start time.Time, shard, attempt int, hedged bool, errClass, detail string) {
+	if t == nil {
+		return
+	}
+	end := time.Now()
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Phase:   phase,
+		StartMS: ms(start.Sub(t.start)),
+		DurMS:   ms(end.Sub(start)),
+		Shard:   shard,
+		Attempt: attempt,
+		Hedged:  hedged,
+		Err:     errClass,
+		Detail:  detail,
+	})
+	t.mu.Unlock()
+}
+
+// Record is a sealed, immutable trace — what the flight recorder holds
+// and /v1/debug/requests serves.
+type Record struct {
+	TraceID string    `json:"trace_id"`
+	Op      string    `json:"op"`
+	Time    time.Time `json:"time"`
+	DurMS   float64   `json:"dur_ms"`
+	Err     string    `json:"err,omitempty"`
+	Spans   []Span    `json:"spans"`
+}
+
+// Finish seals the trace into an immutable Record. The Record copies
+// the spans, so a straggling Add after Finish — a hedged RPC's losing
+// attempt completing after its request was answered — mutates only the
+// dying Trace, never the sealed Record. Returns nil for the untraced
+// nil Trace.
+func (t *Trace) Finish(op, errClass string) *Record {
+	if t == nil {
+		return nil
+	}
+	end := time.Now()
+	t.mu.Lock()
+	spans := make([]Span, len(t.spans))
+	copy(spans, t.spans)
+	t.mu.Unlock()
+	return &Record{
+		TraceID: t.id.String(),
+		Op:      op,
+		Time:    t.start,
+		DurMS:   ms(end.Sub(t.start)),
+		Err:     errClass,
+		Spans:   spans,
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / 1e6 }
+
+// Recorder is the flight recorder: a fixed-size lock-free ring of the
+// last N completed Records. Writers claim a slot with one atomic add
+// and publish with one atomic pointer store — no lock, no allocation,
+// so recording never backpressures request completion. Readers snapshot
+// whatever is published; a snapshot racing a wrap may see a record
+// slightly out of order, never a torn one (pointers swap atomically).
+// A nil *Recorder discards stores and snapshots empty, so surfacing is
+// optional per process.
+type Recorder struct {
+	slots []atomic.Pointer[Record]
+	head  atomic.Uint64
+}
+
+// NewRecorder sizes the ring to n records (minimum 1).
+func NewRecorder(n int) *Recorder {
+	if n < 1 {
+		n = 1
+	}
+	return &Recorder{slots: make([]atomic.Pointer[Record], n)}
+}
+
+// Store publishes a completed record, evicting the oldest once the
+// ring is full.
+func (r *Recorder) Store(rec *Record) {
+	if r == nil || rec == nil {
+		return
+	}
+	i := r.head.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(rec)
+}
+
+// Snapshot returns the published records, newest first, keeping only
+// those with DurMS ≥ minMS (0 keeps everything).
+func (r *Recorder) Snapshot(minMS float64) []*Record {
+	if r == nil {
+		return nil
+	}
+	n := uint64(len(r.slots))
+	head := r.head.Load()
+	out := make([]*Record, 0, n)
+	for k := uint64(0); k < n; k++ {
+		// head-1-k walks backwards from the most recent claim; the
+		// unsigned wrap when head < k+1 lands on still-nil slots.
+		rec := r.slots[(head-1-k)%n].Load()
+		if rec != nil && rec.DurMS >= minMS {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Len reports how many records the ring currently holds.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	if head := r.head.Load(); head < uint64(len(r.slots)) {
+		return int(head)
+	}
+	return len(r.slots)
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t; requests sampled out never call
+// this, so their contexts answer FromContext with nil at zero cost.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the Trace carried by ctx, or nil — including for
+// a nil ctx (internal callers on teardown paths pass one).
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	for _, id := range []ID{1, 0xdeadbeef, 0x0123456789abcdef, ^ID(0)} {
+		s := id.String()
+		if len(s) != 16 {
+			t.Fatalf("ID(%d).String() = %q, want 16 hex digits", uint64(id), s)
+		}
+		got, ok := ParseID(s)
+		if !ok || got != id {
+			t.Fatalf("ParseID(%q) = %v, %v; want %v, true", s, got, ok, id)
+		}
+	}
+	// Uppercase is accepted (clients may send their own X-Request-ID).
+	if got, ok := ParseID("00000000DEADBEEF"); !ok || got != 0xdeadbeef {
+		t.Fatalf("ParseID uppercase = %v, %v", got, ok)
+	}
+	for _, bad := range []string{"", "abc", "0000000000000000", "000000000000000g",
+		"0123456789abcdef0", " 123456789abcdef"} {
+		if _, ok := ParseID(bad); ok {
+			t.Errorf("ParseID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewIDNonZero(t *testing.T) {
+	for i := 0; i < 1000; i++ {
+		if NewID() == 0 {
+			t.Fatal("NewID minted the reserved zero ID")
+		}
+	}
+}
+
+// TestNilTraceSafe pins the untraced-request contract: every method on
+// a nil *Trace (and nil *Recorder) is a no-op, so sampled-out paths
+// need no branches beyond the receiver nil check.
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	tr.Span("parse", time.Now(), "")
+	tr.Add("rpc", time.Now(), 2, 1, true, "timeout", "addr")
+	if tr.ID() != 0 {
+		t.Error("nil trace ID != 0")
+	}
+	if rec := tr.Finish("search", ""); rec != nil {
+		t.Errorf("nil trace Finish = %+v", rec)
+	}
+	var r *Recorder
+	r.Store(&Record{})
+	if got := r.Snapshot(0); got != nil {
+		t.Errorf("nil recorder Snapshot = %v", got)
+	}
+	if r.Len() != 0 {
+		t.Error("nil recorder Len != 0")
+	}
+}
+
+func TestTraceSpansAndFinish(t *testing.T) {
+	id := NewID()
+	tr := Begin(id)
+	if tr.ID() != id {
+		t.Fatalf("ID = %v, want %v", tr.ID(), id)
+	}
+	st := time.Now()
+	tr.Span("parse", st, "")
+	tr.Add("rpc", st, 1, 2, true, "timeout", "127.0.0.1:9001")
+	rec := tr.Finish("search", "timeout")
+	if rec.TraceID != id.String() || rec.Op != "search" || rec.Err != "timeout" {
+		t.Fatalf("record header = %+v", rec)
+	}
+	if len(rec.Spans) != 2 {
+		t.Fatalf("spans = %+v", rec.Spans)
+	}
+	parse, rpc := rec.Spans[0], rec.Spans[1]
+	if parse.Phase != "parse" || parse.Shard != -1 || parse.Attempt != 0 || parse.Hedged || parse.Err != "" {
+		t.Errorf("parse span = %+v", parse)
+	}
+	if rpc.Phase != "rpc" || rpc.Shard != 1 || rpc.Attempt != 2 || !rpc.Hedged ||
+		rpc.Err != "timeout" || rpc.Detail != "127.0.0.1:9001" {
+		t.Errorf("rpc span = %+v", rpc)
+	}
+	if parse.StartMS < 0 || parse.DurMS < 0 || rec.DurMS < parse.DurMS {
+		t.Errorf("implausible timings: span %+v record %v", parse, rec.DurMS)
+	}
+}
+
+// TestStragglerAddAfterFinish pins the hedged-loser contract: a span
+// recorded after Finish — a losing hedged RPC attempt completing after
+// its request was answered — never mutates the sealed Record, never
+// leaks into another request's trace, and never panics.
+func TestStragglerAddAfterFinish(t *testing.T) {
+	tr := Begin(NewID())
+	tr.Span("plan", time.Now(), "")
+	rec := tr.Finish("search", "")
+	if len(rec.Spans) != 1 {
+		t.Fatalf("sealed record holds %d spans, want 1", len(rec.Spans))
+	}
+	// The straggler arrives late.
+	tr.Add("rpc:topk", time.Now(), 1, 0, true, "timeout", "dead:9000")
+	if len(rec.Spans) != 1 || rec.Spans[0].Phase != "plan" {
+		t.Fatalf("straggler mutated the sealed record: %+v", rec.Spans)
+	}
+	// A trace begun afterwards starts clean — Begin never recycles.
+	tr2 := Begin(NewID())
+	if len(tr2.spans) != 0 {
+		t.Fatalf("fresh trace carries %d stale spans", len(tr2.spans))
+	}
+}
+
+func TestRecorderWrap(t *testing.T) {
+	r := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.Store(&Record{TraceID: fmt.Sprintf("%016x", i+1), DurMS: float64(i)})
+	}
+	if r.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", r.Len())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 8 {
+		t.Fatalf("snapshot holds %d records, want 8", len(got))
+	}
+	// Newest first: stores 19..12 survive the wrap.
+	for k, rec := range got {
+		want := fmt.Sprintf("%016x", 20-k)
+		if rec.TraceID != want {
+			t.Errorf("snapshot[%d] = %s, want %s", k, rec.TraceID, want)
+		}
+	}
+	// min_ms filtering keeps only the slow tail.
+	slow := r.Snapshot(17)
+	if len(slow) != 3 {
+		t.Fatalf("Snapshot(17) holds %d records, want 3 (dur 19,18,17)", len(slow))
+	}
+}
+
+func TestRecorderPartialFill(t *testing.T) {
+	r := NewRecorder(16)
+	r.Store(&Record{TraceID: "a", DurMS: 1})
+	r.Store(&Record{TraceID: "b", DurMS: 2})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	got := r.Snapshot(0)
+	if len(got) != 2 || got[0].TraceID != "b" || got[1].TraceID != "a" {
+		t.Fatalf("snapshot = %+v", got)
+	}
+}
+
+// TestRecorderConcurrent exercises the lock-free ring under -race: many
+// writers wrapping a small ring while readers snapshot. Every snapshot
+// must hold only intact published records (atomic pointer swaps can
+// never expose a torn record), and the final ring holds exactly the
+// last len(slots) claims' worth of records.
+func TestRecorderConcurrent(t *testing.T) {
+	const (
+		writers   = 8
+		perWriter = 500
+		ringSize  = 32
+	)
+	r := NewRecorder(ringSize)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	// Concurrent readers: snapshots must always be well-formed while the
+	// ring wraps underneath them.
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range r.Snapshot(0) {
+					if rec == nil || rec.TraceID == "" {
+						t.Error("snapshot exposed a torn or nil record")
+						return
+					}
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Store(&Record{TraceID: fmt.Sprintf("%08x%08x", w, i), DurMS: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if r.Len() != ringSize {
+		t.Fatalf("Len = %d, want %d after full wrap", r.Len(), ringSize)
+	}
+	if got := r.Snapshot(0); len(got) != ringSize {
+		t.Fatalf("snapshot holds %d records, want %d", len(got), ringSize)
+	}
+}
+
+// TestConcurrentSpanAppend pins that Trace.Add is safe from concurrent
+// goroutines — the shape of the Remote coordinator's per-shard fan-out.
+func TestConcurrentSpanAppend(t *testing.T) {
+	tr := Begin(NewID())
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for a := 0; a < 50; a++ {
+				tr.Add("rpc", time.Now(), s, a, false, "", "")
+			}
+		}(s)
+	}
+	wg.Wait()
+	rec := tr.Finish("search", "")
+	if len(rec.Spans) != 8*50 {
+		t.Fatalf("spans = %d, want %d", len(rec.Spans), 8*50)
+	}
+}
+
+func TestContextCarry(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context carries a trace")
+	}
+	if FromContext(nil) != nil { //nolint:staticcheck // nil ctx tolerated by contract
+		t.Error("nil context carries a trace")
+	}
+	tr := Begin(NewID())
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Error("trace not carried through context")
+	}
+	// Derived contexts still answer.
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	if FromContext(ctx2) != tr {
+		t.Error("trace lost through context derivation")
+	}
+	tr.Finish("search", "")
+}

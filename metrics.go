@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"github.com/querygraph/querygraph/internal/hist"
 )
 
 // numErrorClasses sizes the per-class counter arrays; the fixed-size
@@ -80,6 +82,15 @@ type MetricsObserver struct {
 	rpcHedges    atomic.Uint64
 	rpcDeadlines atomic.Uint64
 	partials     atomic.Uint64
+
+	// Latency histograms for the three hot paths. The summary families
+	// above give sums and counts; these give the full distribution as
+	// Prometheus cumulative buckets, backed by internal/hist's log-linear
+	// layout so recording stays a couple of atomic adds. rpcHist pools all
+	// protocol ops into one family: per-op attempt counts already exist
+	// above, and the attempt-latency distribution is dominated by plan/topk
+	// fan-out anyway.
+	searchHist, expandHist, rpcHist hist.Atomic
 }
 
 // numRPCOps sizes the per-op RPC counter array; rpcOpNames keeps it
@@ -112,6 +123,7 @@ var (
 // ObserveSearch implements Observer.
 func (m *MetricsObserver) ObserveSearch(o SearchObservation) {
 	m.search.observe(int64(o.Duration), o.Err)
+	m.searchHist.Record(o.Duration)
 	if o.Err == "partial_result" {
 		m.partials.Add(1)
 	}
@@ -120,6 +132,7 @@ func (m *MetricsObserver) ObserveSearch(o SearchObservation) {
 // ObserveExpand implements Observer.
 func (m *MetricsObserver) ObserveExpand(o ExpandObservation) {
 	m.expand.observe(int64(o.Duration), o.Err)
+	m.expandHist.Record(o.Duration)
 	if o.Err == "" && o.Cache <= CacheDeduped {
 		m.cache[o.Cache].Add(1)
 	}
@@ -138,6 +151,7 @@ func (m *MetricsObserver) ObserveBatch(o BatchObservation) {
 // remote coordinator.
 func (m *MetricsObserver) ObserveRPC(o RPCObservation) {
 	m.rpc[rpcOpIndex(o.Op)].observe(int64(o.Duration), o.Err)
+	m.rpcHist.Record(o.Duration)
 	if o.Attempt > 0 {
 		m.rpcRetries.Add(1)
 	}
@@ -203,8 +217,11 @@ func (m *MetricsObserver) Snapshot() MetricsSnapshot {
 // format (version 0.0.4): querygraph_requests_total and
 // querygraph_request_errors_total by {op, class},
 // querygraph_request_duration_seconds_{sum,count} by {op},
-// querygraph_expand_cache_total by {outcome}, querygraph_batch_items_total
-// and the querygraph_pool_generation gauge.
+// querygraph_expand_cache_total by {outcome}, querygraph_batch_items_total,
+// full latency histograms (querygraph_search_duration_seconds,
+// querygraph_expand_duration_seconds,
+// querygraph_rpc_attempt_duration_seconds) and the
+// querygraph_pool_generation gauge.
 func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 	ops := []struct {
 		name string
@@ -297,6 +314,19 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 			}
 		}
 	}
+	hists := []struct {
+		name, help string
+		a          *hist.Atomic
+	}{
+		{"querygraph_search_duration_seconds", "Search latency distribution.", &m.searchHist},
+		{"querygraph_expand_duration_seconds", "Single-query expansion latency distribution.", &m.expandHist},
+		{"querygraph_rpc_attempt_duration_seconds", "Shard RPC attempt latency distribution, all protocol ops.", &m.rpcHist},
+	}
+	for _, hm := range hists {
+		if err := writeHistogram(w, hm.name, hm.help, hm.a.Snapshot()); err != nil {
+			return err
+		}
+	}
 	if err := p("# HELP querygraph_rpc_retries_total Shard RPC retry attempts (attempt > 0).\n# TYPE querygraph_rpc_retries_total counter\nquerygraph_rpc_retries_total %d\n", m.rpcRetries.Load()); err != nil {
 		return err
 	}
@@ -310,4 +340,31 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	return p("# HELP querygraph_pool_generation Most recently observed reload generation (0 before any reload).\n# TYPE querygraph_pool_generation gauge\nquerygraph_pool_generation %d\n", m.generation.Load())
+}
+
+// writeHistogram renders one snapshot as a Prometheus histogram family:
+// cumulative _bucket series at the DefaultExposition boundaries (each le
+// is an exact internal bucket upper, so cumulative counts are exact whole-
+// bucket sums, never interpolated), a +Inf bucket, _sum in seconds and
+// _count.
+func writeHistogram(w io.Writer, name, help string, h hist.Hist) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	var cum uint64
+	next := 0
+	for _, idx := range hist.DefaultExposition {
+		for ; next <= idx; next++ {
+			cum += h.Counts[next]
+		}
+		le := float64(hist.BucketUpper(idx)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.N); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, float64(h.Sum)/1e9, name, h.N)
+	return err
 }

@@ -9,6 +9,7 @@ import (
 
 	"github.com/querygraph/querygraph/internal/search"
 	"github.com/querygraph/querygraph/internal/shard"
+	"github.com/querygraph/querygraph/internal/trace"
 )
 
 // Pool is the sharded serving handle: a hash-partitioned snapshot
@@ -304,11 +305,27 @@ func (p *Pool) searchText(ctx context.Context, query string, k int) ([]Result, i
 		return nil, 0, err
 	}
 	defer g.release()
+	// The untraced branch is the pinned 0 allocs/op fast path: one
+	// context lookup, then exactly the pre-trace code.
+	tr := trace.FromContext(ctx)
+	if tr == nil {
+		node, err := parseWith(g.set, query)
+		if err != nil {
+			return nil, g.set.NumShards(), err
+		}
+		rs, err := g.set.Search(ctx, node, k)
+		return rs, g.set.NumShards(), err
+	}
+	parseStart := time.Now()
 	node, err := parseWith(g.set, query)
 	if err != nil {
+		tr.Span("parse", parseStart, "invalid_query")
 		return nil, g.set.NumShards(), err
 	}
+	tr.Span("parse", parseStart, "")
+	searchStart := time.Now()
 	rs, err := g.set.Search(ctx, node, k)
+	tr.Span("search", searchStart, ErrorClass(err))
 	return rs, g.set.NumShards(), err
 }
 
@@ -367,7 +384,13 @@ func (p *Pool) expand(ctx context.Context, keywords string, opts []ExpandOption)
 		return nil, CacheBypass, 0, err
 	}
 	defer g.release()
+	tr := trace.FromContext(ctx)
+	start := time.Now()
 	exp, outcome, err := g.set.ExpandOutcome(ctx, keywords, eopts)
+	if tr != nil {
+		// The cache outcome of the expand lookup rides in the span detail.
+		tr.Add("expand", start, -1, 0, false, ErrorClass(err), outcome.String())
+	}
 	return exp, outcome, g.set.NumShards(), err
 }
 

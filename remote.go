@@ -13,6 +13,7 @@ import (
 	"github.com/querygraph/querygraph/internal/core"
 	"github.com/querygraph/querygraph/internal/rpc"
 	"github.com/querygraph/querygraph/internal/shard"
+	"github.com/querygraph/querygraph/internal/trace"
 )
 
 // Topology describes a fleet of qshard servers: which shard of the
@@ -322,20 +323,28 @@ func (c *Remote) attemptDeadline(ctx context.Context) time.Time {
 	return d
 }
 
-// doRPC performs one observed attempt against one address.
-func (c *Remote) doRPC(shardID int, addr string, op rpc.Op, body []byte, deadline time.Time, attempt int, hedged bool) ([]byte, error) {
+// doRPC performs one observed attempt against one address. Every
+// attempt — first try, retry, or hedge — lands one span on the request
+// trace with its shard, attempt number and dialed address, and carries
+// the trace ID to the shard in the v2 request header so server-side
+// work is attributable to this request.
+func (c *Remote) doRPC(ctx context.Context, shardID int, addr string, op rpc.Op, body []byte, deadline time.Time, attempt int, hedged bool) ([]byte, error) {
+	tr := trace.FromContext(ctx)
 	start := time.Now()
-	payload, err := c.rawRPC(addr, op, body, deadline)
+	payload, err := c.rawRPC(addr, op, body, deadline, uint64(tr.ID()))
 	c.obs().rpc(start, shardID, addr, op.String(), attempt, hedged, err)
+	if tr != nil {
+		tr.Add("rpc:"+op.String(), start, shardID, attempt, hedged, ErrorClass(err), addr)
+	}
 	return payload, err
 }
 
-func (c *Remote) rawRPC(addr string, op rpc.Op, body []byte, deadline time.Time) ([]byte, error) {
+func (c *Remote) rawRPC(addr string, op rpc.Op, body []byte, deadline time.Time, traceID uint64) ([]byte, error) {
 	conn, err := c.conns.Get(addr)
 	if err != nil {
 		return nil, err
 	}
-	payload, err := conn.Do(op, body, deadline)
+	payload, err := conn.Do(op, body, deadline, traceID)
 	c.conns.Put(conn)
 	return payload, err
 }
@@ -384,9 +393,9 @@ func (c *Remote) callShard(ctx context.Context, sh TopologyShard, op rpc.Op, bod
 		var payload []byte
 		var err error
 		if attempt == 0 && c.topo.HedgeAfterMS > 0 && len(sh.Addrs) > 1 {
-			payload, err = c.attemptHedged(sh.ID, addr, sh.Addrs[1], op, body, deadline)
+			payload, err = c.attemptHedged(ctx, sh.ID, addr, sh.Addrs[1], op, body, deadline)
 		} else {
-			payload, err = c.doRPC(sh.ID, addr, op, body, deadline, attempt, false)
+			payload, err = c.doRPC(ctx, sh.ID, addr, op, body, deadline, attempt, false)
 		}
 		if err == nil {
 			return payload, nil
@@ -403,7 +412,7 @@ func (c *Remote) callShard(ctx context.Context, sh TopologyShard, op rpc.Op, bod
 // to a replica; the first success wins and the loser is left to finish
 // on its own connection (tracked by the in-flight drain, so Close never
 // strands it).
-func (c *Remote) attemptHedged(shardID int, primary, replica string, op rpc.Op, body []byte, deadline time.Time) ([]byte, error) {
+func (c *Remote) attemptHedged(ctx context.Context, shardID int, primary, replica string, op rpc.Op, body []byte, deadline time.Time) ([]byte, error) {
 	type result struct {
 		payload []byte
 		err     error
@@ -411,7 +420,7 @@ func (c *Remote) attemptHedged(shardID int, primary, replica string, op rpc.Op, 
 	ch := make(chan result, 2)
 	run := func(addr string, hedged bool) {
 		defer c.inflight.Done()
-		p, e := c.doRPC(shardID, addr, op, body, deadline, 0, hedged)
+		p, e := c.doRPC(ctx, shardID, addr, op, body, deadline, 0, hedged)
 		ch <- result{p, e}
 	}
 	// Add while the calling request still holds its own in-flight count,
@@ -483,7 +492,9 @@ func (c *Remote) scatter(ctx context.Context, queryBody []byte, k int) (rs []Res
 	n := len(c.topo.Shards)
 	states := make([]shardState, n)
 	errs := make([]error, n)
+	tr := trace.FromContext(ctx)
 
+	planStart := time.Now()
 	c.eachShard(func(i int) {
 		payload, err := c.callShard(ctx, c.topo.Shards[i], rpc.OpPlan, queryBody)
 		if err != nil {
@@ -510,11 +521,14 @@ func (c *Remote) scatter(ctx context.Context, queryBody []byte, k int) (rs []Res
 		states[i].cfs = cfs
 	})
 	if dropped, err = c.applyPolicy(states, errs); err != nil {
+		tr.Span("plan", planStart, ErrorClass(err))
 		return nil, false, 0, err
 	}
+	tr.Span("plan", planStart, "")
 
 	// Searchable and leaf structure must agree across survivors — they
 	// derive it from the same replicated analyzer and graph.
+	aggStart := time.Now()
 	first := -1
 	for i := range states {
 		if !states[i].dropped {
@@ -547,7 +561,9 @@ func (c *Remote) scatter(ctx context.Context, queryBody []byte, k int) (rs []Res
 	for _, cf := range leafCF {
 		topkBody = rpc.AppendUvarint(topkBody, uint64(cf))
 	}
+	tr.Span("aggregate", aggStart, "")
 
+	topkStart := time.Now()
 	locals := make([][]Result, n)
 	c.eachShard(func(i int) {
 		if states[i].dropped {
@@ -569,16 +585,21 @@ func (c *Remote) scatter(ctx context.Context, queryBody []byte, k int) (rs []Res
 		}
 	})
 	if dropped, err = c.applyPolicy(states, errs); err != nil {
+		tr.Span("topk", topkStart, ErrorClass(err))
 		return nil, false, 0, err
 	}
+	tr.Span("topk", topkStart, "")
 
+	mergeStart := time.Now()
 	merged := make([][]Result, 0, n)
 	for i := range states {
 		if !states[i].dropped {
 			merged = append(merged, locals[i])
 		}
 	}
-	return shard.MergeRanked(merged, k), true, dropped, nil
+	rs = shard.MergeRanked(merged, k)
+	tr.Span("merge", mergeStart, "")
+	return rs, true, dropped, nil
 }
 
 // applyPolicy folds per-shard errors into the partial-failure policy:
@@ -755,10 +776,15 @@ func (c *Remote) expand(ctx context.Context, keywords string, opts []ExpandOptio
 }
 
 func (c *Remote) expandRemote(ctx context.Context, keywords string, eopts core.ExpanderOptions) (*Expansion, CacheOutcome, error) {
+	tr := trace.FromContext(ctx)
+	start := time.Now()
 	body := rpc.AppendString(nil, keywords)
 	body = rpc.AppendExpanderOptions(body, eopts)
 	payload, err := c.anyShard(ctx, rpc.OpExpand, body)
 	if err != nil {
+		if tr != nil {
+			tr.Add("expand", start, -1, 0, false, ErrorClass(err), "")
+		}
 		return nil, CacheBypass, err
 	}
 	r := rpc.NewReader(payload)
@@ -766,6 +792,11 @@ func (c *Remote) expandRemote(ctx context.Context, keywords string, eopts core.E
 	exp := rpc.ReadExpansion(r)
 	if err := r.Done(); err != nil {
 		return nil, CacheBypass, fmt.Errorf("expand response: %w", err)
+	}
+	if tr != nil {
+		// The serving shard's cache outcome rides in the span detail —
+		// the per-request view of the expand-cache lookup.
+		tr.Add("expand", start, -1, 0, false, "", outcome.String())
 	}
 	return exp, outcome, nil
 }

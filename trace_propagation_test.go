@@ -1,0 +1,197 @@
+package querygraph
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/querygraph/querygraph/internal/rpc"
+	"github.com/querygraph/querygraph/internal/trace"
+)
+
+// startHookedFleet mirrors startShardFleet but installs a request hook
+// on every shard server before it starts serving (the hook contract —
+// SetRequestHook must precede Serve).
+func startHookedFleet(t *testing.T, dir string, shards int, hook rpc.RequestHook, mut func(*Topology)) string {
+	t.Helper()
+	topo := Topology{Version: 1}
+	for s := 0; s < shards; s++ {
+		srv, err := rpc.LoadServerFile(filepath.Join(dir, fmt.Sprintf("shard-%03d.qgs", s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.SetRequestHook(hook)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = srv.Serve(context.Background(), ln)
+		}()
+		t.Cleanup(func() {
+			_ = srv.Close()
+			<-done
+		})
+		topo.Shards = append(topo.Shards, TopologyShard{ID: s, Addrs: []string{ln.Addr().String()}})
+	}
+	if mut != nil {
+		mut(&topo)
+	}
+	return writeTopology(t, dir, topo)
+}
+
+// traceIDCollector records every trace ID the shard servers see.
+type traceIDCollector struct {
+	mu   sync.Mutex
+	seen []uint64
+}
+
+func (c *traceIDCollector) hook(op rpc.Op, traceID uint64, start time.Time, dur time.Duration, errClass string) {
+	c.mu.Lock()
+	c.seen = append(c.seen, traceID)
+	c.mu.Unlock()
+}
+
+// ids returns the distinct trace IDs observed, excluding the untraced
+// zero (the handshake's healthz probes run before any request trace).
+func (c *traceIDCollector) ids() map[uint64]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint64]int)
+	for _, id := range c.seen {
+		if id != 0 {
+			out[id]++
+		}
+	}
+	return out
+}
+
+// TestRemoteTraceRetryPropagation pins the trace contract under retry
+// failover: every shard-side request of one traced search — including
+// the retried attempt — carries the one trace ID end to end over the v2
+// wire, and the trace's span tree shows the failed attempt 0 and the
+// successful attempt 1 on the shard whose primary was dead, plus the
+// coordinator's scatter phases.
+func TestRemoteTraceRetryPropagation(t *testing.T) {
+	ref, dir := shardedWorld(t)
+
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	_ = dead.Close()
+
+	var col traceIDCollector
+	topoPath := startHookedFleet(t, dir, 2, col.hook, func(topo *Topology) {
+		topo.Shards[1].Addrs = append([]string{deadAddr}, topo.Shards[1].Addrs...)
+		topo.Retries = 1
+		topo.RetryBackoffMS = 1
+	})
+	be, err := OpenBackend(topoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer be.Close()
+
+	id := trace.NewID()
+	tr := trace.Begin(id)
+	ctx := trace.NewContext(context.Background(), tr)
+	if _, err := be.Search(ctx, ref.Queries()[0].Keywords, 5); err != nil {
+		t.Fatalf("traced search through failover: %v", err)
+	}
+	rec := tr.Finish("search", "")
+
+	// One trace ID, shared by every shard-side request.
+	ids := col.ids()
+	if len(ids) != 1 || ids[uint64(id)] == 0 {
+		t.Fatalf("shards saw trace IDs %v, want only %016x", ids, uint64(id))
+	}
+
+	// The span tree records the failed attempt and its retry distinctly.
+	var failed, retried bool
+	phases := make(map[string]bool)
+	for _, sp := range rec.Spans {
+		phases[sp.Phase] = true
+		if !strings.HasPrefix(sp.Phase, "rpc:") {
+			continue
+		}
+		if sp.Shard == 1 && sp.Attempt == 0 && sp.Err != "" && sp.Detail == deadAddr {
+			failed = true
+		}
+		if sp.Shard == 1 && sp.Attempt == 1 && sp.Err == "" {
+			retried = true
+		}
+	}
+	if !failed || !retried {
+		t.Errorf("spans = %+v, want a failed attempt-0 rpc against %s and a clean attempt-1 retry on shard 1",
+			rec.Spans, deadAddr)
+	}
+	for _, phase := range []string{"plan", "aggregate", "topk", "merge"} {
+		if !phases[phase] {
+			t.Errorf("span phases = %v, missing coordinator phase %q", phases, phase)
+		}
+	}
+	if rec.TraceID != id.String() {
+		t.Errorf("record TraceID = %q, want %q", rec.TraceID, id.String())
+	}
+}
+
+// TestRemoteTraceHedgedPropagation pins the hedged half: the
+// speculative replica attempt shares the primary's trace ID and is
+// annotated Hedged in the span tree, distinct from the primary attempt.
+func TestRemoteTraceHedgedPropagation(t *testing.T) {
+	ref, dir := shardedWorld(t)
+	srv1, err := rpc.LoadServerFile(filepath.Join(dir, "shard-001.qgs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hangAddr := fakeShard(t, srv1.Identity())
+
+	var col traceIDCollector
+	topoPath := startHookedFleet(t, dir, 2, col.hook, func(topo *Topology) {
+		topo.Shards[1].Addrs = append([]string{hangAddr}, topo.Shards[1].Addrs...)
+		topo.TimeoutMS = 500
+		topo.Retries = 0
+		topo.HedgeAfterMS = 20
+	})
+	be, err := OpenBackend(topoPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id := trace.NewID()
+	tr := trace.Begin(id)
+	ctx := trace.NewContext(context.Background(), tr)
+	if _, err := be.Search(ctx, ref.Queries()[0].Keywords, 5); err != nil {
+		t.Fatalf("traced hedged search: %v", err)
+	}
+	rec := tr.Finish("search", "")
+	// Close drains the hung primary attempts; their straggling spans land
+	// on the dying Trace after Finish, which is harmless — the sealed rec
+	// is an immutable copy (pinned by the trace package's straggler test).
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ids := col.ids()
+	if len(ids) != 1 || ids[uint64(id)] == 0 {
+		t.Fatalf("shards saw trace IDs %v, want only %016x", ids, uint64(id))
+	}
+	var hedged bool
+	for _, sp := range rec.Spans {
+		if strings.HasPrefix(sp.Phase, "rpc:") && sp.Shard == 1 && sp.Hedged && sp.Err == "" {
+			hedged = true
+		}
+	}
+	if !hedged {
+		t.Errorf("spans = %+v, want a clean hedged rpc span on shard 1", rec.Spans)
+	}
+}
