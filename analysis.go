@@ -49,7 +49,7 @@ func (c *Client) GroundTruth(ctx context.Context, q Query, opts GroundTruthOptio
 	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
-	return c.sys.BuildGroundTruth(ctx, q, opts.coreConfig())
+	return c.cur().sys.BuildGroundTruth(ctx, q, opts.coreConfig())
 }
 
 // GroundTruths fans the per-query pipeline out over a bounded worker pool
@@ -59,7 +59,7 @@ func (c *Client) GroundTruths(ctx context.Context, qs []Query, opts GroundTruthO
 	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
-	return c.sys.BuildAllGroundTruths(ctx, qs, opts.coreConfig())
+	return c.cur().sys.BuildAllGroundTruths(ctx, qs, opts.coreConfig())
 }
 
 // AnalyzeOptions controls Analyze. The zero value reproduces the paper's
@@ -99,7 +99,7 @@ func (c *Client) Analyze(ctx context.Context, opts AnalyzeOptions) (*Analysis, e
 	if err != nil {
 		return nil, err
 	}
-	return c.sys.Analyze(ctx, gts, core.AnalysisConfig{
+	return c.cur().sys.Analyze(ctx, gts, core.AnalysisConfig{
 		MaxCycleLen: opts.MaxCycleLen,
 		Fig9Bins:    opts.Fig9Bins,
 		Workers:     opts.Workers,
@@ -127,7 +127,7 @@ func (c *Client) CompareExpanders(ctx context.Context, opts AblationOptions) ([]
 	if len(c.queries) == 0 {
 		return nil, ErrNoBenchmark
 	}
-	return c.sys.CompareExpanders(ctx, c.queries, core.AblationConfig{
+	return c.cur().sys.CompareExpanders(ctx, c.queries, core.AblationConfig{
 		MaxFeatures: opts.MaxFeatures,
 		Workers:     opts.Workers,
 	})
@@ -162,6 +162,7 @@ func (c *Client) MineCycles(ctx context.Context, gt *GroundTruth, maxLen int) ([
 	if maxLen <= 0 {
 		maxLen = 5
 	}
+	snap := c.cur().sys.Snapshot
 	sub := gt.Graph.Sub
 	var seeds []NodeID
 	for _, qa := range gt.QueryArticles {
@@ -187,7 +188,7 @@ func (c *Client) MineCycles(ctx context.Context, gt *GroundTruth, maxLen int) ([
 			ExtraEdgeDensity: m.ExtraEdgeDensity,
 		}
 		for i, n := range cy.Nodes {
-			info.Titles[i] = c.sys.Snapshot.Name(sub.ToParent[n])
+			info.Titles[i] = snap.Name(sub.ToParent[n])
 			info.IsCategory[i] = sub.Kind(n) == graph.Category
 		}
 		for _, n := range cycles.ArticlesOf(sub.Graph, cy) {
@@ -202,6 +203,7 @@ func (c *Client) MineCycles(ctx context.Context, gt *GroundTruth, maxLen int) ([
 // DOT format with article titles as labels.
 func (c *Client) WriteQueryGraphDOT(w io.Writer, gt *GroundTruth, name string) error {
 	sub := gt.Graph.Sub
-	label := func(n NodeID) string { return c.sys.Snapshot.Name(sub.ToParent[n]) }
+	snap := c.cur().sys.Snapshot
+	label := func(n NodeID) string { return snap.Name(sub.ToParent[n]) }
 	return sub.Graph.WriteDOT(w, name, label)
 }

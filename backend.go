@@ -20,11 +20,12 @@ import (
 //
 // The method set is the serving surface: retrieval (Search/SearchAll),
 // cycle-based expansion (Expand/ExpandAll), expansion retrieval
-// (SearchExpansion/SearchExpansions), entity linking and titles
-// (Link/Title), the loaded benchmark and state summaries
-// (Queries/Stats/CacheStats) and the lifecycle (Close). The typed request
-// structs (SearchRequest, ExpandRequest and batch variants) execute
-// against any Backend via their Do methods.
+// (SearchExpansion/SearchExpansions), the live-index write path
+// (Ingest/Compact), entity linking and titles (Link/Title), the loaded
+// benchmark and state summaries (Queries/Stats/CacheStats) and the
+// lifecycle (Close). The typed request structs (SearchRequest,
+// ExpandRequest and batch variants) execute against any Backend via their
+// Do methods.
 //
 // All methods are safe for concurrent use. Every query-path method takes a
 // context and honors the package's context contract (a done ctx returns
@@ -48,6 +49,18 @@ type Backend interface {
 	ExpandAll(ctx context.Context, keywords []string, bopts BatchOptions, opts ...ExpandOption) ([]*Expansion, error)
 	SearchExpansion(ctx context.Context, exp *Expansion, k int) ([]Result, bool, error)
 	SearchExpansions(ctx context.Context, exps []*Expansion, k int, opts BatchOptions) ([][]Result, error)
+	// Ingest appends documents to the backend's in-memory delta segment;
+	// they are searchable by the time the call returns and survive into the
+	// next compaction. The batch is atomic: on any error (duplicate
+	// external id, ErrDeltaFull, ErrClosed, ErrReadOnly on a backend that
+	// cannot accept writes) no document is admitted. The backend does not
+	// retain docs beyond the call.
+	Ingest(ctx context.Context, docs []Document) (IngestStats, error)
+	// Compact folds the delta segment into a fresh base generation and
+	// hot-swaps it — zero downtime, in-flight requests drain on the old
+	// generation. An empty delta is a successful no-op with the generation
+	// unchanged. Search results are identical before and after.
+	Compact(ctx context.Context) (CompactStats, error)
 	Link(keywords string) []Entity
 	Title(id NodeID) string
 	Queries() []Query

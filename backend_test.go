@@ -550,10 +550,13 @@ func TestCloseConcurrentWithRequests(t *testing.T) {
 type recordingObserver struct {
 	mu                                  sync.Mutex
 	searches, expands, batches, reloads int
+	ingests, compacts                   int
 	lastSearch                          SearchObservation
 	lastExpand                          ExpandObservation
 	lastBatch                           BatchObservation
 	lastReload                          ReloadObservation
+	lastIngest                          IngestObservation
+	lastCompact                         CompactObservation
 	searchDur, expandDur                time.Duration
 }
 
@@ -587,13 +590,29 @@ func (r *recordingObserver) ObserveReload(o ReloadObservation) {
 	r.lastReload = o
 }
 
+func (r *recordingObserver) ObserveIngest(o IngestObservation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ingests++
+	r.lastIngest = o
+}
+
+func (r *recordingObserver) ObserveCompact(o CompactObservation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.compacts++
+	r.lastCompact = o
+}
+
 func (r *recordingObserver) snapshot() recordingObserver {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return recordingObserver{
 		searches: r.searches, expands: r.expands, batches: r.batches, reloads: r.reloads,
+		ingests: r.ingests, compacts: r.compacts,
 		lastSearch: r.lastSearch, lastExpand: r.lastExpand,
 		lastBatch: r.lastBatch, lastReload: r.lastReload,
+		lastIngest: r.lastIngest, lastCompact: r.lastCompact,
 		searchDur: r.searchDur, expandDur: r.expandDur,
 	}
 }
@@ -708,12 +727,35 @@ func TestObserverHooks(t *testing.T) {
 			}
 			searchesBeforeClose := s.searches
 
-			// Reload fires ObserveReload on pools.
+			// Ingest and Compact fire the live-observer hooks, error paths
+			// included.
+			if _, err := be.Ingest(ctx, []Document{{
+				Name:  "observed.jpg",
+				Texts: []DocumentText{{Lang: "en", Description: "an observed ingest"}},
+			}}); err != nil {
+				t.Fatal(err)
+			}
+			if s = rec.snapshot(); s.ingests != 1 || s.lastIngest.Docs != 1 ||
+				s.lastIngest.DeltaDocs != 1 || s.lastIngest.Err != "" ||
+				s.lastIngest.Shards != wantShards[name] {
+				t.Fatalf("ingest observation = %+v (ingests=%d)", s.lastIngest, s.ingests)
+			}
+			if _, err := be.Compact(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if s = rec.snapshot(); s.compacts != 1 || s.lastCompact.Compacted != 1 ||
+				s.lastCompact.Generation != 2 || s.lastCompact.Err != "" {
+				t.Fatalf("compact observation = %+v (compacts=%d)", s.lastCompact, s.compacts)
+			}
+
+			// Reload fires ObserveReload on pools. The compaction above
+			// already advanced the pool to generation 2, so the reload
+			// publishes generation 3.
 			if pool, ok := be.(*Pool); ok {
 				if err := pool.Reload(""); err != nil {
 					t.Fatal(err)
 				}
-				if s = rec.snapshot(); s.reloads != 1 || s.lastReload.Generation != 2 ||
+				if s = rec.snapshot(); s.reloads != 1 || s.lastReload.Generation != 3 ||
 					s.lastReload.Shards != wantShards[name] || s.lastReload.Err != "" {
 					t.Fatalf("reload observation = %+v (reloads=%d)", s.lastReload, s.reloads)
 				}

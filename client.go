@@ -5,12 +5,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/live"
 	"github.com/querygraph/querygraph/internal/search"
 	"github.com/querygraph/querygraph/internal/shard"
+	"github.com/querygraph/querygraph/internal/store"
 	"github.com/querygraph/querygraph/internal/trace"
 )
 
@@ -22,13 +25,66 @@ import (
 // mid-call stops batch scheduling and abandons cache waits as documented
 // per method. After Close, query-path methods return ErrClosed.
 //
+// A Client is also a live index: Ingest appends documents to an in-memory
+// delta segment searched alongside the base snapshot, and Compact folds
+// the segment into a fresh base generation. Readers pin one immutable
+// state per request and writers swap whole states, so queries never
+// observe a half-applied ingest or compaction.
+//
 //qlint:serving
 //qlint:observed
 type Client struct {
-	sys     *core.System
+	// st is the serving state — base system, delta segment, compaction
+	// generation. The query path loads it lock-free; every store happens
+	// under mu (enforced by the atomicguard analyzer).
+	//
+	//qlint:guarded-by mu
+	st atomic.Pointer[clientState]
+
+	// mu serializes the write path (Ingest, Compact); readers never take it.
+	mu sync.Mutex
+
 	queries []Query
 	obs     observers
 	closed  atomic.Bool
+
+	// Live-index configuration and lifecycle: the delta capacity and
+	// auto-compaction threshold resolved from the options, the system
+	// options replayed when a compaction rebuilds the serving system, the
+	// completed-compaction count, the single-flight guard of the
+	// background compactor and the wait group Close blocks on.
+	deltaCap    int
+	autoCompact int
+	sysOpts     []core.SystemOption
+	compactions atomic.Uint64
+	compacting  atomic.Bool
+	bg          sync.WaitGroup
+}
+
+// clientState is one immutable serving state: the base system, the live
+// delta segment above it (nil = empty) and the compaction generation
+// (starts at 1, advanced by each non-empty Compact).
+type clientState struct {
+	sys   *core.System
+	delta *live.Delta
+	gen   uint64
+}
+
+// cur returns the current serving state; it is never nil, even after
+// Close (the in-memory accessors keep answering from it).
+func (c *Client) cur() *clientState { return c.st.Load() }
+
+// newClient assembles a serving client around a loaded system.
+func newClient(sys *core.System, queries []Query, cfg clientConfig) *Client {
+	c := &Client{
+		queries:     queries,
+		obs:         cfg.obs,
+		deltaCap:    cfg.deltaCapacity(),
+		autoCompact: cfg.autoCompact,
+		sysOpts:     cfg.sys,
+	}
+	c.st.Store(&clientState{sys: sys, gen: 1}) //qlint:ignore atomicguard constructor: c has not escaped, no concurrent writer exists yet
+	return c
 }
 
 // Open loads a .qgs snapshot file written by Save (or qgen -out FILE.qgs)
@@ -56,7 +112,7 @@ func OpenReader(r io.Reader, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	return &Client{sys: sys, queries: qs, obs: cfg.obs}, nil
+	return newClient(sys, qs, cfg), nil
 }
 
 // Build assembles a Client directly from a generated world: it indexes the
@@ -74,7 +130,7 @@ func Build(world *World, opts ...Option) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{sys: sys, queries: core.QueriesFromWorld(world), obs: cfg.obs}, nil
+	return newClient(sys, core.QueriesFromWorld(world), cfg), nil
 }
 
 // Close retires the client: it is idempotent (a second Close returns nil),
@@ -87,7 +143,10 @@ func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
-	c.sys.PurgeExpandCache()
+	// An in-flight background compaction re-checks closed under mu and
+	// bails; wait it out so Close leaves no goroutine behind.
+	c.bg.Wait()
+	c.cur().sys.PurgeExpandCache()
 	return nil
 }
 
@@ -112,9 +171,19 @@ func (c *Client) shardCount() int {
 
 // Save writes the client's complete serving state plus its query benchmark
 // as a versioned, checksummed binary snapshot; Open on the written bytes
-// serves bit-identical results.
+// serves bit-identical results. A non-empty delta segment is folded into
+// the written snapshot (the snapshot a cold rebuild over base plus delta
+// would produce), so ingested documents survive a save/load cycle.
 func (c *Client) Save(w io.Writer) error {
-	return c.sys.Save(w, c.queries)
+	st := c.cur()
+	if st.delta.NumDocs() == 0 {
+		return st.sys.Save(w, c.queries)
+	}
+	arch, err := mergedArchive(st, c.queries)
+	if err != nil {
+		return err
+	}
+	return store.Write(w, arch)
 }
 
 // SaveShards hash-partitions the client's serving state into shards
@@ -129,7 +198,17 @@ func (c *Client) SaveShards(dir string, shards int) error {
 	if shards < 1 {
 		return fmt.Errorf("%w: shard count %d must be >= 1", ErrInvalidOptions, shards)
 	}
-	_, err := shard.WriteShards(dir, c.sys.Archive(c.queries), shards)
+	st := c.cur()
+	arch := st.sys.Archive(c.queries)
+	if st.delta.NumDocs() > 0 {
+		// Like Save: the written generation includes the delta documents.
+		var err error
+		arch, err = mergedArchive(st, c.queries)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := shard.WriteShards(dir, arch, shards)
 	return err
 }
 
@@ -141,8 +220,9 @@ func (c *Client) Queries() []Query {
 	return out
 }
 
-// Stats summarizes the serving state: knowledge-base shape, corpus size,
-// benchmark size and the expansion cache counters.
+// Stats summarizes the serving state: knowledge-base shape, corpus size
+// (the base generation; delta documents are reported separately),
+// benchmark size, the live delta segment and the expansion cache counters.
 type Stats struct {
 	Articles   int `json:"articles"`
 	Redirects  int `json:"redirects"`
@@ -152,35 +232,67 @@ type Stats struct {
 	Documents        int `json:"documents"`
 	BenchmarkQueries int `json:"benchmark_queries"`
 
+	Delta DeltaStats `json:"delta"`
+
 	Cache CacheStats `json:"cache"`
 }
 
 // Stats reports the client's serving-state summary.
 func (c *Client) Stats() Stats {
-	st := c.sys.Snapshot.Stats()
+	cur := c.cur()
+	st := cur.sys.Snapshot.Stats()
 	return Stats{
 		Articles:         st.Articles,
 		Redirects:        st.Redirects,
 		Categories:       st.Categories,
 		Links:            st.Links,
-		Documents:        c.sys.Collection.Len(),
+		Documents:        cur.sys.Collection.Len(),
 		BenchmarkQueries: len(c.queries),
-		Cache:            c.sys.ExpandCacheStats(),
+		Delta: DeltaStats{
+			Documents:    cur.delta.NumDocs(),
+			PendingBytes: cur.delta.Bytes(),
+			Generation:   cur.gen,
+			Compactions:  c.compactions.Load(),
+		},
+		Cache: cur.sys.ExpandCacheStats(),
 	}
 }
 
 // CacheStats reports the expansion cache's hit/miss/single-flight counters
 // and occupancy (all zero when the cache is disabled).
-func (c *Client) CacheStats() CacheStats { return c.sys.ExpandCacheStats() }
+func (c *Client) CacheStats() CacheStats { return c.cur().sys.ExpandCacheStats() }
 
-// parse turns raw query text into an AST, wrapping failures in
+// parseWithEngine turns raw query text into an AST, wrapping failures in
 // ErrInvalidQuery.
-func (c *Client) parse(query string) (search.Node, error) {
-	node, err := c.sys.Engine.Parse(query)
+func parseWithEngine(e *search.Engine, query string) (search.Node, error) {
+	node, err := e.Parse(query)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 	}
 	return node, nil
+}
+
+// searchStateLeaves scores flattened leaves against one pinned state: the
+// base engine alone on the delta-free fast path (zero allocations at
+// steady state), or the two-source base+delta merge under merged
+// collection statistics — bit-identical to a rebuilt monolithic index.
+func searchStateLeaves(st *clientState, leaves []search.Leaf, k int, dst []Result) ([]Result, error) {
+	if st.delta == nil {
+		return st.sys.Engine.SearchLeaves(leaves, k, dst)
+	}
+	sources := []search.Source{{Engine: st.sys.Engine}, st.delta.Source()}
+	total := st.sys.Engine.Index().TotalTokens() + st.delta.TotalTokens()
+	return search.SearchSourcesLeaves(sources, total, leaves, k, dst)
+}
+
+// searchStateNode is searchStateLeaves for an already-parsed query node.
+func searchStateNode(st *clientState, node search.Node, k int) ([]Result, error) {
+	if st.delta == nil {
+		return st.sys.Engine.Search(node, k)
+	}
+	sources := []search.Source{{Engine: st.sys.Engine}, st.delta.Source()}
+	total := st.sys.Engine.Index().TotalTokens() + st.delta.TotalTokens()
+	return search.SearchSources(sources, total, node, k)
 }
 
 // Search parses the INDRI-style query text (bare keywords, #combine,
@@ -212,25 +324,26 @@ func (c *Client) searchText(ctx context.Context, query string, k int, dst []Resu
 	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
+	st := c.cur()
 	// The untraced branch is the pinned 0 allocs/op fast path: one
 	// context lookup, then exactly the pre-trace code.
 	tr := trace.FromContext(ctx)
 	if tr == nil {
-		leaves, err := c.sys.Engine.LeavesForQuery(query)
+		leaves, err := st.sys.Engine.LeavesForQuery(query)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 		}
-		return c.sys.Engine.SearchLeaves(leaves, k, dst)
+		return searchStateLeaves(st, leaves, k, dst)
 	}
 	parseStart := time.Now()
-	leaves, err := c.sys.Engine.LeavesForQuery(query)
+	leaves, err := st.sys.Engine.LeavesForQuery(query)
 	if err != nil {
 		tr.Span("parse", parseStart, "invalid_query")
 		return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 	}
 	tr.Span("parse", parseStart, "")
 	searchStart := time.Now()
-	rs, err := c.sys.Engine.SearchLeaves(leaves, k, dst)
+	rs, err := searchStateLeaves(st, leaves, k, dst)
 	tr.Span("search", searchStart, ErrorClass(err))
 	return rs, err
 }
@@ -251,15 +364,39 @@ func (c *Client) searchAll(ctx context.Context, queries []string, k int, opts Ba
 	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
+	st := c.cur()
 	nodes := make([]search.Node, len(queries))
 	for i, q := range queries {
-		node, err := c.parse(q)
+		node, err := parseWithEngine(st.sys.Engine, q)
 		if err != nil {
 			return nil, fmt.Errorf("query %d: %w", i, err)
 		}
 		nodes[i] = node
 	}
-	return c.sys.SearchAll(ctx, nodes, k, opts)
+	return searchStateAll(ctx, st, nodes, k, opts)
+}
+
+// searchStateAll is the batch form of searchStateNode: the delta-free
+// path keeps the system's batch layer, the delta path fans the two-source
+// merge out over the same bounded worker pool. The whole batch runs on
+// the pinned state, even if an ingest or compaction lands mid-batch.
+func searchStateAll(ctx context.Context, st *clientState, nodes []search.Node, k int, opts BatchOptions) ([][]Result, error) {
+	if st.delta == nil {
+		return st.sys.SearchAll(ctx, nodes, k, opts)
+	}
+	out := make([][]Result, len(nodes))
+	err := core.ForEach(ctx, len(nodes), opts.Workers, func(i int) error {
+		rs, err := searchStateNode(st, nodes[i], k)
+		if err != nil {
+			return fmt.Errorf("search %d: %w", i, err)
+		}
+		out[i] = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Expand runs the online cycle-based expansion pipeline of the paper's
@@ -292,7 +429,7 @@ func (c *Client) expand(ctx context.Context, keywords string, opts []ExpandOptio
 	}
 	tr := trace.FromContext(ctx)
 	start := time.Now()
-	exp, outcome, err := c.sys.ExpandOutcome(ctx, keywords, eopts)
+	exp, outcome, err := c.cur().sys.ExpandOutcome(ctx, keywords, eopts)
 	if tr != nil {
 		// The cache outcome of the expand lookup rides in the span detail.
 		tr.Add("expand", start, -1, 0, false, ErrorClass(err), outcome.String())
@@ -319,7 +456,7 @@ func (c *Client) expandAll(ctx context.Context, keywords []string, bopts BatchOp
 	if err != nil {
 		return nil, err
 	}
-	return c.sys.ExpandAll(ctx, keywords, eopts, bopts)
+	return c.cur().sys.ExpandAll(ctx, keywords, eopts, bopts)
 }
 
 // SearchExpansion evaluates an expansion end to end: it writes the
@@ -339,11 +476,12 @@ func (c *Client) searchExpansion(ctx context.Context, exp *Expansion, k int) ([]
 	if err := c.ready(ctx); err != nil {
 		return nil, false, err
 	}
-	node, ok := exp.Query(c.sys)
+	st := c.cur()
+	node, ok := exp.Query(st.sys)
 	if !ok {
 		return nil, false, nil
 	}
-	rs, err := c.sys.Engine.Search(node, k)
+	rs, err := searchStateNode(st, node, k)
 	return rs, true, err
 }
 
@@ -362,13 +500,14 @@ func (c *Client) searchExpansions(ctx context.Context, exps []*Expansion, k int,
 	if err := c.ready(ctx); err != nil {
 		return nil, err
 	}
+	st := c.cur()
 	type job struct {
 		idx  int
 		node search.Node
 	}
 	jobs := make([]job, 0, len(exps))
 	for i, exp := range exps {
-		if node, ok := exp.Query(c.sys); ok {
+		if node, ok := exp.Query(st.sys); ok {
 			jobs = append(jobs, job{idx: i, node: node})
 		}
 	}
@@ -377,7 +516,7 @@ func (c *Client) searchExpansions(ctx context.Context, exps []*Expansion, k int,
 	for i, j := range jobs {
 		nodes[i] = j.node
 	}
-	rs, err := c.sys.SearchAll(ctx, nodes, k, opts)
+	rs, err := searchStateAll(ctx, st, nodes, k, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -396,16 +535,17 @@ type Entity struct {
 // Link computes L(q.k): the main articles the keywords mention, by
 // largest-substring entity linking with redirect synonyms.
 func (c *Client) Link(keywords string) []Entity {
-	ids := c.sys.LinkKeywords(keywords)
+	sys := c.cur().sys
+	ids := sys.LinkKeywords(keywords)
 	out := make([]Entity, len(ids))
 	for i, id := range ids {
-		out[i] = Entity{ID: id, Title: c.sys.Snapshot.Name(id)}
+		out[i] = Entity{ID: id, Title: sys.Snapshot.Name(id)}
 	}
 	return out
 }
 
 // Title returns the display title of a knowledge-base node.
-func (c *Client) Title(id NodeID) string { return c.sys.Snapshot.Name(id) }
+func (c *Client) Title(id NodeID) string { return c.cur().sys.Snapshot.Name(id) }
 
 // Evaluate writes the paper's title query for the given articles (exact
 // phrases; the raw keywords back the query off when no article has a
@@ -416,5 +556,5 @@ func (c *Client) Evaluate(ctx context.Context, keywords string, articles []NodeI
 	if err := c.ready(ctx); err != nil {
 		return 0, nil, err
 	}
-	return c.sys.EvaluateArticles(keywords, articles, newRelevance(relevant))
+	return c.cur().sys.EvaluateArticles(keywords, articles, newRelevance(relevant))
 }

@@ -22,6 +22,7 @@ var opPaths = map[string]string{
 	"search_batch": "/v1/search/batch",
 	"expand":       "/v1/expand",
 	"expand_batch": "/v1/expand/batch",
+	"ingest":       "/v1/admin/ingest",
 }
 
 type mixEntry struct {
@@ -44,7 +45,7 @@ func parseMix(s string) ([]mixEntry, error) {
 			return nil, fmt.Errorf("mix entry %q is not name=weight", part)
 		}
 		if _, known := opPaths[name]; !known {
-			return nil, fmt.Errorf("mix entry %q: unknown op (have search, search_batch, expand, expand_batch)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown op (have search, search_batch, expand, expand_batch, ingest)", part)
 		}
 		if seen[name] {
 			return nil, fmt.Errorf("mix names %s twice", name)
@@ -78,6 +79,15 @@ func buildBodies(op string, queries []string, k, batch int) ([][]byte, error) {
 			payload = map[string]any{"keywords": q}
 		case "expand_batch":
 			payload = map[string]any{"keywords": rotate(queries, i, batch)}
+		case "ingest":
+			// Documents carry no external id: ids must be unique across the
+			// whole run, and an anonymous document can never collide. The
+			// query text doubles as the indexed description, so ingested
+			// documents join the same vocabulary the search ops probe.
+			payload = map[string]any{"documents": []map[string]any{{
+				"name":  fmt.Sprintf("qload-%d.jpg", i),
+				"texts": []map[string]any{{"lang": "en", "description": q}},
+			}}}
 		default:
 			return nil, fmt.Errorf("unknown op %q", op)
 		}

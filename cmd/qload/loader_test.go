@@ -125,6 +125,59 @@ func TestRunAgainstServer(t *testing.T) {
 	}
 }
 
+// TestIngestOp drives the ingest op against a stub /v1/admin/ingest and
+// pins the wire shape: one anonymous document per request (no external
+// id, so repeated runs can never collide) whose English description is a
+// query string.
+func TestIngestOp(t *testing.T) {
+	var ingests atomic.Uint64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/admin/ingest", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Documents []struct {
+				ID    string `json:"id"`
+				Name  string `json:"name"`
+				Texts []struct {
+					Lang        string `json:"lang"`
+					Description string `json:"description"`
+				} `json:"texts"`
+			} `json:"documents"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Documents) != 1 {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		d := req.Documents[0]
+		if d.ID != "" || d.Name == "" || len(d.Texts) != 1 || d.Texts[0].Description == "" {
+			http.Error(w, "bad document", http.StatusBadRequest)
+			return
+		}
+		ingests.Add(1)
+		w.Write([]byte(`{"status":"ok","ingested":1,"delta_docs":1,"delta_bytes":64,"generation":1,"took_ms":0.1}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	rep, err := run(loadConfig{
+		Target:      srv.URL,
+		Connections: 2,
+		Duration:    200 * time.Millisecond,
+		Mix:         []mixEntry{{"ingest", 1}},
+		K:           1,
+		Batch:       1,
+		Queries:     []string{"alpha", "beta"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 || rep.Requests == 0 {
+		t.Fatalf("ingest run: %d requests, %d errors", rep.Requests, rep.Errors)
+	}
+	if rep.Ops["ingest"].Requests != ingests.Load() {
+		t.Errorf("ingest op count %d, server saw %d", rep.Ops["ingest"].Requests, ingests.Load())
+	}
+}
+
 // TestRunPaced pins the ticket pacer: at -rps R for duration D the fleet
 // sends ≈ R·D requests regardless of how many connections it has.
 func TestRunPaced(t *testing.T) {

@@ -13,8 +13,12 @@
 //	      [-k 15] [-batch 4] [-queries "a,b"] [-queryfile FILE] \
 //	      [-json out.json] [-meta key=value]...
 //
-// The mix weights the four POST endpoints (search, search_batch, expand,
-// expand_batch). -rps 0 runs open throttle: every connection issues
+// The mix weights the five POST endpoints (search, search_batch, expand,
+// expand_batch, ingest). The ingest op exercises the live write path:
+// each request appends one anonymous document (no external id, so no
+// collisions) built from a query string to the server's delta segment —
+// pair it with qserve -auto-compact so a long run folds the segment
+// instead of filling it. -rps 0 runs open throttle: every connection issues
 // requests back to back. A positive -rps paces the fleet with a shared
 // atomic ticket counter — ticket t is sent at start + t/rps, whichever
 // worker draws it, so the offered load is independent of per-connection

@@ -18,9 +18,20 @@
 //	POST /v1/expand        {"keywords": "...", "k": 15, "max_features": 10, ...}
 //	POST /v1/expand/batch  {"keywords": ["...", ...], "workers": 0}
 //	POST /v1/admin/reload  {"manifest": "..."} (pool only; empty body = same path)
+//	POST /v1/admin/ingest  {"documents": [{"id": "...", "name": "...", "texts": [...]}, ...]}
+//	POST /v1/admin/compact {} (fold the delta into a fresh generation; body ignored)
 //	GET  /v1/healthz
 //	GET  /v1/stats
 //	GET  /v1/metrics       (Prometheus text format: request/error/cache counters)
+//
+// Ingested documents join the in-memory delta segment and are searchable
+// by the time the POST returns, merged with the base snapshot under
+// combined collection statistics — rankings are bit-identical to a full
+// rebuild over the merged corpus. -delta-cap bounds the segment (429
+// delta_full past it) and -auto-compact N folds it into a fresh
+// generation in the background once it holds N documents; compaction is
+// also available on demand via POST /v1/admin/compact. A topology-backed
+// coordinator is read-only: ingest answers 409.
 //
 // The serving state is opened through querygraph.OpenBackend, which
 // sniffs the artifact kind, and driven through the querygraph.Backend
@@ -90,6 +101,9 @@ func main() {
 		timeout = flag.Duration("timeout", 5*time.Second, "default per-request timeout (requests may lower it via timeout_ms)")
 		cache   = flag.Int("cache", 0, "expansion cache capacity (0 = default 1024, negative disables)")
 
+		deltaCap    = flag.Int("delta-cap", 0, "live delta segment capacity in documents (0 = default 65536, negative = reject all ingest)")
+		autoCompact = flag.Int("auto-compact", 0, "fold the delta into a fresh generation in the background once it holds this many documents (0 disables)")
+
 		traceRing   = flag.Int("trace-ring", 256, "flight-recorder capacity: last N completed request traces served at /v1/debug/requests on the admin listener")
 		traceSample = flag.Int("trace-sample", 1, "trace 1 in N requests (1 = every request, 0 disables tracing)")
 		slowlogMS   = flag.Float64("slowlog-ms", 0, "log the full span tree of any request at least this many milliseconds slow (0 disables)")
@@ -104,6 +118,12 @@ func main() {
 	opts := []querygraph.Option{querygraph.WithObserver(metrics)}
 	if *cache != 0 {
 		opts = append(opts, querygraph.WithExpandCache(*cache))
+	}
+	if *deltaCap != 0 {
+		opts = append(opts, querygraph.WithDeltaCapacity(*deltaCap))
+	}
+	if *autoCompact != 0 {
+		opts = append(opts, querygraph.WithAutoCompact(*autoCompact))
 	}
 	start := time.Now()
 	be, err := querygraph.OpenBackend(*load, opts...)

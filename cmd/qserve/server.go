@@ -81,6 +81,8 @@ func newServer(be querygraph.Backend, timeout time.Duration, metrics *querygraph
 	s.mux.HandleFunc("POST /v1/expand", s.handleExpand)
 	s.mux.HandleFunc("POST /v1/expand/batch", s.handleExpandBatch)
 	s.mux.HandleFunc("POST /v1/admin/reload", s.handleReload)
+	s.mux.HandleFunc("POST /v1/admin/ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /v1/admin/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	if metrics != nil {
@@ -633,6 +635,136 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// --- admin: live ingest and compaction ----------------------------------
+
+// ingestDoc is the wire shape of one document to ingest, mirroring the
+// ImageCLEF record the indexer understands (corpus.Image). Only the
+// English text section, the file name and the wiki-template comment feed
+// the index (the paper's Section 2.1 extraction); id is an optional
+// external identifier that must be unique across the base snapshot and
+// the delta segment.
+type ingestDoc struct {
+	ID      string       `json:"id,omitempty"`
+	File    string       `json:"file,omitempty"`
+	Name    string       `json:"name,omitempty"`
+	Texts   []ingestText `json:"texts,omitempty"`
+	Comment string       `json:"comment,omitempty"`
+	License string       `json:"license,omitempty"`
+}
+
+type ingestText struct {
+	Lang        string          `json:"lang,omitempty"`
+	Description string          `json:"description,omitempty"`
+	Comment     string          `json:"comment,omitempty"`
+	Captions    []ingestCaption `json:"captions,omitempty"`
+}
+
+type ingestCaption struct {
+	Article string `json:"article,omitempty"`
+	Value   string `json:"value"`
+}
+
+func (d ingestDoc) document() querygraph.Document {
+	doc := querygraph.Document{
+		ID:      d.ID,
+		File:    d.File,
+		Name:    d.Name,
+		Comment: d.Comment,
+		License: d.License,
+	}
+	for _, t := range d.Texts {
+		text := querygraph.DocumentText{
+			Lang:        t.Lang,
+			Description: t.Description,
+			Comment:     t.Comment,
+		}
+		for _, c := range t.Captions {
+			text.Captions = append(text.Captions, querygraph.Caption{Article: c.Article, Value: c.Value})
+		}
+		doc.Texts = append(doc.Texts, text)
+	}
+	return doc
+}
+
+type ingestRequest struct {
+	Documents []ingestDoc `json:"documents"`
+	TimeoutMS int64       `json:"timeout_ms"`
+}
+
+type ingestResponse struct {
+	Status     string  `json:"status"`
+	Ingested   int     `json:"ingested"`
+	DeltaDocs  int     `json:"delta_docs"`
+	DeltaBytes int64   `json:"delta_bytes"`
+	Generation uint64  `json:"generation"`
+	TookMS     float64 `json:"took_ms"`
+}
+
+// handleIngest appends a batch of documents to the backend's in-memory
+// delta segment; they are searchable by the time the 200 arrives. The
+// batch is atomic: a duplicate external id rejects the whole batch (400),
+// a full segment answers 429 delta_full (compact, then retry), and a
+// read-only backend (a fan-out coordinator) answers 409.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.validTimeout(w, req.TimeoutMS) {
+		return
+	}
+	docs := make([]querygraph.Document, len(req.Documents))
+	for i, d := range req.Documents {
+		docs[i] = d.document()
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	st, err := s.backend.Ingest(ctx, docs)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ingestResponse{
+		Status:     "ok",
+		Ingested:   st.Ingested,
+		DeltaDocs:  st.DeltaDocs,
+		DeltaBytes: st.DeltaBytes,
+		Generation: st.Generation,
+		TookMS:     ms(start),
+	})
+}
+
+type compactResponse struct {
+	Status     string  `json:"status"`
+	Compacted  int     `json:"compacted"`
+	Documents  int     `json:"documents"`
+	Generation uint64  `json:"generation"`
+	TookMS     float64 `json:"took_ms"`
+}
+
+// handleCompact folds the delta segment into a fresh snapshot generation
+// and hot-swaps it with zero downtime; search results are identical
+// before and after, only the generation counter moves. An empty delta is
+// a successful no-op with the generation unchanged. The body is ignored.
+func (s *server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	st, err := s.backend.Compact(ctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, compactResponse{
+		Status:     "ok",
+		Compacted:  st.Compacted,
+		Documents:  st.Documents,
+		Generation: st.Generation,
+		TookMS:     ms(start),
+	})
+}
+
 type healthzResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -642,6 +774,11 @@ type healthzResponse struct {
 	// topology; Generation only when serving a pool.
 	Shards     int    `json:"shards,omitempty"`
 	Generation uint64 `json:"generation,omitempty"`
+	// DeltaDocuments and PendingBytes surface the live delta segment:
+	// documents ingested since the last compaction and the heap they hold
+	// until a compaction folds them into the base snapshot.
+	DeltaDocuments int   `json:"delta_documents"`
+	PendingBytes   int64 `json:"pending_bytes"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -657,10 +794,14 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Documents = ps.Documents
 		resp.Shards = len(ps.Shards)
 		resp.Generation = ps.Generation
+		resp.DeltaDocuments = ps.Delta.Documents
+		resp.PendingBytes = ps.Delta.PendingBytes
 	} else {
 		st := s.backend.Stats()
 		resp.Articles = st.Articles
 		resp.Documents = st.Documents
+		resp.DeltaDocuments = st.Delta.Documents
+		resp.PendingBytes = st.Delta.PendingBytes
 		if s.remote != nil {
 			resp.Shards = s.remote.NumShards()
 		}
@@ -698,6 +839,17 @@ type statsResponse struct {
 	Shards     []querygraph.ShardStats `json:"shards,omitempty"`
 	Generation uint64                  `json:"generation,omitempty"`
 	Reloads    uint64                  `json:"reloads"`
+	// Delta is the live-segment view: documents ingested since the last
+	// compaction, the bytes a compaction would fold, the compaction
+	// generation and the number of compactions run.
+	Delta deltaStatsJSON `json:"delta"`
+}
+
+type deltaStatsJSON struct {
+	Documents    int    `json:"documents"`
+	PendingBytes int64  `json:"pending_bytes"`
+	Generation   uint64 `json:"generation"`
+	Compactions  uint64 `json:"compactions"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -721,6 +873,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Links = st.Links
 	resp.Documents = st.Documents
 	resp.BenchmarkQueries = st.BenchmarkQueries
+	resp.Delta = deltaStatsJSON{
+		Documents:    st.Delta.Documents,
+		PendingBytes: st.Delta.PendingBytes,
+		Generation:   st.Delta.Generation,
+		Compactions:  st.Delta.Compactions,
+	}
 	resp.ExpandCache = cacheStatsJSON{
 		Hits:     st.Cache.Hits,
 		Misses:   st.Cache.Misses,
@@ -796,7 +954,9 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 // use (one switch can't drift from the other): 408 for a deadline the
 // request ran into, 499 (nginx convention) for a client that went away,
 // 400 for invalid queries or options, 503 for a backend already retired
-// by shutdown or a shard fleet below quorum, 500 for everything else.
+// by shutdown or a shard fleet below quorum, 409 for a write against a
+// read-only backend, 429 for a delta segment at capacity, 500 for
+// everything else.
 // The body is always an errorResponse. ErrPartialResult never reaches
 // here: the handlers serve a degraded 200 with the partial flag instead.
 func (s *server) writeError(w http.ResponseWriter, err error) {
@@ -812,6 +972,14 @@ func (s *server) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusBadRequest
 	case "closed":
 		status, code = http.StatusServiceUnavailable, "shutting_down"
+	case "read_only":
+		// The backend has no write path (a fan-out coordinator): ingest
+		// against a shard server or a pool-backed deployment instead.
+		status = http.StatusConflict
+	case "delta_full":
+		// The delta segment is at capacity; a compaction frees it. Retry
+		// after POST /v1/admin/compact (or wait for the auto-compactor).
+		status = http.StatusTooManyRequests
 	case "shard_unavailable":
 		// The fan-out coordinator could not reach quorum: the data plane is
 		// down or degraded past policy, which is a service condition (retry

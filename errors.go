@@ -62,4 +62,17 @@ var (
 	// service check errors.Is(err, ErrPartialResult) and keep the results;
 	// cmd/qserve surfaces it as "partial": true.
 	ErrPartialResult = errors.New("querygraph: partial result (one or more shards dropped)")
+
+	// ErrReadOnly is returned by Ingest and Compact on a backend that
+	// cannot accept writes — today the Remote coordinator, whose shards
+	// own their snapshots; ingest against a fleet goes to the shards
+	// themselves. cmd/qserve surfaces it as 409.
+	ErrReadOnly = errors.New("querygraph: backend is read-only")
+
+	// ErrDeltaFull is returned by Ingest when accepting the batch would
+	// push the in-memory delta segment past its configured capacity
+	// (WithDeltaCapacity). The segment is left unchanged; callers compact
+	// (or wait for the auto-compactor) and retry. cmd/qserve surfaces it
+	// as 429.
+	ErrDeltaFull = errors.New("querygraph: delta segment full")
 )

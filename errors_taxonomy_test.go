@@ -28,6 +28,8 @@ var sentinelClasses = map[string]struct {
 	"ErrBadTopology":      {ErrBadTopology, "bad_topology"},
 	"ErrShardUnavailable": {ErrShardUnavailable, "shard_unavailable"},
 	"ErrPartialResult":    {ErrPartialResult, "partial_result"},
+	"ErrReadOnly":         {ErrReadOnly, "read_only"},
+	"ErrDeltaFull":        {ErrDeltaFull, "delta_full"},
 }
 
 // declaredSentinels parses errors.go and returns every package-level

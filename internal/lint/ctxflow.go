@@ -19,14 +19,14 @@ import (
 //     deadline, which is exactly the bug class that broke deadline tests
 //     before PR 3 threaded ctx through the stack.
 //  3. On a type annotated //qlint:serving, every exported method whose
-//     name starts with Search or Expand (the query-path naming scheme of
-//     the Backend contract) must take ctx context.Context first, so new
-//     query paths added to Client/Pool/Backend cannot forget the
-//     contract.
+//     name starts with Search, Expand, Ingest or Compact (the
+//     query/write-path naming scheme of the Backend contract) must take
+//     ctx context.Context first, so new serving paths added to
+//     Client/Pool/Backend cannot forget the contract.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "context.Context is the first parameter everywhere; context.Background/TODO only in main and tests; " +
-		"exported Search*/Expand* methods on //qlint:serving types take ctx first",
+		"exported Search*/Expand*/Ingest*/Compact* methods on //qlint:serving types take ctx first",
 	Run: runCtxflow,
 }
 
@@ -96,11 +96,12 @@ func checkCtxPosition(pass *Pass, ft *ast.FuncType, name string) {
 	}
 }
 
-// checkServingMethod requires exported Search*/Expand* methods of a
-// //qlint:serving type to take ctx context.Context first.
+// checkServingMethod requires exported Search*/Expand*/Ingest*/Compact*
+// methods of a //qlint:serving type to take ctx context.Context first.
 func checkServingMethod(pass *Pass, ft *ast.FuncType, name string) {
 	if !ast.IsExported(name) ||
-		(!strings.HasPrefix(name, "Search") && !strings.HasPrefix(name, "Expand")) {
+		(!strings.HasPrefix(name, "Search") && !strings.HasPrefix(name, "Expand") &&
+			!strings.HasPrefix(name, "Ingest") && !strings.HasPrefix(name, "Compact")) {
 		return
 	}
 	if ft.Params == nil || len(ft.Params.List) == 0 || !isContextContext(ft.Params.List[0].Type) {

@@ -30,10 +30,10 @@ var Observehook = &Analyzer{
 	Run: runObservehook,
 }
 
-// observedMethods is the query-path method set of the Backend contract
-// plus the Pool's reload path. Close and the cheap accessors are
-// deliberately outside: they have no observation in the Observer
-// interface.
+// observedMethods is the query- and write-path method set of the
+// Backend contract plus the Pool's reload path. Close and the cheap
+// accessors are deliberately outside: they have no observation in the
+// Observer interface.
 var observedMethods = map[string]bool{
 	"Search":           true,
 	"SearchAll":        true,
@@ -42,10 +42,12 @@ var observedMethods = map[string]bool{
 	"SearchExpansion":  true,
 	"SearchExpansions": true,
 	"Reload":           true,
+	"Ingest":           true,
+	"Compact":          true,
 }
 
 // hookNames are the observers fan-out helpers (observe.go).
-var hookNames = []string{"search", "expand", "batch", "reload"}
+var hookNames = []string{"search", "expand", "batch", "reload", "ingest", "compact"}
 
 func runObservehook(pass *Pass) {
 	observed := typeDirectives(pass.Pkg, "observed")

@@ -1,0 +1,127 @@
+package search
+
+import "fmt"
+
+// Source is one index of a logically concatenated collection: its engine
+// plus the local→global doc-id translation. The live runtime searches two
+// sources per request — the base snapshot and the in-memory delta segment
+// (internal/live) — but the algorithm is the same scatter the sharded
+// runtime runs over N partitions.
+type Source struct {
+	// Engine scores this source's slice of the collection.
+	Engine *Engine
+	// DocMap translates this source's dense local ids to global ids
+	// (shard-style partitions). Nil means the identity shifted by Offset.
+	DocMap []int32
+	// Offset is added to local ids when DocMap is nil — the delta
+	// segment's case, where local doc j is global baseDocs+j.
+	Offset int32
+}
+
+// SearchSources evaluates a query across multiple sources as if their
+// documents lived in one index: plan the flattened leaves against every
+// source, sum each leaf's collection frequency (exact integer addition),
+// score every source under the same merged statistics, translate doc
+// ids, and merge by (score desc, global doc asc). Because a document's
+// Dirichlet score depends only on its own term frequencies and lengths
+// plus the merged collection statistics, the ranking is bit-identical to
+// a cold rebuild holding the same documents — the same argument (and the
+// same Plan/SearchPlan machinery) that makes the sharded runtime exact.
+//
+// totalTokens is the merged collection length (the sum of the sources'
+// TotalTokens). k <= 0 ranks every candidate. A query with no matching
+// documents returns an empty, non-nil slice.
+func SearchSources(sources []Source, totalTokens int64, q Node, k int) ([]Result, error) {
+	leaves, err := Flatten(q)
+	if err != nil {
+		return nil, err
+	}
+	return SearchSourcesLeaves(sources, totalTokens, leaves, k, nil)
+}
+
+// SearchSourcesLeaves is SearchSources on pre-flattened leaves, reusing
+// dst's storage for the returned ranking (dst may be nil). Callers with
+// a warm leaves cache (Engine.LeavesForQuery) use this form to skip the
+// parse.
+func SearchSourcesLeaves(sources []Source, totalTokens int64, leaves []Leaf, k int, dst []Result) ([]Result, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("search: no sources")
+	}
+	plans := make([]*Plan, len(sources))
+	leafCF := make([]int64, len(leaves))
+	for i := range sources {
+		plans[i] = sources[i].Engine.PlanLeaves(leaves)
+		for j := range leafCF {
+			leafCF[j] += plans[i].LocalCF(j)
+		}
+	}
+	stats := &Stats{TotalTokens: totalTokens, LeafCF: leafCF}
+	locals := make([][]Result, len(sources))
+	for i := range sources {
+		rs, err := sources[i].Engine.SearchPlan(plans[i], k, stats)
+		if err != nil {
+			return nil, err
+		}
+		if dm := sources[i].DocMap; dm != nil {
+			for j := range rs {
+				rs[j].Doc = dm[rs[j].Doc]
+			}
+		} else if off := sources[i].Offset; off != 0 {
+			for j := range rs {
+				rs[j].Doc += off
+			}
+		}
+		locals[i] = rs
+	}
+	return MergeRankedScratch(dst, locals, k, make([]int, len(locals))), nil
+}
+
+// MergeRanked merges per-source rankings — each ordered by (score desc,
+// global doc asc), the engine's determinism contract — into the global
+// top k. (score, doc) is a total order, so the merged prefix is exactly
+// the single-index ranking; k <= 0 keeps every candidate.
+func MergeRanked(locals [][]Result, k int) []Result {
+	return MergeRankedScratch(nil, locals, k, make([]int, len(locals)))
+}
+
+// MergeRankedScratch is MergeRanked with caller-owned storage: the
+// ranking is appended into dst (nil allocates fresh, and the result is
+// always non-nil), and cursors is scratch of at least len(locals). The
+// sharded runtime's hot path supplies both so a scatter merge allocates
+// nothing.
+func MergeRankedScratch(dst []Result, locals [][]Result, k int, cursors []int) []Result {
+	total := 0
+	for i, rs := range locals {
+		total += len(rs)
+		cursors[i] = 0
+	}
+	if k <= 0 || k > total {
+		k = total
+	}
+	merged := dst
+	if merged == nil {
+		merged = make([]Result, 0, k)
+	} else {
+		merged = merged[:0]
+	}
+	for len(merged) < k {
+		best := -1
+		for s, rs := range locals {
+			c := cursors[s]
+			if c >= len(rs) {
+				continue
+			}
+			if best < 0 {
+				best = s
+				continue
+			}
+			b := locals[best][cursors[best]]
+			if rs[c].Score > b.Score || (rs[c].Score == b.Score && rs[c].Doc < b.Doc) {
+				best = s
+			}
+		}
+		merged = append(merged, locals[best][cursors[best]])
+		cursors[best]++
+	}
+	return merged
+}

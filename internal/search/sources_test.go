@@ -1,0 +1,134 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/querygraph/querygraph/internal/index"
+	"github.com/querygraph/querygraph/internal/text"
+)
+
+// buildTokenEngine indexes the token docs and wraps them in an engine.
+func buildTokenEngine(t *testing.T, docs [][]string) *Engine {
+	t.Helper()
+	ix := index.New()
+	for _, d := range docs {
+		ix.AddDocument(d)
+	}
+	e, err := NewEngine(ix, text.NewAnalyzer(false, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSearchSourcesMatchesMonolith pins the live-index scoring rule: a
+// base+delta split scored under merged collection statistics ranks
+// bit-identically (same docs, same float scores) to one index holding
+// every document.
+func TestSearchSourcesMatchesMonolith(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"motif", "graph", "query", "expansion", "cycle", "hub"}
+	queries := []string{
+		"motif graph",
+		"#combine(motif #1(graph query))",
+		"#weight(2 cycle 1 #1(motif graph) 3 hub)",
+		"expansion",
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(30)
+		docs := make([][]string, n)
+		for i := range docs {
+			ln := rng.Intn(10)
+			for j := 0; j < ln; j++ {
+				docs[i] = append(docs[i], vocab[rng.Intn(len(vocab))])
+			}
+		}
+		cut := rng.Intn(n + 1)
+		mono := buildTokenEngine(t, docs)
+		base := buildTokenEngine(t, docs[:cut])
+		delta := buildTokenEngine(t, docs[cut:])
+		sources := []Source{
+			{Engine: base},
+			{Engine: delta, Offset: int32(cut)},
+		}
+		total := base.Index().TotalTokens() + delta.Index().TotalTokens()
+		for _, q := range queries {
+			for _, k := range []int{0, 1, 3, 1000} {
+				node, err := mono.Parse(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := mono.Search(node, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := SearchSources(sources, total, node, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("trial %d cut %d query %q k %d:\nmono  %v\nsplit %v",
+						trial, cut, q, k, want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchSourcesDocMap checks the shard-style translation (explicit
+// DocMap) alongside the delta-style Offset on the same scatter.
+func TestSearchSourcesDocMap(t *testing.T) {
+	docs := [][]string{
+		{"motif", "graph"},
+		{"graph", "cycle"},
+		{"motif", "hub", "motif"},
+		{"query"},
+	}
+	mono := buildTokenEngine(t, docs)
+	// Shard-style: even docs in source 0, odd docs in source 1.
+	a := buildTokenEngine(t, [][]string{docs[0], docs[2]})
+	b := buildTokenEngine(t, [][]string{docs[1], docs[3]})
+	sources := []Source{
+		{Engine: a, DocMap: []int32{0, 2}},
+		{Engine: b, DocMap: []int32{1, 3}},
+	}
+	node, err := mono.Parse("#combine(motif graph)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := mono.Search(node, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SearchSources(sources, mono.Index().TotalTokens(), node, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("docmap scatter:\nmono  %v\nsplit %v", want, got)
+	}
+}
+
+// TestSearchSourcesEmpty pins the empty contracts: a no-match query
+// returns an empty non-nil slice, and zero sources is an error.
+func TestSearchSourcesEmpty(t *testing.T) {
+	base := buildTokenEngine(t, [][]string{{"motif"}})
+	delta := buildTokenEngine(t, nil)
+	node, err := base.Parse("absentterm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := SearchSources([]Source{{Engine: base}, {Engine: delta, Offset: 1}},
+		base.Index().TotalTokens(), node, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs == nil || len(rs) != 0 {
+		t.Fatalf("no-match ranking: want empty non-nil, got %#v", rs)
+	}
+	if _, err := SearchSources(nil, 0, node, 5); err == nil {
+		t.Fatal("zero sources: want error")
+	}
+}

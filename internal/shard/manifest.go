@@ -93,30 +93,7 @@ func WriteShards(dir string, a *store.Archive, n int) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	m := &Manifest{Version: ManifestVersion, ShardCount: n, GlobalDocs: a.Index.NumDocs()}
-	for s, part := range parts {
-		name := fmt.Sprintf("shard-%03d.qgs", s)
-		if err := writeArchiveFile(filepath.Join(dir, name), part); err != nil {
-			return nil, err
-		}
-		m.Shards = append(m.Shards, ManifestShard{ID: s, Path: name, Docs: part.Index.NumDocs()})
-	}
-	blob, err := json.MarshalIndent(m, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	manifestPath := filepath.Join(dir, ManifestFileName)
-	tmp := manifestPath + ".tmp"
-	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmp, manifestPath); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return WriteArchives(filepath.Join(dir, ManifestFileName), parts)
 }
 
 func writeArchiveFile(path string, a *store.Archive) error {

@@ -211,6 +211,24 @@ func (s *Set) Search(ctx context.Context, node search.Node, k int) ([]search.Res
 	return s.searchNode(node, k, len(s.systems) > 1)
 }
 
+// SearchExtra is Search with one extra in-memory source appended to the
+// shard fan-out — the live delta segment sitting above this generation.
+// Every source (shards and extra alike) scores under the summed collection
+// statistics (globalTokens + extraTokens, per-leaf collection frequencies
+// aggregated across all sources), so the merged ranking is bit-identical
+// to a monolithic index containing the base and extra documents together.
+func (s *Set) SearchExtra(ctx context.Context, node search.Node, k int, extra search.Source, extraTokens int64) ([]search.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sources := make([]search.Source, 0, len(s.systems)+1)
+	for i, sys := range s.systems {
+		sources = append(sources, search.Source{Engine: sys.Engine, DocMap: s.docMaps[i]})
+	}
+	sources = append(sources, extra)
+	return search.SearchSources(sources, s.globalTokens+extraTokens, node, k)
+}
+
 // SearchAll evaluates a batch of parsed queries on a bounded worker pool
 // (input order preserved, fail-fast, cancel-aware — the batch contract of
 // core.System.SearchAll). The batch already saturates the cores with one
@@ -315,42 +333,12 @@ func (s *Set) eachShard(concurrent bool, fn func(i int) error) error {
 	return nil
 }
 
-// mergeRanked merges the per-shard rankings — each already ordered by
-// (score desc, global doc asc), the engine's determinism contract — into
-// the global top k by repeatedly taking the best head among the shard
-// cursors. (score, doc) is a total order, so the merged prefix is exactly
-// the single-system ranking; k <= 0 keeps every candidate. cursors is
-// caller-provided scratch of at least len(locals).
+// mergeRanked merges the per-shard rankings into the global top k.
+// The algorithm lives in search.MergeRankedScratch, shared with the
+// live runtime's base+delta merge; cursors is caller-provided scratch
+// of at least len(locals).
 func mergeRanked(locals [][]search.Result, k int, cursors []int) []search.Result {
-	total := 0
-	for i, rs := range locals {
-		total += len(rs)
-		cursors[i] = 0
-	}
-	if k <= 0 || k > total {
-		k = total
-	}
-	merged := make([]search.Result, 0, k)
-	for len(merged) < k {
-		best := -1
-		for s, rs := range locals {
-			c := cursors[s]
-			if c >= len(rs) {
-				continue
-			}
-			if best < 0 {
-				best = s
-				continue
-			}
-			b := locals[best][cursors[best]]
-			if rs[c].Score > b.Score || (rs[c].Score == b.Score && rs[c].Doc < b.Doc) {
-				best = s
-			}
-		}
-		merged = append(merged, locals[best][cursors[best]])
-		cursors[best]++
-	}
-	return merged
+	return search.MergeRankedScratch(nil, locals, k, cursors)
 }
 
 // MergeRanked merges per-shard rankings — each ordered by (score desc,
@@ -359,7 +347,7 @@ func mergeRanked(locals [][]search.Result, k int, cursors []int) []search.Result
 // (querygraph.Remote), whose remote shards return rankings of the same
 // shape; sharing the merge is what keeps the two runtimes bit-identical.
 func MergeRanked(locals [][]search.Result, k int) []search.Result {
-	return mergeRanked(locals, k, make([]int, len(locals)))
+	return search.MergeRanked(locals, k)
 }
 
 // Expand runs the online expansion pipeline once on the replicated graph

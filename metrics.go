@@ -12,7 +12,7 @@ import (
 // metricClasses array below keeps it coupled to the label list at compile
 // time (growing ErrorClass's taxonomy without bumping this fails to
 // build, instead of indexing out of range at serve time).
-const numErrorClasses = 12
+const numErrorClasses = 14
 
 // metricClasses is the closed label set ErrorClass can produce (minus the
 // empty success class), so the per-class counters are fixed-size atomics
@@ -20,7 +20,8 @@ const numErrorClasses = 12
 var metricClasses = [numErrorClasses]string{
 	"timeout", "canceled", "closed", "invalid_query", "invalid_options",
 	"bad_manifest", "bad_snapshot", "no_benchmark",
-	"bad_topology", "shard_unavailable", "partial_result", "internal",
+	"bad_topology", "shard_unavailable", "partial_result",
+	"read_only", "delta_full", "internal",
 }
 
 func classIndex(class string) int {
@@ -55,7 +56,15 @@ func (c *opCounters) observe(durNanos int64, errClass string) {
 // to several backends; the counters then aggregate across them. The zero
 // value is ready to use.
 type MetricsObserver struct {
-	search, expand, batch, reload opCounters
+	search, expand, batch, reload, ingest, compact opCounters
+
+	// ingestedDocs counts documents accepted by successful Ingest calls;
+	// deltaDocs gauges the delta segment's current document count (set by
+	// every ingest, reset to 0 by a successful compaction); compactedDocs
+	// counts documents folded into new generations.
+	ingestedDocs  atomic.Uint64
+	deltaDocs     atomic.Uint64
+	compactedDocs atomic.Uint64
 
 	// cache[CacheOutcome] counts successful single-query expansions by
 	// how the expansion cache served them. Failed requests are excluded:
@@ -90,7 +99,7 @@ type MetricsObserver struct {
 	// protocol ops into one family: per-op attempt counts already exist
 	// above, and the attempt-latency distribution is dominated by plan/topk
 	// fan-out anyway.
-	searchHist, expandHist, rpcHist hist.Atomic
+	searchHist, expandHist, rpcHist, compactHist hist.Atomic
 }
 
 // numRPCOps sizes the per-op RPC counter array; rpcOpNames keeps it
@@ -116,8 +125,9 @@ func rpcOpIndex(op string) int {
 func NewMetricsObserver() *MetricsObserver { return &MetricsObserver{} }
 
 var (
-	_ Observer    = (*MetricsObserver)(nil)
-	_ RPCObserver = (*MetricsObserver)(nil)
+	_ Observer     = (*MetricsObserver)(nil)
+	_ RPCObserver  = (*MetricsObserver)(nil)
+	_ LiveObserver = (*MetricsObserver)(nil)
 )
 
 // ObserveSearch implements Observer.
@@ -169,6 +179,28 @@ func (m *MetricsObserver) ObserveReload(o ReloadObservation) {
 	m.generation.Store(o.Generation)
 }
 
+// ObserveIngest implements LiveObserver: Backend.Ingest calls.
+func (m *MetricsObserver) ObserveIngest(o IngestObservation) {
+	m.ingest.observe(int64(o.Duration), o.Err)
+	if o.Err == "" {
+		m.ingestedDocs.Add(uint64(o.Docs))
+	}
+	m.deltaDocs.Store(uint64(o.DeltaDocs))
+}
+
+// ObserveCompact implements LiveObserver: admin- and threshold-triggered
+// compactions. A successful compaction empties the delta segment and
+// advances the serving generation, so both gauges follow it.
+func (m *MetricsObserver) ObserveCompact(o CompactObservation) {
+	m.compact.observe(int64(o.Duration), o.Err)
+	m.compactHist.Record(o.Duration)
+	if o.Err == "" {
+		m.compactedDocs.Add(uint64(o.Compacted))
+		m.deltaDocs.Store(0)
+		m.generation.Store(o.Generation)
+	}
+}
+
 // MetricsSnapshot is a consistent-enough copy of the observer's counters
 // for programmatic assertions (each counter is read atomically; the set is
 // not a single atomic snapshot).
@@ -187,6 +219,14 @@ type MetricsSnapshot struct {
 	RPCs, RPCErrors                     uint64
 	RPCRetries, RPCHedges, RPCDeadlines uint64
 	PartialResults                      uint64
+	// Live-index counters: Ingest/Compact calls, documents accepted by
+	// successful ingests, the delta segment's current document count, and
+	// documents folded into new generations by successful compactions.
+	Ingests, IngestErrors   uint64
+	Compacts, CompactErrors uint64
+	IngestedDocs            uint64
+	DeltaDocs               uint64
+	CompactedDocs           uint64
 }
 
 // Snapshot reads the current counter values.
@@ -196,8 +236,13 @@ func (m *MetricsObserver) Snapshot() MetricsSnapshot {
 		Expands: m.expand.total.Load(), ExpandErrors: m.expand.errsTotal.Load(),
 		Batches: m.batch.total.Load(), BatchErrors: m.batch.errsTotal.Load(),
 		Reloads: m.reload.total.Load(), ReloadErrors: m.reload.errsTotal.Load(),
-		BatchItems: m.batchItems.Load(),
-		Generation: m.generation.Load(),
+		Ingests: m.ingest.total.Load(), IngestErrors: m.ingest.errsTotal.Load(),
+		Compacts: m.compact.total.Load(), CompactErrors: m.compact.errsTotal.Load(),
+		IngestedDocs:  m.ingestedDocs.Load(),
+		DeltaDocs:     m.deltaDocs.Load(),
+		CompactedDocs: m.compactedDocs.Load(),
+		BatchItems:    m.batchItems.Load(),
+		Generation:    m.generation.Load(),
 	}
 	for i := range s.Cache {
 		s.Cache[i] = m.cache[i].Load()
@@ -220,7 +265,11 @@ func (m *MetricsObserver) Snapshot() MetricsSnapshot {
 // querygraph_expand_cache_total by {outcome}, querygraph_batch_items_total,
 // full latency histograms (querygraph_search_duration_seconds,
 // querygraph_expand_duration_seconds,
-// querygraph_rpc_attempt_duration_seconds) and the
+// querygraph_rpc_attempt_duration_seconds,
+// querygraph_compact_duration_seconds), the live-index write-path
+// counters (querygraph_ingest_total, querygraph_ingested_documents_total,
+// querygraph_compactions_total, querygraph_compacted_documents_total,
+// the querygraph_delta_documents gauge) and the
 // querygraph_pool_generation gauge.
 func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 	ops := []struct {
@@ -231,6 +280,8 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 		{"expand", &m.expand},
 		{"batch", &m.batch},
 		{"reload", &m.reload},
+		{"ingest", &m.ingest},
+		{"compact", &m.compact},
 	}
 
 	p := func(format string, args ...any) error {
@@ -321,6 +372,7 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 		{"querygraph_search_duration_seconds", "Search latency distribution.", &m.searchHist},
 		{"querygraph_expand_duration_seconds", "Single-query expansion latency distribution.", &m.expandHist},
 		{"querygraph_rpc_attempt_duration_seconds", "Shard RPC attempt latency distribution, all protocol ops.", &m.rpcHist},
+		{"querygraph_compact_duration_seconds", "Compaction latency distribution.", &m.compactHist},
 	}
 	for _, hm := range hists {
 		if err := writeHistogram(w, hm.name, hm.help, hm.a.Snapshot()); err != nil {
@@ -337,6 +389,21 @@ func (m *MetricsObserver) WritePrometheus(w io.Writer) error {
 		return err
 	}
 	if err := p("# HELP querygraph_partial_results_total Requests answered degraded under the partial-failure policy.\n# TYPE querygraph_partial_results_total counter\nquerygraph_partial_results_total %d\n", m.partials.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP querygraph_ingest_total Ingest calls observed.\n# TYPE querygraph_ingest_total counter\nquerygraph_ingest_total %d\n", m.ingest.total.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP querygraph_ingested_documents_total Documents accepted by successful ingests.\n# TYPE querygraph_ingested_documents_total counter\nquerygraph_ingested_documents_total %d\n", m.ingestedDocs.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP querygraph_delta_documents Documents currently held in the in-memory delta segment.\n# TYPE querygraph_delta_documents gauge\nquerygraph_delta_documents %d\n", m.deltaDocs.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP querygraph_compactions_total Compactions observed.\n# TYPE querygraph_compactions_total counter\nquerygraph_compactions_total %d\n", m.compact.total.Load()); err != nil {
+		return err
+	}
+	if err := p("# HELP querygraph_compacted_documents_total Delta documents folded into new generations by successful compactions.\n# TYPE querygraph_compacted_documents_total counter\nquerygraph_compacted_documents_total %d\n", m.compactedDocs.Load()); err != nil {
 		return err
 	}
 	return p("# HELP querygraph_pool_generation Most recently observed reload generation (0 before any reload).\n# TYPE querygraph_pool_generation gauge\nquerygraph_pool_generation %d\n", m.generation.Load())

@@ -122,6 +122,86 @@ type RPCObserver interface {
 	ObserveRPC(RPCObservation)
 }
 
+// IngestObservation describes one completed Backend.Ingest call,
+// successful or not (a rejected batch — duplicate external id, full
+// delta, closed backend — observes with Docs = the submitted size and
+// DeltaDocs unchanged).
+type IngestObservation struct {
+	Duration time.Duration
+	// Docs is the number of documents submitted in this call.
+	Docs int
+	// DeltaDocs is the delta segment's document count after the call.
+	DeltaDocs int
+	Shards    int
+	Err       string
+}
+
+// CompactObservation describes one completed compaction — admin-
+// triggered (Backend.Compact) or fired by the auto-compactor
+// (WithAutoCompact). An empty delta compacts as a successful no-op with
+// Compacted = 0 and the generation unchanged.
+type CompactObservation struct {
+	Duration time.Duration
+	// Compacted is the number of delta documents folded into the new
+	// generation.
+	Compacted int
+	// Generation is the sequence number now being served — the new
+	// generation's on success, the untouched old one's on failure.
+	Generation uint64
+	Shards     int
+	Err        string
+}
+
+// LiveObserver is an optional extension of Observer for the live-index
+// write path: implementations that also want ingest and compaction
+// telemetry implement it and are fed by Client and Pool. Plain Observers
+// are untouched — the runtimes type-assert per observer, like
+// RPCObserver.
+type LiveObserver interface {
+	ObserveIngest(IngestObservation)
+	ObserveCompact(CompactObservation)
+}
+
+// ingest feeds one Ingest call to every attached observer that opted
+// into LiveObserver.
+func (os observers) ingest(start time.Time, docs, deltaDocs, shards int, err error) {
+	if len(os) == 0 {
+		return
+	}
+	obs := IngestObservation{
+		Duration:  time.Since(start),
+		Docs:      docs,
+		DeltaDocs: deltaDocs,
+		Shards:    shards,
+		Err:       ErrorClass(err),
+	}
+	for _, o := range os {
+		if lo, ok := o.(LiveObserver); ok {
+			lo.ObserveIngest(obs)
+		}
+	}
+}
+
+// compact feeds one compaction to every attached observer that opted
+// into LiveObserver.
+func (os observers) compact(start time.Time, compacted int, generation uint64, shards int, err error) {
+	if len(os) == 0 {
+		return
+	}
+	obs := CompactObservation{
+		Duration:   time.Since(start),
+		Compacted:  compacted,
+		Generation: generation,
+		Shards:     shards,
+		Err:        ErrorClass(err),
+	}
+	for _, o := range os {
+		if lo, ok := o.(LiveObserver); ok {
+			lo.ObserveCompact(obs)
+		}
+	}
+}
+
 // rpc feeds one RPC attempt to every attached observer that opted into
 // RPCObserver. Unlike the Observe* hooks this is per attempt, not per
 // request — it deliberately does not count toward the one-hook contract
@@ -151,11 +231,11 @@ func (os observers) rpc(start time.Time, shardID int, addr, op string, attempt i
 // set for instrumentation: "" (success), "timeout", "canceled", "closed",
 // "invalid_query", "invalid_options", "bad_manifest", "bad_snapshot",
 // "no_benchmark", "bad_topology", "shard_unavailable", "partial_result",
-// or "internal" for anything else. Every sentinel in
-// errors.go has a class of its own — TestErrorClassTaxonomy parses the
-// sentinel declarations and fails when a new sentinel is added without
-// classifying it here — and the classes mirror the HTTP error model
-// cmd/qserve serves.
+// "read_only", "delta_full", or "internal" for anything else. Every
+// sentinel in errors.go has a class of its own — TestErrorClassTaxonomy
+// parses the sentinel declarations and fails when a new sentinel is added
+// without classifying it here — and the classes mirror the HTTP error
+// model cmd/qserve serves.
 func ErrorClass(err error) string {
 	switch {
 	case err == nil:
@@ -182,6 +262,10 @@ func ErrorClass(err error) string {
 		return "shard_unavailable"
 	case errors.Is(err, ErrPartialResult):
 		return "partial_result"
+	case errors.Is(err, ErrReadOnly):
+		return "read_only"
+	case errors.Is(err, ErrDeltaFull):
+		return "delta_full"
 	default:
 		return "internal"
 	}

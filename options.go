@@ -13,6 +13,31 @@ type Option func(*clientConfig)
 type clientConfig struct {
 	sys []core.SystemOption
 	obs observers
+	// deltaCap caps the live delta segment's document count: 0 means
+	// unset (defaultDeltaCapacity applies), negative means a zero-capacity
+	// segment that rejects every ingest.
+	deltaCap int
+	// autoCompact triggers a background compaction once the delta holds at
+	// least this many documents; <= 0 disables the auto-compactor.
+	autoCompact int
+}
+
+// defaultDeltaCapacity is the delta-segment document cap when
+// WithDeltaCapacity is not given: large enough for sustained ingest
+// between compactions, small enough that an unbounded writer cannot grow
+// the in-memory segment without limit.
+const defaultDeltaCapacity = 65536
+
+// deltaCapacity resolves the configured cap to its effective value.
+func (c *clientConfig) deltaCapacity() int {
+	switch {
+	case c.deltaCap == 0:
+		return defaultDeltaCapacity
+	case c.deltaCap < 0:
+		return 0
+	default:
+		return c.deltaCap
+	}
 }
 
 // WithExpandCache overrides the expansion cache capacity (default 1024
@@ -45,6 +70,37 @@ func WithObserver(o Observer) Option {
 		if o != nil {
 			c.obs = append(c.obs, o)
 		}
+	}
+}
+
+// WithDeltaCapacity caps the in-memory delta segment at docs documents
+// (default 65536). An Ingest that would push the segment past the cap
+// fails with ErrDeltaFull and admits nothing; compaction empties the
+// segment and unblocks ingest. docs <= 0 sets a zero-capacity segment
+// that rejects every ingest — a read-only deployment.
+func WithDeltaCapacity(docs int) Option {
+	return func(c *clientConfig) {
+		if docs <= 0 {
+			c.deltaCap = -1
+			return
+		}
+		c.deltaCap = docs
+	}
+}
+
+// WithAutoCompact compacts the delta segment in the background once it
+// holds at least threshold documents. The compaction runs asynchronously
+// after the triggering Ingest returns — searches keep being served from
+// base+delta until the new generation swaps in — and at most one runs at
+// a time. threshold <= 0 disables the auto-compactor (the default);
+// Backend.Compact stays available either way.
+func WithAutoCompact(threshold int) Option {
+	return func(c *clientConfig) {
+		if threshold <= 0 {
+			c.autoCompact = 0
+			return
+		}
+		c.autoCompact = threshold
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/live"
 	"github.com/querygraph/querygraph/internal/search"
 	"github.com/querygraph/querygraph/internal/shard"
 	"github.com/querygraph/querygraph/internal/trace"
@@ -38,13 +40,21 @@ type Pool struct {
 	//qlint:guarded-by mu
 	gen atomic.Pointer[poolGeneration]
 
-	// mu serializes Reload and Close; the serving path never takes it.
+	// mu serializes the write path — Reload, Close, Ingest and Compact;
+	// the serving path never takes it.
 	mu           sync.Mutex
 	manifestPath string
 	seq          uint64
 
 	reloads atomic.Uint64
 	cfg     clientConfig
+
+	// Live-index lifecycle: completed-compaction count, the single-flight
+	// guard of the background compactor, and the wait group Close blocks
+	// on so no compaction goroutine outlives the pool.
+	compactions atomic.Uint64
+	compacting  atomic.Bool
+	bg          sync.WaitGroup
 }
 
 // obs is the observer list attached at OpenPool time (it survives
@@ -56,8 +66,18 @@ func (p *Pool) obs() observers { return p.cfg.obs }
 // retired — so the count can only reach zero after retirement, at which
 // point drained closes exactly once.
 type poolGeneration struct {
-	set       *shard.Set
-	seq       uint64
+	set *shard.Set
+	seq uint64
+
+	// delta is the live segment above this generation's base snapshot
+	// (nil = empty). The serving path loads it lock-free together with
+	// set; every store happens under the pool's mu (enforced by the
+	// atomicguard analyzer). It lives with the generation so a pinned
+	// request sees one consistent base+delta pair.
+	//
+	//qlint:guarded-by mu
+	delta atomic.Pointer[live.Delta]
+
 	refs      atomic.Int64
 	retired   atomic.Bool
 	drained   chan struct{}
@@ -117,6 +137,9 @@ func (p *Pool) Close() error {
 	if old == nil {
 		return nil
 	}
+	// An in-flight background compaction finds the nil generation under
+	// mu and bails; wait it out so Close leaves no goroutine behind.
+	p.bg.Wait()
 	old.retire()
 	<-old.drained
 	return nil
@@ -159,6 +182,15 @@ func (p *Pool) reloadLocked(manifestPath string) (generation uint64, shards int,
 	}
 	p.seq++
 	next := newPoolGeneration(set, p.seq)
+	// Carry a pending delta segment into the new generation when it still
+	// fits: same base document count, same engine configuration — i.e. the
+	// reloaded manifest is the same corpus the segment was ingested above
+	// (a reload after Compact lands here with an already-empty delta). A
+	// manifest with different shape supersedes the segment and drops it.
+	if d := cur.delta.Load(); d.NumDocs() > 0 &&
+		d.BaseDocs() == set.GlobalDocs() && d.Config() == liveConfigOf(set.Systems()[0]) {
+		next.delta.Store(d)
+	}
 	old := p.gen.Swap(next)
 	p.manifestPath = manifestPath
 	p.reloads.Add(1)
@@ -252,7 +284,7 @@ func (p *Pool) Link(keywords string) []Entity {
 	return out
 }
 
-// parseWith mirrors Client.parse: raw query text to AST, failures
+// parseWith mirrors the client's parse: raw query text to AST, failures
 // wrapping ErrInvalidQuery.
 func parseWith(set *shard.Set, query string) (search.Node, error) {
 	node, err := set.Parse(query)
@@ -260,6 +292,40 @@ func parseWith(set *shard.Set, query string) (search.Node, error) {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidQuery, err)
 	}
 	return node, nil
+}
+
+// searchGen evaluates one parsed query on a pinned generation: the
+// delta-free fast path keeps the shard scatter-gather untouched, a live
+// delta joins the fan-out as one extra source under merged statistics.
+func searchGen(ctx context.Context, g *poolGeneration, node search.Node, k int) ([]Result, error) {
+	if d := g.delta.Load(); d != nil && d.NumDocs() > 0 {
+		return g.set.SearchExtra(ctx, node, k, d.Source(), d.TotalTokens())
+	}
+	return g.set.Search(ctx, node, k)
+}
+
+// searchGenAll is the batch form of searchGen: delta-free batches keep
+// the fused union scorer, delta batches fan the extra-source search out
+// over the same bounded worker pool. The whole batch runs on the pinned
+// generation.
+func searchGenAll(ctx context.Context, g *poolGeneration, nodes []search.Node, k int, opts BatchOptions) ([][]Result, error) {
+	d := g.delta.Load()
+	if d == nil || d.NumDocs() == 0 {
+		return g.set.SearchAll(ctx, nodes, k, opts)
+	}
+	out := make([][]Result, len(nodes))
+	err := core.ForEach(ctx, len(nodes), opts.Workers, func(i int) error {
+		rs, err := g.set.SearchExtra(ctx, nodes[i], k, d.Source(), d.TotalTokens())
+		if err != nil {
+			return fmt.Errorf("search %d: %w", i, err)
+		}
+		out[i] = rs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Search is Client.Search over the sharded generation: scatter to every
@@ -313,7 +379,7 @@ func (p *Pool) searchText(ctx context.Context, query string, k int) ([]Result, i
 		if err != nil {
 			return nil, g.set.NumShards(), err
 		}
-		rs, err := g.set.Search(ctx, node, k)
+		rs, err := searchGen(ctx, g, node, k)
 		return rs, g.set.NumShards(), err
 	}
 	parseStart := time.Now()
@@ -324,7 +390,7 @@ func (p *Pool) searchText(ctx context.Context, query string, k int) ([]Result, i
 	}
 	tr.Span("parse", parseStart, "")
 	searchStart := time.Now()
-	rs, err := g.set.Search(ctx, node, k)
+	rs, err := searchGen(ctx, g, node, k)
 	tr.Span("search", searchStart, ErrorClass(err))
 	return rs, g.set.NumShards(), err
 }
@@ -357,7 +423,7 @@ func (p *Pool) searchAll(ctx context.Context, queries []string, k int, opts Batc
 		}
 		nodes[i] = node
 	}
-	rss, err := g.set.SearchAll(ctx, nodes, k, opts)
+	rss, err := searchGenAll(ctx, g, nodes, k, opts)
 	return rss, g.set.NumShards(), err
 }
 
@@ -442,7 +508,7 @@ func (p *Pool) searchExpansion(ctx context.Context, exp *Expansion, k int) ([]Re
 	if !ok {
 		return nil, false, g.set.NumShards(), nil
 	}
-	rs, err := g.set.Search(ctx, node, k)
+	rs, err := searchGen(ctx, g, node, k)
 	return rs, true, g.set.NumShards(), err
 }
 
@@ -478,7 +544,7 @@ func (p *Pool) searchExpansions(ctx context.Context, exps []*Expansion, k int, o
 	for i, j := range jobs {
 		nodes[i] = j.node
 	}
-	rs, err := g.set.SearchAll(ctx, nodes, k, opts)
+	rs, err := searchGenAll(ctx, g, nodes, k, opts)
 	if err != nil {
 		return nil, g.set.NumShards(), err
 	}
@@ -487,6 +553,160 @@ func (p *Pool) searchExpansions(ctx context.Context, exps []*Expansion, k int, o
 		out[j.idx] = rs[i]
 	}
 	return out, g.set.NumShards(), nil
+}
+
+// Ingest appends documents to the current generation's in-memory delta
+// segment; they are searchable by the time the call returns — joined to
+// the shard fan-out as one extra source under merged collection
+// statistics, bit-identical to a re-partitioned rebuild — and survive
+// into the next compaction. The batch is atomic: a duplicate external id
+// (against every shard and the segment itself) or a segment past its
+// capacity (WithDeltaCapacity) admits nothing. docs is not retained.
+func (p *Pool) Ingest(ctx context.Context, docs []Document) (IngestStats, error) {
+	start := time.Now()
+	st, shards, err := p.ingest(ctx, docs)
+	p.obs().ingest(start, len(docs), st.DeltaDocs, shards, err)
+	return st, err
+}
+
+func (p *Pool) ingest(ctx context.Context, docs []Document) (IngestStats, int, error) {
+	if err := ctx.Err(); err != nil {
+		return IngestStats{}, 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	g := p.gen.Load()
+	if g == nil {
+		return IngestStats{}, 0, ErrClosed
+	}
+	shards := g.set.NumShards()
+	cur := g.delta.Load()
+	out := IngestStats{
+		DeltaDocs:  cur.NumDocs(),
+		DeltaBytes: cur.Bytes(),
+		Generation: g.seq,
+	}
+	if len(docs) == 0 {
+		return out, shards, nil
+	}
+	if held := cur.NumDocs(); held+len(docs) > p.cfg.deltaCapacity() {
+		return out, shards, fmt.Errorf("%w: %d held + %d submitted exceeds capacity %d",
+			ErrDeltaFull, held, len(docs), p.cfg.deltaCapacity())
+	}
+	for _, d := range docs {
+		if d.ID == "" {
+			continue
+		}
+		for _, sys := range g.set.Systems() {
+			if _, ok := sys.Collection.ByExternalID(d.ID); ok {
+				return out, shards, fmt.Errorf("%w: duplicate external id %q", ErrInvalidOptions, d.ID)
+			}
+		}
+	}
+	next, err := live.Append(cur, liveConfigOf(g.set.Systems()[0]), g.set.GlobalDocs(), docs)
+	if err != nil {
+		return out, shards, fmt.Errorf("%w: %v", ErrInvalidOptions, err)
+	}
+	g.delta.Store(next) //qlint:ignore atomicguard p.mu is held since the Lock above; the generation's guard is the pool's mutex
+	p.maybeAutoCompactLocked(next.NumDocs())
+	return IngestStats{
+		Ingested:   len(docs),
+		DeltaDocs:  next.NumDocs(),
+		DeltaBytes: next.Bytes(),
+		Generation: g.seq,
+	}, shards, nil
+}
+
+// Compact folds the delta segment into a fresh on-disk generation — each
+// shard's snapshot extended with its hash-share of the delta documents,
+// exactly the partition a full re-shard of the merged corpus produces —
+// republishes the manifest atomically, and hot-swaps the reloaded
+// generation with zero downtime: requests pinned to the old generation
+// finish on it (the refcounted drain Reload uses), new requests see the
+// compacted one, and search results are identical before and after. An
+// empty delta is a successful no-op with the generation unchanged.
+func (p *Pool) Compact(ctx context.Context) (CompactStats, error) {
+	start := time.Now()
+	cs, shards, err := p.compact(ctx)
+	p.obs().compact(start, cs.Compacted, cs.Generation, shards, err)
+	return cs, err
+}
+
+func (p *Pool) compact(ctx context.Context) (CompactStats, int, error) {
+	if err := ctx.Err(); err != nil {
+		return CompactStats{}, 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.compactLocked()
+}
+
+// compactLocked does the fold-write-reload-swap; callers hold mu. The
+// new generation is loaded back from the bytes just written — the same
+// read path Reload exercises — so a compacted snapshot that would not
+// serve is rejected here, with the old generation (and its delta) still
+// serving untouched.
+//
+//qlint:locked mu
+func (p *Pool) compactLocked() (CompactStats, int, error) {
+	g := p.gen.Load()
+	if g == nil {
+		return CompactStats{}, 0, ErrClosed
+	}
+	shards := g.set.NumShards()
+	delta := g.delta.Load()
+	if delta.NumDocs() == 0 {
+		return CompactStats{Documents: g.set.GlobalDocs(), Generation: g.seq}, shards, nil
+	}
+	archives, err := shard.Fold(g.set, delta)
+	if err != nil {
+		return CompactStats{Generation: g.seq}, shards, err
+	}
+	if _, err := shard.WriteArchives(p.manifestPath, archives); err != nil {
+		return CompactStats{Generation: g.seq}, shards, err
+	}
+	set, err := shard.Load(p.manifestPath, p.cfg.sys...)
+	if err != nil {
+		return CompactStats{Generation: g.seq}, shards, fmt.Errorf("%w: %v", ErrBadManifest, err)
+	}
+	p.seq++
+	next := newPoolGeneration(set, p.seq)
+	old := p.gen.Swap(next)
+	p.compactions.Add(1)
+	old.retire()
+	return CompactStats{
+		Compacted:  delta.NumDocs(),
+		Documents:  set.GlobalDocs(),
+		Generation: p.seq,
+	}, set.NumShards(), nil
+}
+
+// maybeAutoCompactLocked launches one background compaction when the
+// segment has reached the WithAutoCompact threshold; at most one runs at
+// a time and the triggering Ingest returns immediately — searches keep
+// being served from base+delta until the new generation swaps in.
+// Callers hold mu.
+//
+//qlint:locked mu
+func (p *Pool) maybeAutoCompactLocked(deltaDocs int) {
+	if p.cfg.autoCompact <= 0 || deltaDocs < p.cfg.autoCompact {
+		return
+	}
+	if !p.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	p.bg.Add(1)
+	go func() {
+		defer p.bg.Done()
+		defer p.compacting.Store(false)
+		start := time.Now()
+		cs, shards, err := func() (CompactStats, int, error) {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return p.compactLocked()
+		}()
+		p.obs().compact(start, cs.Compacted, cs.Generation, shards, err)
+	}()
 }
 
 // ShardStats is the size of one loaded shard.
@@ -516,7 +736,7 @@ func (p *Pool) Stats() Stats {
 		return Stats{}
 	}
 	defer g.release()
-	return poolStatsOf(g).Stats
+	return poolStatsOf(g, p.compactions.Load()).Stats
 }
 
 // PoolStats reports the aggregate summary plus the per-shard breakdown
@@ -528,14 +748,15 @@ func (p *Pool) PoolStats() PoolStats {
 		return PoolStats{Reloads: p.reloads.Load()}
 	}
 	defer g.release()
-	ps := poolStatsOf(g)
+	ps := poolStatsOf(g, p.compactions.Load())
 	ps.Reloads = p.reloads.Load()
 	return ps
 }
 
-func poolStatsOf(g *poolGeneration) PoolStats {
+func poolStatsOf(g *poolGeneration, compactions uint64) PoolStats {
 	systems := g.set.Systems()
 	st := systems[0].Snapshot.Stats()
+	delta := g.delta.Load()
 	ps := PoolStats{
 		Stats: Stats{
 			Articles:         st.Articles,
@@ -544,7 +765,13 @@ func poolStatsOf(g *poolGeneration) PoolStats {
 			Links:            st.Links,
 			Documents:        g.set.GlobalDocs(),
 			BenchmarkQueries: len(g.set.Queries()),
-			Cache:            g.set.ExpandCacheStats(),
+			Delta: DeltaStats{
+				Documents:    delta.NumDocs(),
+				PendingBytes: delta.Bytes(),
+				Generation:   g.seq,
+				Compactions:  compactions,
+			},
+			Cache: g.set.ExpandCacheStats(),
 		},
 		Generation: g.seq,
 		Shards:     make([]ShardStats, len(systems)),

@@ -685,6 +685,40 @@ func (c *Remote) SearchInto(ctx context.Context, query string, k int, dst []Resu
 	return rs, err
 }
 
+// Ingest implements Backend. The remote coordinator is read-only: the
+// shard servers own their snapshots, so ingest against a fleet goes to
+// the shards themselves. Every call fails with a typed ErrReadOnly
+// (ErrClosed once closed, ctx.Err() on a dead context).
+func (c *Remote) Ingest(ctx context.Context, docs []Document) (IngestStats, error) {
+	start := time.Now()
+	shards, err := c.readOnlyCall(ctx)
+	c.obs().ingest(start, len(docs), 0, shards, err)
+	return IngestStats{}, err
+}
+
+// Compact implements Backend; read-only like Ingest — compaction is a
+// per-shard-server operation, not a coordinator one.
+func (c *Remote) Compact(ctx context.Context) (CompactStats, error) {
+	start := time.Now()
+	shards, err := c.readOnlyCall(ctx)
+	c.obs().compact(start, 0, 0, shards, err)
+	return CompactStats{}, err
+}
+
+// readOnlyCall is the shared gate of the write-path stubs: dead context,
+// then closed coordinator, then the typed read-only refusal.
+func (c *Remote) readOnlyCall(ctx context.Context) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	done, err := c.begin()
+	if err != nil {
+		return 0, err
+	}
+	defer done()
+	return len(c.topo.Shards), ErrReadOnly
+}
+
 func (c *Remote) searchText(ctx context.Context, query string, k int) ([]Result, int, error) {
 	done, err := c.begin()
 	if err != nil {

@@ -2,6 +2,7 @@ package querygraph
 
 import (
 	"github.com/querygraph/querygraph/internal/core"
+	"github.com/querygraph/querygraph/internal/corpus"
 	"github.com/querygraph/querygraph/internal/eval"
 	"github.com/querygraph/querygraph/internal/graph"
 	"github.com/querygraph/querygraph/internal/search"
@@ -57,6 +58,20 @@ type (
 
 	// Summary is a five-number statistic (min, quartiles, max, mean).
 	Summary = stats.Summary
+
+	// Document is one ingestable metadata record — an ImageCLEF <image>
+	// element (the paper's Figure 2 schema). Backend.Ingest indexes each
+	// document's relevant text (Section 2.1 extraction) into the live delta
+	// segment. The ID field is the optional external id; when set it must
+	// be unique across the whole collection, base and delta alike.
+	Document = corpus.Image
+
+	// DocumentText is one per-language metadata section of a Document.
+	DocumentText = corpus.Text
+
+	// Caption is one caption of a DocumentText section, linked to the
+	// article it was extracted from.
+	Caption = corpus.Caption
 
 	// World is a generated synthetic benchmark world: knowledge base,
 	// document collection and query set.
